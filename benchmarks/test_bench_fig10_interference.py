@@ -1,0 +1,76 @@
+"""Fig. 10: interference impact on NGINX, actual vs synthetic.
+
+The original is profiled in isolation; both versions then co-run with the
+paper's stressors: a hyperthreading spinner, L1d and L2 cache thrashers
+on the SMT sibling, an LLC antagonist on the socket (iBench), and a
+network-bandwidth hog (iperf3).
+
+Shape claims: each stressor degrades its resource in both versions, with
+the same direction — HT/L1d/L2 lower IPC, LLC raises LLC misses, net
+raises tail latency.
+"""
+
+from conftest import APPS, write_result
+
+from repro.app.stressors import interference_suite, stressor
+from repro.runtime import run_experiment
+
+SCENARIOS = ["none"] + interference_suite()
+COLUMNS = ("ipc", "l1i", "l1d", "l2", "llc")
+
+
+def test_fig10_interference(benchmark, single_tier_clones):
+    setup = APPS["nginx"]
+    original, synthetic, _report = single_tier_clones["nginx"]
+    load = setup.loads["medium"]
+
+    def run_all():
+        data = {}
+        for scenario in SCENARIOS:
+            corunners = () if scenario == "none" else (stressor(scenario),)
+            config = setup.config(seed=11, corunners=corunners)
+            data[(scenario, "actual")] = run_experiment(original, load,
+                                                        config)
+            data[(scenario, "synthetic")] = run_experiment(synthetic, load,
+                                                           config)
+        return data
+
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = [f"{'scenario':<10}{'':>10}"
+             + "".join(f"{c:>9}" for c in COLUMNS) + f"{'p99 ms':>9}"]
+    for scenario in SCENARIOS:
+        for kind in ("actual", "synthetic"):
+            result = data[(scenario, kind)]
+            metrics = result.service("nginx")
+            lines.append(
+                f"{scenario:<10}{kind:>10}"
+                + "".join(f"{metrics.metric(c):>9.4f}" for c in COLUMNS)
+                + f"{result.latency_ms(99):>9.3f}")
+    write_result("fig10_interference", "\n".join(lines))
+
+    for kind in ("actual", "synthetic"):
+        base = data[("none", kind)]
+        base_m = base.service("nginx")
+        # HT spinner steals ports: IPC drops.
+        assert (data[("ht", kind)].service("nginx").ipc
+                < base_m.ipc - 0.01), kind
+        # L1d thrasher raises L1d misses.
+        assert (data[("l1d", kind)].service("nginx").l1d_miss_rate
+                > base_m.l1d_miss_rate), kind
+        # L2 thrasher raises L2-level pressure (miss rate or accesses).
+        l2_noisy = data[("l2", kind)].service("nginx")
+        assert (l2_noisy.l2_miss_rate >= base_m.l2_miss_rate
+                or l2_noisy.timing.l2_accesses > base_m.timing.l2_accesses
+                ), kind
+        # iperf3 contention inflates tail latency.
+        assert (data[("net", kind)].latency_ms(99)
+                > base.latency_ms(99) * 1.2), kind
+    # Actual and synthetic move in the same direction for IPC under every
+    # cache/HT stressor.
+    for scenario in ("ht", "l1d", "l2", "llc"):
+        actual_delta = (data[(scenario, "actual")].service("nginx").ipc
+                        - data[("none", "actual")].service("nginx").ipc)
+        synth_delta = (data[(scenario, "synthetic")].service("nginx").ipc
+                       - data[("none", "synthetic")].service("nginx").ipc)
+        if abs(actual_delta) > 0.01:
+            assert actual_delta * synth_delta > 0, scenario

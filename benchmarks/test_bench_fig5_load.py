@@ -1,0 +1,143 @@
+"""Fig. 5: CPU metrics, network/disk bandwidth and latency vs load.
+
+Six services (four single-tier apps plus the Social Network's TextService
+and SocialGraphService) under low/medium/high load on platform A, actual
+vs synthetic. Clones were profiled at medium load only — every other load
+point runs without reprofiling.
+
+Shape assertions: who wins per metric, the low-load IPC dip for
+event-loop servers, disk traffic only for MongoDB, and error bands in the
+paper's neighbourhood.
+"""
+
+import pytest
+from conftest import APPS, RUN_SECONDS, SOCIALNET_LOADS, write_result
+
+from repro.analysis import compare_metrics
+from repro.hw import PLATFORM_A
+from repro.runtime import ExperimentConfig, run_experiment
+
+METRICS = ("ipc", "branch", "l1i", "l1d", "l2", "llc")
+
+
+def _row(tag, metrics, result, service):
+    return (f"{tag:>10}"
+            + "".join(f"{metrics.metric(m):>9.4f}" for m in METRICS)
+            + f"{result.net_bandwidth(service) / 1e6:>10.1f}"
+            + f"{result.disk_bandwidth(service) / 1e6:>10.1f}"
+            + f"{result.latency_ms():>9.3f}{result.latency_ms(95):>9.3f}"
+            + f"{result.latency_ms(99):>9.3f}")
+
+
+HEADER = (f"{'':>10}" + "".join(f"{m:>9}" for m in METRICS)
+          + f"{'netMB/s':>10}{'dskMB/s':>10}{'avg ms':>9}{'p95 ms':>9}"
+          + f"{'p99 ms':>9}")
+
+
+def test_fig5_single_tier_apps(benchmark, single_tier_clones):
+    def run_all():
+        data = {}
+        for name, setup in APPS.items():
+            original, synthetic, _report = single_tier_clones[name]
+            for level, load in setup.loads.items():
+                config = setup.config(seed=11)
+                data[(name, level, "actual")] = (
+                    run_experiment(original, load, config))
+                data[(name, level, "synthetic")] = (
+                    run_experiment(synthetic, load, config))
+        return data
+
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = []
+    errors = {m: [] for m in METRICS + ("net", "disk")}
+    for name, setup in APPS.items():
+        for level in ("low", "medium", "high"):
+            lines.append(f"--- {name} @ {level} load ---")
+            lines.append(HEADER)
+            actual = data[(name, level, "actual")]
+            synth = data[(name, level, "synthetic")]
+            am = actual.service(name)
+            sm = synth.service(name)
+            lines.append(_row("actual", am, actual, name))
+            lines.append(_row("synthetic", sm, synth, name))
+            comparison = compare_metrics(am, sm)
+            for m in METRICS:
+                err = comparison.error_of(m)
+                if err != float("inf"):
+                    errors[m].append(err)
+            a_net = actual.net_bandwidth(name)
+            s_net = synth.net_bandwidth(name)
+            if a_net > 0:
+                errors["net"].append(abs(s_net - a_net) / a_net)
+            a_disk = actual.disk_bandwidth(name)
+            if a_disk > 0:
+                errors["disk"].append(
+                    abs(synth.disk_bandwidth(name) - a_disk) / a_disk)
+    lines.append("")
+    lines.append("mean relative errors across apps and loads "
+                 "(paper: 4.1%-12.1% for CPU metrics, ~0.1% for I/O):")
+    for m, values in errors.items():
+        if values:
+            mean = sum(values) / len(values)
+            lines.append(f"  {m:>6}: {mean:6.1%}  (n={len(values)})")
+            benchmark.extra_info[f"err_{m}"] = round(mean, 4)
+    write_result("fig5_load_sweep", "\n".join(lines))
+
+    # --- shape assertions -------------------------------------------------
+    # I/O bandwidth must track closely (the paper reports ~0.1%).
+    assert sum(errors["net"]) / len(errors["net"]) < 0.10
+    # Only MongoDB produces disk traffic, and its clone reproduces it.
+    for name in APPS:
+        medium_actual = data[(name, "medium", "actual")]
+        if name == "mongodb":
+            assert medium_actual.disk_bandwidth(name) > 1e6
+            assert data[(name, "medium", "synthetic")].disk_bandwidth(
+                name) > 1e6
+        else:
+            assert medium_actual.disk_bandwidth(name) == 0.0
+    # Low-load IPC dip for the event-loop servers, in both versions.
+    for name in ("memcached", "nginx"):
+        for kind in ("actual", "synthetic"):
+            low = data[(name, "low", kind)].service(name).ipc
+            high = data[(name, "high", kind)].service(name).ipc
+            assert low < high, (name, kind)
+    # CPU-metric errors land in a band around the paper's (lenient 3x).
+    for m in METRICS:
+        mean = sum(errors[m]) / len(errors[m])
+        assert mean < 0.40, (m, mean)
+
+
+def test_fig5_socialnet_tiers(benchmark, socialnet_clone):
+    original, synthetic, _report = socialnet_clone
+    tiers = ("text-service", "social-graph-service")
+
+    def run_all():
+        data = {}
+        for level, load in SOCIALNET_LOADS.items():
+            config = ExperimentConfig(platform=PLATFORM_A,
+                                      duration_s=RUN_SECONDS, seed=11)
+            data[(level, "actual")] = run_experiment(original, load, config)
+            data[(level, "synthetic")] = run_experiment(synthetic, load,
+                                                        config)
+        return data
+
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = []
+    for tier in tiers:
+        for level in ("low", "medium", "high"):
+            lines.append(f"--- {tier} @ {level} load ---")
+            lines.append(HEADER)
+            for kind in ("actual", "synthetic"):
+                result = data[(level, kind)]
+                metrics = result.service(tier)
+                lines.append(_row(kind, metrics, result, tier))
+    write_result("fig5_socialnet_tiers", "\n".join(lines))
+    # SocialGraphService has high IPC (small Reed98 working set) in both.
+    for kind in ("actual", "synthetic"):
+        result = data[("medium", kind)]
+        assert result.service("social-graph-service").ipc > 0.45, kind
+    # IPC error of the featured tiers stays bounded at medium load.
+    for tier in tiers:
+        actual_ipc = data[("medium", "actual")].service(tier).ipc
+        synth_ipc = data[("medium", "synthetic")].service(tier).ipc
+        assert abs(synth_ipc - actual_ipc) / actual_ipc < 0.45, tier

@@ -1,0 +1,57 @@
+"""Fig. 6: end-to-end Social Network latency, original vs fully-synthetic.
+
+Every one of the 14 tiers is replaced by its clone; the QPS sweep
+compares p50/p95/p99 end-to-end latency. The shape claim: the synthetic
+graph's latency tracks the original across the sweep, including where the
+knee begins.
+"""
+
+from conftest import RUN_SECONDS, write_result
+
+from repro.hw import PLATFORM_A
+from repro.loadgen import LoadSpec
+from repro.runtime import ExperimentConfig, run_experiment
+
+QPS_SWEEP = (200, 500, 1000, 1500, 2000)
+
+
+def test_fig6_end_to_end_latency(benchmark, socialnet_clone):
+    original, synthetic, report = socialnet_clone
+
+    def run_sweep():
+        rows = {}
+        for qps in QPS_SWEEP:
+            config = ExperimentConfig(platform=PLATFORM_A,
+                                      duration_s=RUN_SECONDS, seed=11)
+            rows[(qps, "actual")] = run_experiment(
+                original, LoadSpec.open_loop(qps), config)
+            rows[(qps, "synthetic")] = run_experiment(
+                synthetic, LoadSpec.open_loop(qps), config)
+        return rows
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [f"{'QPS':>6}{'act p50':>10}{'syn p50':>10}{'act p95':>10}"
+             f"{'syn p95':>10}{'act p99':>10}{'syn p99':>10}"]
+    for qps in QPS_SWEEP:
+        actual = rows[(qps, "actual")]
+        synth = rows[(qps, "synthetic")]
+        lines.append(
+            f"{qps:>6}"
+            f"{actual.latency_ms(50):>10.2f}{synth.latency_ms(50):>10.2f}"
+            f"{actual.latency_ms(95):>10.2f}{synth.latency_ms(95):>10.2f}"
+            f"{actual.latency_ms(99):>10.2f}{synth.latency_ms(99):>10.2f}")
+    write_result("fig6_socialnet_latency", "\n".join(lines))
+
+    # The topology was reconstructed, not copied.
+    assert report.topology is not None
+    assert report.topology.tier_count == len(original.services)
+    # Latency tracks within a factor band at every pre-knee point, and
+    # both curves rise monotonically-ish with load at the median.
+    for qps in QPS_SWEEP[:4]:
+        actual = rows[(qps, "actual")].latency_ms(50)
+        synth = rows[(qps, "synthetic")].latency_ms(50)
+        assert 0.4 * actual < synth < 2.5 * actual, qps
+    for kind in ("actual", "synthetic"):
+        first = rows[(QPS_SWEEP[0], kind)].latency_ms(99)
+        last = rows[(QPS_SWEEP[-1], kind)].latency_ms(99)
+        assert last >= first * 0.8, kind

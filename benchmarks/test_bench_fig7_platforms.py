@@ -1,0 +1,88 @@
+"""Fig. 7: validation across platforms A, B, C.
+
+Each clone was profiled **on platform A only** (at medium load); original
+and synthetic then run on all three platforms. Shape claims from §6.2.2:
+
+- all applications see higher L2 miss rates on B and C (smaller L2s);
+- platform B (Haswell) gives consistently lower IPC;
+- network/disk byte volumes are platform-independent;
+- MongoDB's latency is far lower on A (SSD) than on B/C (HDD).
+"""
+
+from conftest import APPS, RUN_SECONDS, write_result
+
+from repro.hw import PLATFORM_A, PLATFORM_B, PLATFORM_C
+from repro.runtime import run_experiment
+
+PLATFORMS = (PLATFORM_A, PLATFORM_B, PLATFORM_C)
+METRICS = ("ipc", "branch", "l1i", "l1d", "l2", "llc")
+
+
+def test_fig7_cross_platform(benchmark, single_tier_clones):
+    def run_all():
+        data = {}
+        for name, setup in APPS.items():
+            original, synthetic, _report = single_tier_clones[name]
+            load = setup.loads["medium"]
+            for platform in PLATFORMS:
+                config = setup.config(platform=platform, seed=11)
+                data[(name, platform.name, "actual")] = run_experiment(
+                    original, load, config)
+                data[(name, platform.name, "synthetic")] = run_experiment(
+                    synthetic, load, config)
+        return data
+
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = []
+    for name in APPS:
+        lines.append(f"--- {name} (profiled on A only) ---")
+        lines.append(f"{'platform':<9}{'':>10}"
+                     + "".join(f"{m:>9}" for m in METRICS)
+                     + f"{'netMB/s':>10}{'dskMB/s':>10}{'p99 ms':>9}")
+        for platform in PLATFORMS:
+            for kind in ("actual", "synthetic"):
+                result = data[(name, platform.name, kind)]
+                metrics = result.service(name)
+                lines.append(
+                    f"{platform.name:<9}{kind:>10}"
+                    + "".join(f"{metrics.metric(m):>9.4f}" for m in METRICS)
+                    + f"{result.net_bandwidth(name) / 1e6:>10.1f}"
+                    + f"{result.disk_bandwidth(name) / 1e6:>10.1f}"
+                    + f"{result.latency_ms(99):>9.3f}")
+    write_result("fig7_cross_platform", "\n".join(lines))
+
+    for name in APPS:
+        for kind in ("actual", "synthetic"):
+            a = data[(name, "A", kind)].service(name)
+            b = data[(name, "B", kind)].service(name)
+            c = data[(name, "C", kind)].service(name)
+            # Smaller L2s on B/C -> no lower L2 miss rates than on A.
+            assert b.l2_miss_rate >= a.l2_miss_rate - 0.01, (name, kind)
+            assert c.l2_miss_rate >= a.l2_miss_rate - 0.01, (name, kind)
+        # Synthetic reacts with the same sign as the actual for IPC when
+        # moving A -> B.
+        actual_delta = (data[(name, "B", "actual")].service(name).ipc
+                        - data[(name, "A", "actual")].service(name).ipc)
+        synth_delta = (data[(name, "B", "synthetic")].service(name).ipc
+                       - data[(name, "A", "synthetic")].service(name).ipc)
+        if abs(actual_delta) > 0.02:
+            assert actual_delta * synth_delta > 0, name
+        # I/O volumes barely move across platforms (volume is load-bound;
+        # closed-loop apps complete fewer requests on slower platforms,
+        # so compare per-request bytes).
+        for kind in ("actual", "synthetic"):
+            per_req = {}
+            for platform in PLATFORMS:
+                result = data[(name, platform.name, kind)]
+                metrics = result.service(name)
+                per_req[platform.name] = (
+                    (metrics.net_tx_bytes + metrics.net_rx_bytes)
+                    / max(1, metrics.requests))
+            base = per_req["A"]
+            for p in ("B", "C"):
+                assert abs(per_req[p] - base) / base < 0.15, (name, kind, p)
+    # MongoDB latency: SSD (A) is far faster than the HDD platforms.
+    for kind in ("actual", "synthetic"):
+        a = data[("mongodb", "A", kind)].latency_ms(50)
+        b = data[("mongodb", "B", kind)].latency_ms(50)
+        assert b > 3 * a, kind

@@ -1,0 +1,75 @@
+"""Fig. 8: top-down CPI breakdown, actual vs synthetic.
+
+Stacked CPI contributions (retiring / front-end / bad speculation /
+back-end) for the four single-tier services plus the two featured Social
+Network tiers. Shape claims: the clone reproduces the original's dominant
+bucket, and the services show the cloud-typical significant front-end
+fraction the paper contrasts with SPEC-style workloads.
+"""
+
+from conftest import APPS, RUN_SECONDS, SOCIALNET_LOADS, write_result
+
+from repro.hw import PLATFORM_A
+from repro.runtime import ExperimentConfig, run_experiment
+
+BUCKETS = ("retiring", "frontend", "bad_speculation", "backend")
+
+
+def _cpi_row(metrics):
+    contributions = metrics.topdown.cpi_contributions(
+        metrics.timing.instructions, PLATFORM_A.uarch.issue_width)
+    return contributions
+
+
+def test_fig8_topdown_breakdown(benchmark, single_tier_clones,
+                                socialnet_clone):
+    def run_all():
+        data = {}
+        for name, setup in APPS.items():
+            original, synthetic, _report = single_tier_clones[name]
+            load = setup.loads["medium"]
+            config = setup.config(seed=11)
+            data[(name, "actual")] = run_experiment(
+                original, load, config).service(name)
+            data[(name, "synthetic")] = run_experiment(
+                synthetic, load, config).service(name)
+        original, synthetic, _report = socialnet_clone
+        config = ExperimentConfig(platform=PLATFORM_A,
+                                  duration_s=RUN_SECONDS, seed=11)
+        actual = run_experiment(original, SOCIALNET_LOADS["medium"], config)
+        synth = run_experiment(synthetic, SOCIALNET_LOADS["medium"], config)
+        for tier in ("text-service", "social-graph-service"):
+            data[(tier, "actual")] = actual.service(tier)
+            data[(tier, "synthetic")] = synth.service(tier)
+        return data
+
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    services = list(APPS) + ["text-service", "social-graph-service"]
+    lines = [f"{'service':<22}{'':>10}{'CPI':>8}"
+             + "".join(f"{b:>10}" for b in BUCKETS)]
+    for service in services:
+        for kind in ("actual", "synthetic"):
+            metrics = data[(service, kind)]
+            contributions = _cpi_row(metrics)
+            lines.append(
+                f"{service:<22}{kind:>10}{metrics.cpi:>8.3f}"
+                + "".join(f"{contributions[b]:>10.3f}" for b in BUCKETS))
+    write_result("fig8_topdown", "\n".join(lines))
+
+    for service in services:
+        actual = data[(service, "actual")]
+        synth = data[(service, "synthetic")]
+        a_contrib = _cpi_row(actual)
+        s_contrib = _cpi_row(synth)
+        # CPI within a band.
+        assert abs(synth.cpi - actual.cpi) / actual.cpi < 0.45, service
+        # The dominant non-retiring bucket matches.
+        a_stall = max(("frontend", "bad_speculation", "backend"),
+                      key=a_contrib.get)
+        s_rank = sorted(("frontend", "bad_speculation", "backend"),
+                        key=s_contrib.get, reverse=True)
+        assert a_stall in s_rank[:2], (service, a_stall, s_rank)
+        # Cloud services show a real front-end component (the paper's
+        # contrast with SPEC-style CPU suites).
+        assert a_contrib["frontend"] > 0.02 * actual.cpi, service
+        assert s_contrib["frontend"] > 0.02 * synth.cpi, service

@@ -1,0 +1,121 @@
+"""Fig. 9: accuracy decomposition for MongoDB.
+
+Rebuilds the clone stage by stage — A:skeleton, B:+syscalls, C:+instruction
+count, D:+instruction mix, E:+branch behaviour, F:+instruction memory,
+G:+data memory, H:+data dependencies, I:+fine tuning — and tracks IPC,
+instructions, cycles and p99 latency toward the original's values.
+
+Shape claims (from the paper's narrative): instructions reach the target
+at C and stay; adding i-memory (F) lowers IPC by raising i-cache misses
+and branch mispredictions; the final tuned stage lands closest to the
+target on the tracked metrics.
+"""
+
+from dataclasses import replace
+
+import pytest
+from conftest import APPS, BENCH_BUDGET, RUN_SECONDS, write_result
+
+from repro.app.service import Deployment, ServiceSpec
+from repro.core import GeneratorConfig, fine_tune, generate_program, \
+    generate_skeleton
+from repro.core.features import extract_service_features
+from repro.loadgen import LoadSpec
+from repro.profiling import profile_deployment
+from repro.runtime import run_experiment
+
+STAGES = ["skeleton", "syscall", "inst_count", "inst_mix", "branch",
+          "imem", "dmem", "datadep"]
+LABELS = {
+    "skeleton": "A:Skeleton", "syscall": "B:Syscall",
+    "inst_count": "C:#insts", "inst_mix": "D:Inst. mix",
+    "branch": "E:Branch", "imem": "F:I-mem", "dmem": "G:D-mem",
+    "datadep": "H:Data dep.",
+}
+
+
+def test_fig9_mongodb_decomposition(benchmark):
+    setup = APPS["mongodb"]
+    original = Deployment.single(setup.builder())
+    load = setup.loads["medium"]
+    profile_config = setup.config(duration_s=0.02, seed=5)
+    profile = profile_deployment(original, load, profile_config,
+                                 budget=BENCH_BUDGET)
+    features = extract_service_features(profile.artifacts("mongodb"))
+    validation_config = setup.config(seed=11)
+    target = run_experiment(original, load, validation_config)
+    target_metrics = target.service("mongodb")
+
+    def measure_stage(config):
+        program, files = generate_program(features, config)
+        spec = ServiceSpec(
+            name="mongodb",
+            skeleton=generate_skeleton(features.threads, features.network),
+            program=program,
+            request_mix=dict(features.handler_mix) or None,
+            files=files,
+        )
+        result = run_experiment(Deployment.single(spec), load,
+                                validation_config)
+        metrics = result.service("mongodb")
+        return {
+            "ipc": metrics.ipc,
+            "instructions": metrics.instructions_per_request,
+            "cycles": (metrics.timing.cycles / max(1, metrics.requests)),
+            "p99": result.latency_ms(99),
+            "l1i": metrics.l1i_miss_rate,
+            "branch": metrics.branch_mispredict_rate,
+        }
+
+    def run_all():
+        rows = {}
+        for stage in STAGES:
+            rows[stage] = measure_stage(GeneratorConfig.stage(stage))
+        tuned = fine_tune(features, platform_config=profile_config,
+                          max_iterations=6)
+        rows["tuned"] = measure_stage(
+            replace(GeneratorConfig(), knobs=tuned.knobs))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = [f"{'stage':<14}{'IPC':>8}{'insts/req':>12}{'cycles/req':>12}"
+             f"{'p99 ms':>9}{'l1i':>8}{'branch':>8}"]
+    target_row = {
+        "ipc": target_metrics.ipc,
+        "instructions": target_metrics.instructions_per_request,
+        "cycles": target_metrics.timing.cycles / max(
+            1, target_metrics.requests),
+        "p99": target.latency_ms(99),
+        "l1i": target_metrics.l1i_miss_rate,
+        "branch": target_metrics.branch_mispredict_rate,
+    }
+    for stage in STAGES + ["tuned"]:
+        row = rows[stage]
+        label = LABELS.get(stage, "I:Tune")
+        lines.append(f"{label:<14}{row['ipc']:>8.3f}"
+                     f"{row['instructions']:>12.0f}{row['cycles']:>12.0f}"
+                     f"{row['p99']:>9.3f}{row['l1i']:>8.4f}"
+                     f"{row['branch']:>8.4f}")
+    lines.append(f"{'target':<14}{target_row['ipc']:>8.3f}"
+                 f"{target_row['instructions']:>12.0f}"
+                 f"{target_row['cycles']:>12.0f}{target_row['p99']:>9.3f}"
+                 f"{target_row['l1i']:>8.4f}{target_row['branch']:>8.4f}")
+    write_result("fig9_decomposition", "\n".join(lines))
+
+    # Instruction count is matched from stage C onward.
+    for stage in STAGES[2:]:
+        assert rows[stage]["instructions"] == pytest.approx(
+            target_row["instructions"], rel=0.25), stage
+    # The skeleton-only stage retires almost nothing.
+    assert rows["skeleton"]["instructions"] < 0.2 * target_row["instructions"]
+    # Adding instruction memory raises i-cache misses (the paper's F step).
+    assert rows["imem"]["l1i"] > rows["branch"]["l1i"]
+    # The tuned clone's cycles/IPC land closest to the target among the
+    # late stages.
+    late = ["dmem", "datadep", "tuned"]
+    errors = {stage: abs(rows[stage]["ipc"] - target_row["ipc"])
+              for stage in late}
+    assert errors["tuned"] <= min(errors.values()) + 0.02
+    # Latency converges toward the target as fidelity accumulates.
+    assert (abs(rows["tuned"]["p99"] - target_row["p99"])
+            <= abs(rows["skeleton"]["p99"] - target_row["p99"]) + 0.05)

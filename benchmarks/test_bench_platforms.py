@@ -1,0 +1,64 @@
+"""Table 1: server platform specifications.
+
+Regenerates the platform-specification table and benchmarks the cost of
+building a full per-platform execution context (the pricing hot path).
+"""
+
+from conftest import write_result
+
+from repro.hw import PLATFORM_A, PLATFORM_B, PLATFORM_C
+from repro.runtime.pricing import BlockPricer, PricingKey
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+EXPECTED = {
+    # platform: (freq GHz, cores/socket, sockets, L2, LLC, net bps)
+    "A": (2.10, 22, 2, 1 * MB, 30 * MB + 256 * KB, 10e9),
+    "B": (2.60, 10, 2, 256 * KB, 25 * MB, 1e9),
+    "C": (3.50, 4, 1, 256 * KB, 8 * MB, 1e9),
+}
+
+
+def test_table1_platforms(benchmark):
+    platforms = (PLATFORM_A, PLATFORM_B, PLATFORM_C)
+
+    def build_contexts():
+        key = PricingKey.build(False, 4, 1.0, (1, 1, 1, 1), 65536, 4096)
+        return [BlockPricer(p).context_for(key) for p in platforms]
+
+    contexts = benchmark.pedantic(build_contexts, rounds=3, iterations=1)
+    assert len(contexts) == 3
+    rows = [f"{'field':<22}{'Platform A':>16}{'Platform B':>16}"
+            f"{'Platform C':>16}"]
+    fields = [
+        ("CPU model", lambda p: p.cpu_model),
+        ("Base frequency", lambda p: f"{p.base_frequency_ghz:.2f}GHz"),
+        ("CPU cores", lambda p: str(p.cores_per_socket)),
+        ("CPU family", lambda p: p.uarch.name),
+        ("Sockets", lambda p: str(p.sockets)),
+        ("L1i/L1d", lambda p: f"{p.l1i.size_bytes // KB}KB/"
+                              f"{p.l1d.size_bytes // KB}KB"),
+        ("L2", lambda p: f"{p.l2.size_bytes / KB:.0f}KB"),
+        ("LLC", lambda p: f"{p.llc.size_bytes / MB:.2f}MB"),
+        ("RAM", lambda p: f"{p.ram_bytes // GB}GB"),
+        ("Disk", lambda p: p.disk.kind.upper()),
+        ("Network", lambda p: f"{p.network.bandwidth_bits_per_s / 1e9:.0f}Gbe"),
+    ]
+    for label, getter in fields:
+        rows.append(f"{label:<22}" + "".join(
+            f"{getter(p):>16}" for p in platforms))
+    write_result("table1_platforms", "\n".join(rows))
+    for platform in platforms:
+        freq, cores, sockets, l2, llc, net = EXPECTED[platform.name]
+        assert platform.base_frequency_ghz == freq
+        assert platform.cores_per_socket == cores
+        assert platform.sockets == sockets
+        assert platform.l2.size_bytes == l2
+        assert platform.llc.size_bytes == llc
+        assert platform.network.bandwidth_bits_per_s == net
+    # Paper's qualitative relations.
+    assert PLATFORM_A.disk.kind == "ssd"
+    assert PLATFORM_B.disk.kind == "hdd" and PLATFORM_C.disk.kind == "hdd"
+    assert PLATFORM_B.uarch.name == "haswell"

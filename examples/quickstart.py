@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: clone Memcached and validate the clone.
+
+The one-screen tour of the public API:
+
+1. build the original application model (the paper's Memcached config);
+2. run Ditto: profile at a representative load -> generate -> fine-tune;
+3. run original and clone side by side and compare the paper's metrics;
+4. peek at the shareable synthetic assembly listing.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import compare_metrics
+from repro.app.service import Deployment
+from repro.app.workloads import build_memcached
+from repro.core import DittoCloner, emit_assembly
+from repro.hw import PLATFORM_A
+from repro.loadgen import LoadSpec
+from repro.runtime import ExperimentConfig, run_experiment
+
+
+def main() -> None:
+    # 1. The original service (we could never share its internals).
+    original = Deployment.single(build_memcached())
+
+    # 2. Clone it: profile once at medium load on platform A.
+    profiling_load = LoadSpec.open_loop(qps=100_000)
+    profiling_config = ExperimentConfig(platform=PLATFORM_A,
+                                        duration_s=0.02, seed=5)
+    cloner = DittoCloner(fine_tune_tiers=True, max_tune_iterations=6)
+    synthetic, report = cloner.clone(original, profiling_load,
+                                     profiling_config)
+    tuning = report.tuning["memcached"]
+    print(f"fine-tuning: {tuning.iterations} iterations, "
+          f"final mean error {tuning.mean_error:.1%} "
+          f"(converged={tuning.converged})")
+
+    # 3. Validate: run both at the same load and compare counters.
+    validation = ExperimentConfig(platform=PLATFORM_A, duration_s=0.05,
+                                  seed=11)
+    actual = run_experiment(original, profiling_load, validation)
+    synth = run_experiment(synthetic, profiling_load, validation)
+    comparison = compare_metrics(actual.service("memcached"),
+                                 synth.service("memcached"))
+    print()
+    print(comparison.table())
+    print()
+    print(f"{'':16}{'actual':>14}{'synthetic':>14}")
+    print(f"{'p99 latency ms':<16}{actual.latency_ms(99):>14.3f}"
+          f"{synth.latency_ms(99):>14.3f}")
+    print(f"{'net MB/s':<16}"
+          f"{actual.net_bandwidth('memcached') / 1e6:>14.1f}"
+          f"{synth.net_bandwidth('memcached') / 1e6:>14.1f}")
+    print(f"{'throughput':<16}{actual.throughput:>14.0f}"
+          f"{synth.throughput:>14.0f}")
+
+    # 4. The artifact you could actually publish.
+    listing = emit_assembly(synthetic.services["memcached"].program)
+    print("\n--- synthetic assembly listing (first 40 lines) ---")
+    print("\n".join(listing.splitlines()[:40]))
+
+
+if __name__ == "__main__":
+    main()

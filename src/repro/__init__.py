@@ -1,0 +1,70 @@
+"""Ditto (ASPLOS 2023) reproduction: end-to-end application cloning for
+networked cloud services, on a fully simulated system stack.
+
+Top-level convenience exports — the typical flow:
+
+>>> from repro import (Deployment, DittoCloner, ExperimentConfig,
+...                    LoadSpec, PLATFORM_A, build_memcached,
+...                    run_experiment)
+>>> original = Deployment.single(build_memcached())
+>>> cloner = DittoCloner()
+>>> synthetic, report = cloner.clone(
+...     original, LoadSpec.open_loop(100_000),
+...     ExperimentConfig(platform=PLATFORM_A, duration_s=0.02))
+...     # doctest: +SKIP
+
+Subpackages, bottom-up:
+
+- :mod:`repro.util` — rng/statistics/quantisation helpers
+- :mod:`repro.sim` — discrete-event simulation engine
+- :mod:`repro.isa` — x86-flavoured instruction-set model
+- :mod:`repro.hw` — caches, branch prediction, analytical OoO core,
+  platforms A/B/C, contention
+- :mod:`repro.kernelsim` — syscalls, VFS/page cache, network fabric,
+  scheduling
+- :mod:`repro.app` — application models (the paper's six workloads)
+- :mod:`repro.loadgen` — open/closed-loop drivers
+- :mod:`repro.tracing` — distributed tracing + dependency graphs
+- :mod:`repro.runtime` — runs deployments, produces counters/latency
+- :mod:`repro.profiling` — the SystemTap/SDE/Valgrind-like toolchain
+- :mod:`repro.analysis` — tree-edit distance, clustering, error reports
+- :mod:`repro.core` — Ditto itself: feature extraction, generators,
+  fine tuning, the cloner, and the assembly emitter
+"""
+
+from repro.app.service import Deployment
+from repro.app.workloads import (
+    build_memcached,
+    build_mongodb,
+    build_nginx,
+    build_redis,
+    build_social_network,
+    social_network_deployment,
+)
+from repro.core import DittoCloner, GeneratorConfig, emit_assembly
+from repro.hw import PLATFORM_A, PLATFORM_B, PLATFORM_C, platform_by_name
+from repro.loadgen import LoadSpec
+from repro.runtime import ExperimentConfig, RunResult, run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Deployment",
+    "DittoCloner",
+    "ExperimentConfig",
+    "GeneratorConfig",
+    "LoadSpec",
+    "PLATFORM_A",
+    "PLATFORM_B",
+    "PLATFORM_C",
+    "RunResult",
+    "build_memcached",
+    "build_mongodb",
+    "build_nginx",
+    "build_redis",
+    "build_social_network",
+    "emit_assembly",
+    "platform_by_name",
+    "run_experiment",
+    "social_network_deployment",
+]

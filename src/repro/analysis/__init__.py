@@ -1,0 +1,28 @@
+"""Algorithmic building blocks Ditto's profilers rely on.
+
+- Zhang–Shasha ordered tree-edit distance (§4.3.2 cites Bille's survey)
+  for comparing per-thread call graphs;
+- agglomerative clustering with a distance threshold (§4.3.2: "cluster
+  threads with similar call graphs ... since the number of clusters is
+  unknown in advance");
+- hierarchical clustering over feature vectors (§4.4.2's instruction
+  clustering by functionality/operands/ALU usage);
+- error-metric summaries for the validation tables.
+"""
+
+from repro.analysis.treedit import CallTree, tree_edit_distance
+from repro.analysis.clustering import (
+    agglomerative_cluster,
+    hierarchical_feature_clusters,
+)
+from repro.analysis.metrics import ErrorReport, MetricComparison, compare_metrics
+
+__all__ = [
+    "CallTree",
+    "ErrorReport",
+    "MetricComparison",
+    "agglomerative_cluster",
+    "compare_metrics",
+    "hierarchical_feature_clusters",
+    "tree_edit_distance",
+]

@@ -1,0 +1,134 @@
+"""Ordered tree edit distance (Zhang & Shasha, 1989).
+
+Ditto measures the similarity between per-thread call graphs with
+tree-edit distance before clustering threads into classes (§4.3.2). The
+implementation follows the classic Zhang–Shasha dynamic program over
+post-order keyroots, with unit costs for insert/delete and a 0/1 relabel
+cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class CallTree:
+    """An ordered, labelled tree (a thread's call graph)."""
+
+    label: str
+    children: List["CallTree"] = field(default_factory=list)
+
+    def add(self, child: "CallTree") -> "CallTree":
+        """Append a child; returns the child for chaining."""
+        self.children.append(child)
+        return child
+
+    def size(self) -> int:
+        """Number of nodes."""
+        return 1 + sum(child.size() for child in self.children)
+
+    @staticmethod
+    def from_nested(spec) -> "CallTree":
+        """Build from a nested (label, [children...]) structure.
+
+        >>> CallTree.from_nested(("main", [("recv", []), ("send", [])])).size()
+        3
+        """
+        if isinstance(spec, str):
+            return CallTree(spec)
+        label, children = spec
+        tree = CallTree(label)
+        for child in children:
+            tree.add(CallTree.from_nested(child))
+        return tree
+
+
+def _postorder(tree: CallTree) -> Tuple[List[str], List[int]]:
+    """Post-order labels plus, per node, the index of its leftmost leaf."""
+    labels: List[str] = []
+    leftmost: List[int] = []
+
+    def visit(node: CallTree) -> int:
+        first_child_leftmost: Optional[int] = None
+        for child in node.children:
+            child_leftmost = visit(child)
+            if first_child_leftmost is None:
+                first_child_leftmost = child_leftmost
+        index = len(labels)
+        labels.append(node.label)
+        leftmost.append(
+            index if first_child_leftmost is None else first_child_leftmost
+        )
+        return leftmost[index]
+
+    visit(tree)
+    return labels, leftmost
+
+
+def _keyroots(leftmost: Sequence[int]) -> List[int]:
+    seen = set()
+    roots = []
+    for index in range(len(leftmost) - 1, -1, -1):
+        if leftmost[index] not in seen:
+            roots.append(index)
+            seen.add(leftmost[index])
+    return sorted(roots)
+
+
+def tree_edit_distance(a: CallTree, b: CallTree) -> int:
+    """Minimum insert/delete/relabel operations turning ``a`` into ``b``."""
+    if a is None or b is None:
+        raise ConfigurationError("tree_edit_distance requires two trees")
+    labels_a, left_a = _postorder(a)
+    labels_b, left_b = _postorder(b)
+    n, m = len(labels_a), len(labels_b)
+    distance = [[0] * m for _ in range(n)]
+
+    def relabel_cost(i: int, j: int) -> int:
+        return 0 if labels_a[i] == labels_b[j] else 1
+
+    for keyroot_a in _keyroots(left_a):
+        for keyroot_b in _keyroots(left_b):
+            _treedist(keyroot_a, keyroot_b, labels_a, labels_b, left_a,
+                      left_b, distance, relabel_cost)
+    return distance[n - 1][m - 1]
+
+
+def _treedist(i: int, j: int, labels_a, labels_b, left_a, left_b,
+              distance, relabel_cost) -> None:
+    li, lj = left_a[i], left_b[j]
+    rows = i - li + 2
+    cols = j - lj + 2
+    forest = [[0] * cols for _ in range(rows)]
+    for x in range(1, rows):
+        forest[x][0] = forest[x - 1][0] + 1
+    for y in range(1, cols):
+        forest[0][y] = forest[0][y - 1] + 1
+    for x in range(1, rows):
+        for y in range(1, cols):
+            node_a = li + x - 1
+            node_b = lj + y - 1
+            if left_a[node_a] == li and left_b[node_b] == lj:
+                forest[x][y] = min(
+                    forest[x - 1][y] + 1,
+                    forest[x][y - 1] + 1,
+                    forest[x - 1][y - 1] + relabel_cost(node_a, node_b),
+                )
+                distance[node_a][node_b] = forest[x][y]
+            else:
+                fa = left_a[node_a] - li
+                fb = left_b[node_b] - lj
+                forest[x][y] = min(
+                    forest[x - 1][y] + 1,
+                    forest[x][y - 1] + 1,
+                    forest[fa][fb] + distance[node_a][node_b],
+                )
+
+
+def normalized_tree_distance(a: CallTree, b: CallTree) -> float:
+    """Edit distance normalised to [0, 1] by the larger tree's size."""
+    return tree_edit_distance(a, b) / max(a.size(), b.size())

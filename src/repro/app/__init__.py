@@ -1,0 +1,48 @@
+"""Application models.
+
+The "original" services Ditto clones are expressed here as statistical
+program models: request handlers made of compute blocks (hardware IR),
+system calls, and RPCs to downstream tiers, wrapped in a skeleton (thread
+model x network model) and composed into multi-tier deployments.
+
+The profilers never read these models' parameters directly — they observe
+execution artifacts (instruction/address/branch streams, syscall logs,
+traces) exactly as SystemTap/Valgrind/Intel SDE would, so the cloning
+pipeline is an honest statistical reconstruction.
+"""
+
+from repro.app.program import (
+    ComputeOp,
+    Handler,
+    Op,
+    Program,
+    RpcOp,
+    SyscallOp,
+)
+from repro.app.skeleton import (
+    ClientNetworkModel,
+    ServerNetworkModel,
+    Skeleton,
+    ThreadClass,
+    ThreadLifecycle,
+    ThreadTrigger,
+)
+from repro.app.service import Deployment, Placement, ServiceSpec
+
+__all__ = [
+    "ClientNetworkModel",
+    "ComputeOp",
+    "Deployment",
+    "Handler",
+    "Op",
+    "Placement",
+    "Program",
+    "RpcOp",
+    "ServerNetworkModel",
+    "ServiceSpec",
+    "Skeleton",
+    "SyscallOp",
+    "ThreadClass",
+    "ThreadLifecycle",
+    "ThreadTrigger",
+]

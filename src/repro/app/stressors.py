@@ -1,0 +1,76 @@
+"""Interference stressors (§6.5).
+
+The paper generates interference with stress-ng (hyperthreading, L1d, L2),
+iBench (LLC) and iperf3 (network bandwidth). Each stressor here maps to a
+:class:`~repro.hw.contention.CoRunner` description consumed by the
+contention model — the victim's effective cache capacities, SMT port
+sharing, and NIC share degrade exactly as a co-located antagonist would
+cause.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.hw.contention import CoRunner
+from repro.util.errors import ConfigurationError
+
+
+def stress_ng_ht(intensity: float = 1.0) -> CoRunner:
+    """stress-ng CPU spinner pinned to the victim's SMT sibling."""
+    return CoRunner("ht", intensity=intensity, same_physical_core=True)
+
+
+def stress_ng_l1d(intensity: float = 1.0) -> CoRunner:
+    """stress-ng cache stressor thrashing the shared L1d from the sibling."""
+    return CoRunner("l1d", footprint_bytes=64 * 1024, intensity=intensity,
+                    same_physical_core=True)
+
+
+def stress_ng_l2(intensity: float = 1.0) -> CoRunner:
+    """stress-ng cache stressor sized to the shared L2, on the sibling."""
+    return CoRunner("l2", footprint_bytes=2 * 1024 * 1024,
+                    intensity=intensity, same_physical_core=True)
+
+
+def ibench_llc(intensity: float = 1.0,
+               footprint_bytes: float = 64 * 1024 * 1024) -> CoRunner:
+    """iBench LLC antagonist streaming over the shared socket LLC."""
+    return CoRunner("llc", footprint_bytes=footprint_bytes,
+                    intensity=intensity, same_physical_core=False)
+
+
+def iperf3_net(intensity: float = 1.0) -> CoRunner:
+    """iperf3 stream competing for NIC bandwidth."""
+    return CoRunner("net", intensity=intensity)
+
+
+def disk_antagonist(intensity: float = 1.0) -> CoRunner:
+    """A sequential-scan antagonist competing for disk bandwidth."""
+    return CoRunner("disk", intensity=intensity)
+
+
+#: Name -> builder, matching the x-axis of Fig. 10.
+STRESSORS: Dict[str, object] = {
+    "ht": stress_ng_ht,
+    "l1d": stress_ng_l1d,
+    "l2": stress_ng_l2,
+    "llc": ibench_llc,
+    "net": iperf3_net,
+    "disk": disk_antagonist,
+}
+
+
+def stressor(name: str, intensity: float = 1.0) -> CoRunner:
+    """Build one stressor by Fig. 10 label."""
+    builder = STRESSORS.get(name)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown stressor {name!r}; expected one of {sorted(STRESSORS)}"
+        )
+    return builder(intensity=intensity)
+
+
+def interference_suite() -> List[str]:
+    """The Fig. 10 interference scenarios, in paper order."""
+    return ["ht", "l1d", "l2", "llc", "net"]

@@ -1,0 +1,36 @@
+"""The paper's evaluation workloads as application models (§6.1.2).
+
+- Memcached 1.6.9: 4 worker threads, 10K items of 30B keys / 4KB values;
+- NGINX 1.20: one worker process, static HTTP;
+- MongoDB 4.4: 40GB dataset, 1M records, uniform YCSB reads;
+- Redis 6.2: single-threaded, persistence off, 100K records;
+- Social Network (DeathStarBench): multi-tier graph over socfb-Reed98
+  (962 users, 18.8K follow edges), including the TextService and
+  SocialGraphService tiers the paper reports individually.
+"""
+
+from repro.app.workloads.memcached import build_memcached
+from repro.app.workloads.nginx import build_nginx
+from repro.app.workloads.mongodb import build_mongodb
+from repro.app.workloads.redis import build_redis
+from repro.app.workloads.socialnet import (
+    build_social_network,
+    social_network_deployment,
+)
+
+WORKLOAD_BUILDERS = {
+    "memcached": build_memcached,
+    "nginx": build_nginx,
+    "mongodb": build_mongodb,
+    "redis": build_redis,
+}
+
+__all__ = [
+    "WORKLOAD_BUILDERS",
+    "build_memcached",
+    "build_mongodb",
+    "build_nginx",
+    "build_redis",
+    "build_social_network",
+    "social_network_deployment",
+]

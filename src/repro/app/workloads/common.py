@@ -1,0 +1,296 @@
+"""Block-builder vocabulary shared by the workload models.
+
+Each builder produces a :class:`~repro.hw.ir.BlockSpec` with the
+instruction mix, memory pattern, branch statistics and dependency profile
+characteristic of a class of server code (hash lookups, protocol parsing,
+serialisation, B-tree descent, checksumming, graph traversal). The
+workload models compose these into request handlers; the numbers follow
+published workload-characterisation studies of the respective services.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.hw.ir import (
+    BlockSpec,
+    BranchSpec,
+    DependencyProfile,
+    MemAccessSpec,
+    MemPattern,
+)
+
+
+def _mix(n: float, weights: Dict[str, float]) -> Dict[str, float]:
+    total = sum(weights.values())
+    return {name: n * w / total for name, w in weights.items()}
+
+
+def kv_lookup_block(
+    name: str,
+    instructions: float,
+    table_bytes: int,
+    accesses: float,
+    value_bytes: int = 0,
+    shared_frac: float = 0.1,
+    iterations: float = 1.0,
+) -> BlockSpec:
+    """Hash-table lookup: hashing arithmetic + random probes of a big table.
+
+    Value copy-out (``value_bytes``) streams sequentially.
+    """
+    counts = _mix(instructions, {
+        "MOV_r64_m64": 0.20, "MOV_m64_r64": 0.06, "ADD_r64_r64": 0.13,
+        "XOR_r64_r64": 0.07, "SHL_r64_imm": 0.06, "IMUL_r64_r64": 0.05,
+        "CMP_r64_r64": 0.13, "JNZ_rel": 0.11, "MOV_r64_r64": 0.08,
+        "LEA_r64_m": 0.06, "AND_r64_r64": 0.05,
+    })
+    # A lookup touches a handful of cold lines (bucket, chain, item
+    # header) in the big table, streams the value out of it, and does the
+    # rest of its work in warm per-request state.
+    cold_probes = max(8.0, instructions * 0.015)
+    mem = [
+        MemAccessSpec(wset_bytes=table_bytes, accesses=cold_probes,
+                      pattern=MemPattern.RANDOM, shared_frac=shared_frac,
+                      write_frac=0.05),
+        MemAccessSpec(wset_bytes=16 * 1024, accesses=instructions * 0.2,
+                      pattern=MemPattern.SEQUENTIAL),
+    ]
+    if value_bytes > 0:
+        # The value lives inside the cold table region but is read
+        # sequentially — prefetcher-friendly streaming misses.
+        mem.append(MemAccessSpec(wset_bytes=table_bytes,
+                                 accesses=max(1.0, value_bytes / 64.0),
+                                 pattern=MemPattern.SEQUENTIAL))
+    return BlockSpec(
+        name=name,
+        iform_counts=counts,
+        iterations=iterations,
+        code_bytes=int(instructions * 0.06) * 4,
+        mem=tuple(mem),
+        branches=(
+            BranchSpec(executions=counts["JNZ_rel"] * 0.9, taken_rate=0.96,
+                       transition_rate=0.04,
+                       static_count=max(1, int(instructions / 40))),
+            BranchSpec(executions=counts["JNZ_rel"] * 0.1, taken_rate=0.55,
+                       transition_rate=0.4,
+                       static_count=max(1, int(instructions / 80))),
+        ),
+        deps=DependencyProfile(raw={4: 0.3, 16: 0.4, 64: 0.3},
+                               pointer_chase_frac=0.25),
+    )
+
+
+def parse_block(
+    name: str,
+    instructions: float,
+    buffer_bytes: int = 8 * 1024,
+    iterations: float = 1.0,
+) -> BlockSpec:
+    """Protocol/text parsing: byte loads, comparisons, dense branching."""
+    counts = _mix(instructions, {
+        "MOVZX_r64_m8": 0.22, "CMP_r64_imm": 0.18, "JNZ_rel": 0.14,
+        "JZ_rel": 0.06, "ADD_r64_imm": 0.10, "AND_r64_r64": 0.06,
+        "MOV_r64_r64": 0.08, "SUB_r64_r64": 0.05, "TEST_r64_r64": 0.06,
+        "REPNZ_SCASB": 0.01, "LEA_r64_m": 0.04,
+    })
+    return BlockSpec(
+        name=name,
+        iform_counts=counts,
+        iterations=iterations,
+        code_bytes=int(instructions * 0.08) * 4,
+        mem=(
+            MemAccessSpec(wset_bytes=max(64, buffer_bytes),
+                          accesses=instructions * 0.24,
+                          pattern=MemPattern.SEQUENTIAL),
+            MemAccessSpec(wset_bytes=64 * 1024, accesses=instructions * 0.05,
+                          pattern=MemPattern.RANDOM),
+        ),
+        branches=(
+            BranchSpec(executions=(counts["JNZ_rel"] + counts["JZ_rel"]) * 0.12,
+                       taken_rate=0.6, transition_rate=0.45,
+                       static_count=max(1, int(instructions / 25))),
+            BranchSpec(executions=(counts["JNZ_rel"] + counts["JZ_rel"]) * 0.88,
+                       taken_rate=0.96, transition_rate=0.04,
+                       static_count=max(1, int(instructions / 50))),
+        ),
+        deps=DependencyProfile(raw={1: 0.2, 4: 0.4, 16: 0.4},
+                               pointer_chase_frac=0.05),
+        rep_elements=32.0,
+    )
+
+
+def serialize_block(
+    name: str,
+    instructions: float,
+    payload_bytes: int,
+    iterations: float = 1.0,
+) -> BlockSpec:
+    """Response serialisation: structured stores + streaming copies."""
+    counts = _mix(instructions, {
+        "MOV_m64_r64": 0.20, "MOV_r64_m64": 0.12, "ADD_r64_imm": 0.12,
+        "SHL_r64_imm": 0.06, "OR_r64_r64": 0.08, "MOV_r64_imm": 0.10,
+        "CMP_r64_imm": 0.10, "JNZ_rel": 0.08, "LEA_r64_m": 0.08,
+        "REP_MOVSB": 0.002, "MOV_r64_r64": 0.058,
+    })
+    return BlockSpec(
+        name=name,
+        iform_counts=counts,
+        iterations=iterations,
+        code_bytes=int(instructions * 0.05) * 4,
+        mem=(
+            MemAccessSpec(wset_bytes=max(64, payload_bytes),
+                          accesses=max(1.0, payload_bytes / 64.0),
+                          pattern=MemPattern.SEQUENTIAL),
+            MemAccessSpec(wset_bytes=32 * 1024, accesses=instructions * 0.1,
+                          pattern=MemPattern.SEQUENTIAL),
+        ),
+        branches=(
+            BranchSpec(executions=counts["JNZ_rel"], taken_rate=0.96,
+                       transition_rate=0.04,
+                       static_count=max(1, int(instructions / 60))),
+        ),
+        deps=DependencyProfile(raw={8: 0.5, 32: 0.5}),
+        rep_elements=float(max(1, payload_bytes // 8)),
+    )
+
+
+def btree_block(
+    name: str,
+    instructions: float,
+    index_bytes: int,
+    iterations: float = 1.0,
+) -> BlockSpec:
+    """B-tree/index descent: pointer chasing over a large index."""
+    counts = _mix(instructions, {
+        "MOV_r64_m64": 0.26, "CMP_r64_r64": 0.18, "JL_rel": 0.08,
+        "JNZ_rel": 0.08, "ADD_r64_r64": 0.10, "SHR_r64_imm": 0.06,
+        "MOV_r64_r64": 0.10, "LEA_r64_m": 0.08, "TEST_r64_r64": 0.06,
+    })
+    return BlockSpec(
+        name=name,
+        iform_counts=counts,
+        iterations=iterations,
+        code_bytes=int(instructions * 0.05) * 4,
+        mem=(
+            # Root and internal levels stay hot; only the last levels of
+            # the descent chase cold pointers into the full index.
+            MemAccessSpec(wset_bytes=192 * 1024, accesses=instructions * 0.12,
+                          pattern=MemPattern.RANDOM),
+            MemAccessSpec(wset_bytes=index_bytes, accesses=24.0,
+                          pattern=MemPattern.POINTER_CHASE),
+            MemAccessSpec(wset_bytes=32 * 1024, accesses=instructions * 0.08,
+                          pattern=MemPattern.SEQUENTIAL),
+        ),
+        branches=(
+            # Key comparisons inside the descent are data-dependent and
+            # genuinely hard to predict; the loop/validity checks are not.
+            BranchSpec(executions=(counts["JL_rel"] + counts["JNZ_rel"]) * 0.2,
+                       taken_rate=0.5, transition_rate=0.5,
+                       static_count=max(1, int(instructions / 90))),
+            BranchSpec(executions=(counts["JL_rel"] + counts["JNZ_rel"]) * 0.8,
+                       taken_rate=0.95, transition_rate=0.05,
+                       static_count=max(1, int(instructions / 45))),
+        ),
+        deps=DependencyProfile(raw={1: 0.35, 4: 0.4, 16: 0.25},
+                               pointer_chase_frac=0.55),
+    )
+
+
+def checksum_block(
+    name: str,
+    instructions: float,
+    data_bytes: int,
+    iterations: float = 1.0,
+) -> BlockSpec:
+    """Page checksumming: CRC32-dominated streaming (WiredTiger-style)."""
+    counts = _mix(instructions, {
+        "CRC32_r64_r64": 0.30, "MOV_r64_m64": 0.25, "ADD_r64_imm": 0.15,
+        "CMP_r64_imm": 0.10, "JL_rel": 0.10, "MOV_r64_r64": 0.10,
+    })
+    return BlockSpec(
+        name=name,
+        iform_counts=counts,
+        iterations=iterations,
+        code_bytes=int(instructions * 0.02) * 4,
+        mem=(
+            MemAccessSpec(wset_bytes=max(64, data_bytes),
+                          accesses=instructions * 0.25,
+                          pattern=MemPattern.SEQUENTIAL),
+        ),
+        branches=(
+            BranchSpec(executions=counts["JL_rel"], taken_rate=0.97,
+                       transition_rate=0.05,
+                       static_count=max(1, int(instructions / 200))),
+        ),
+        deps=DependencyProfile(raw={1: 0.5, 2: 0.3, 8: 0.2}),
+    )
+
+
+def graph_traverse_block(
+    name: str,
+    instructions: float,
+    graph_bytes: int,
+    iterations: float = 1.0,
+) -> BlockSpec:
+    """Adjacency-list traversal: irregular reads, data-dependent branches."""
+    counts = _mix(instructions, {
+        "MOV_r64_m64": 0.24, "CMP_r64_r64": 0.14, "JNZ_rel": 0.12,
+        "ADD_r64_r64": 0.12, "MOV_r64_r64": 0.10, "LEA_r64_m": 0.08,
+        "AND_r64_r64": 0.06, "INC_r64": 0.08, "TEST_r64_r64": 0.06,
+    })
+    return BlockSpec(
+        name=name,
+        iform_counts=counts,
+        iterations=iterations,
+        code_bytes=int(instructions * 0.04) * 4,
+        mem=(
+            MemAccessSpec(wset_bytes=graph_bytes, accesses=instructions * 0.18,
+                          pattern=MemPattern.RANDOM, shared_frac=0.2,
+                          write_frac=0.02),
+            MemAccessSpec(wset_bytes=32 * 1024, accesses=instructions * 0.08,
+                          pattern=MemPattern.SEQUENTIAL),
+        ),
+        branches=(
+            BranchSpec(executions=counts["JNZ_rel"] * 0.12, taken_rate=0.6,
+                       transition_rate=0.45,
+                       static_count=max(1, int(instructions / 70))),
+            BranchSpec(executions=counts["JNZ_rel"] * 0.88, taken_rate=0.96,
+                       transition_rate=0.04,
+                       static_count=max(1, int(instructions / 35))),
+        ),
+        deps=DependencyProfile(raw={2: 0.3, 8: 0.4, 32: 0.3},
+                               pointer_chase_frac=0.35),
+    )
+
+
+def fp_compute_block(
+    name: str,
+    instructions: float,
+    data_bytes: int = 64 * 1024,
+    iterations: float = 1.0,
+) -> BlockSpec:
+    """Floating-point scoring/ranking work (timeline ranking etc.)."""
+    counts = _mix(instructions, {
+        "ADDSD_x_x": 0.18, "MULSD_x_x": 0.16, "ADDSD_x_m64": 0.10,
+        "COMISD_x_x": 0.08, "CVTSI2SD_x_r64": 0.06, "MOV_r64_m64": 0.14,
+        "ADD_r64_imm": 0.10, "CMP_r64_imm": 0.08, "JL_rel": 0.08,
+        "MOV_r64_r64": 0.02,
+    })
+    return BlockSpec(
+        name=name,
+        iform_counts=counts,
+        iterations=iterations,
+        code_bytes=int(instructions * 0.04) * 4,
+        mem=(
+            MemAccessSpec(wset_bytes=max(64, data_bytes),
+                          accesses=instructions * 0.24,
+                          pattern=MemPattern.SEQUENTIAL),
+        ),
+        branches=(
+            BranchSpec(executions=counts["JL_rel"], taken_rate=0.9,
+                       transition_rate=0.15,
+                       static_count=max(1, int(instructions / 100))),
+        ),
+        deps=DependencyProfile(raw={2: 0.4, 8: 0.4, 32: 0.2}),
+    )

@@ -1,0 +1,84 @@
+"""Memcached 1.6.9 application model.
+
+Configuration follows §6.1.2: four worker threads, 10K items with 30-byte
+keys and 4 KB values (≈40 MB of values plus item/hash metadata), driven by
+an open-loop load generator with a GET-dominated mix. Memcached's
+signature characteristics: small per-request compute dominated by hash
+lookup and network syscalls, modest code footprint with branchy protocol
+parsing, and frontend sensitivity at low load (event-loop wakeups).
+"""
+
+from __future__ import annotations
+
+from repro.app.program import ComputeOp, Handler, Program, SyscallOp
+from repro.app.service import ServiceSpec
+from repro.app.skeleton import (
+    ClientNetworkModel,
+    ServerNetworkModel,
+    Skeleton,
+    ThreadClass,
+    ThreadTrigger,
+)
+from repro.app.workloads.common import kv_lookup_block, parse_block, serialize_block
+from repro.kernelsim.syscalls import SyscallInvocation
+
+ITEM_COUNT = 10_000
+KEY_BYTES = 30
+VALUE_BYTES = 4 * 1024
+#: values + per-item overhead (~80B header + hash bucket)
+STORE_BYTES = ITEM_COUNT * (VALUE_BYTES + KEY_BYTES + 80)
+
+
+def build_memcached(worker_threads: int = 4) -> ServiceSpec:
+    """Build the Memcached service model."""
+    get_handler = Handler(
+        name="get",
+        ops=(
+            SyscallOp(SyscallInvocation("recv", nbytes=KEY_BYTES + 30)),
+            ComputeOp(parse_block("mc_parse", instructions=1800,
+                                  buffer_bytes=2048)),
+            ComputeOp(kv_lookup_block(
+                "mc_lookup", instructions=5200, table_bytes=STORE_BYTES,
+                accesses=0, value_bytes=VALUE_BYTES, shared_frac=0.15)),
+            ComputeOp(serialize_block("mc_respond", instructions=1400,
+                                      payload_bytes=VALUE_BYTES)),
+            SyscallOp(SyscallInvocation("sendmsg", nbytes=VALUE_BYTES + 60)),
+        ),
+    )
+    set_handler = Handler(
+        name="set",
+        ops=(
+            SyscallOp(SyscallInvocation("recv", nbytes=VALUE_BYTES + 90)),
+            ComputeOp(parse_block("mc_parse_set", instructions=2400,
+                                  buffer_bytes=8192)),
+            ComputeOp(kv_lookup_block(
+                "mc_store", instructions=6800, table_bytes=STORE_BYTES,
+                accesses=0, value_bytes=VALUE_BYTES, shared_frac=0.25)),
+            SyscallOp(SyscallInvocation("sendmsg", nbytes=40)),
+        ),
+    )
+    skeleton = Skeleton(
+        server_model=ServerNetworkModel.IO_MULTIPLEXING,
+        client_model=ClientNetworkModel.SYNCHRONOUS,
+        thread_classes=(
+            ThreadClass("main", 1, "acceptor", ThreadTrigger.SOCKET),
+            ThreadClass("worker", worker_threads, "worker",
+                        ThreadTrigger.SOCKET),
+            ThreadClass("lru_crawler", 1, "background", ThreadTrigger.TIMER,
+                        background_period_s=1.0),
+        ),
+        max_connections=1024,
+        event_batch_window_s=150e-6,
+        max_batch=32,
+    )
+    program = Program(
+        handlers={"get": get_handler, "set": set_handler},
+        hot_code_bytes=96 * 1024,
+        resident_bytes=float(STORE_BYTES),
+    )
+    return ServiceSpec(
+        name="memcached",
+        skeleton=skeleton,
+        program=program,
+        request_mix={"get": 0.9, "set": 0.1},
+    )

@@ -1,0 +1,72 @@
+"""NGINX 1.20 application model.
+
+One worker process (§6.1.2), epoll event loop, serving small static
+objects over HTTP driven by tcpkali. NGINX's signature: heavy
+string/header parsing (branchy, frontend-pressured — nginx's hot code is
+comparatively large), page-cache-resident file reads, vectored writes.
+"""
+
+from __future__ import annotations
+
+from repro.app.program import ComputeOp, Handler, Program, SyscallOp
+from repro.app.service import ServiceSpec
+from repro.app.skeleton import (
+    ClientNetworkModel,
+    ServerNetworkModel,
+    Skeleton,
+    ThreadClass,
+    ThreadTrigger,
+)
+from repro.app.workloads.common import parse_block, serialize_block
+from repro.kernelsim.syscalls import SyscallInvocation
+
+STATIC_OBJECT_BYTES = 10 * 1024
+DOCROOT_BYTES = 64 * 1024 * 1024   # served corpus, fits the page cache
+REQUEST_BYTES = 220
+
+
+def build_nginx(worker_processes: int = 1) -> ServiceSpec:
+    """Build the NGINX service model."""
+    http_get = Handler(
+        name="http_get",
+        ops=(
+            SyscallOp(SyscallInvocation("recv", nbytes=REQUEST_BYTES)),
+            ComputeOp(parse_block("ngx_parse_request", instructions=5200,
+                                  buffer_bytes=4096)),
+            ComputeOp(parse_block("ngx_headers_filters", instructions=4200,
+                                  buffer_bytes=8192)),
+            # Static file served via the VFS; the docroot is page-cache
+            # resident so this normally produces no device traffic.
+            SyscallOp(SyscallInvocation("pread", nbytes=STATIC_OBJECT_BYTES,
+                                        file="docroot")),
+            ComputeOp(serialize_block("ngx_response", instructions=2600,
+                                      payload_bytes=STATIC_OBJECT_BYTES)),
+            SyscallOp(SyscallInvocation("writev",
+                                        nbytes=STATIC_OBJECT_BYTES + 300)),
+        ),
+    )
+    skeleton = Skeleton(
+        server_model=ServerNetworkModel.IO_MULTIPLEXING,
+        client_model=ClientNetworkModel.SYNCHRONOUS,
+        thread_classes=(
+            ThreadClass("master", 1, "acceptor", ThreadTrigger.SOCKET),
+            ThreadClass("worker", worker_processes, "worker",
+                        ThreadTrigger.SOCKET),
+        ),
+        max_connections=4096,
+        event_batch_window_s=200e-6,
+        max_batch=64,
+    )
+    program = Program(
+        handlers={"http_get": http_get},
+        # nginx's request path walks a lot of module code.
+        hot_code_bytes=180 * 1024,
+        resident_bytes=24 * 1024 * 1024,
+    )
+    return ServiceSpec(
+        name="nginx",
+        skeleton=skeleton,
+        program=program,
+        request_mix={"http_get": 1.0},
+        files={"docroot": float(DOCROOT_BYTES)},
+    )

@@ -1,0 +1,82 @@
+"""Redis 6.2 application model.
+
+§6.1.2: built from source, persistence disabled, 100K records, YCSB
+closed-loop load. Redis's signature: a single-threaded event loop (one
+worker), dict lookups over a modest in-memory store, no disk activity,
+and very low per-request instruction counts — it saturates its one core
+while the rest of the machine idles.
+"""
+
+from __future__ import annotations
+
+from repro.app.program import ComputeOp, Handler, Program, SyscallOp
+from repro.app.service import ServiceSpec
+from repro.app.skeleton import (
+    ClientNetworkModel,
+    ServerNetworkModel,
+    Skeleton,
+    ThreadClass,
+    ThreadTrigger,
+)
+from repro.app.workloads.common import kv_lookup_block, parse_block, serialize_block
+from repro.kernelsim.syscalls import SyscallInvocation
+
+RECORD_COUNT = 100_000
+VALUE_BYTES = 1100      # YCSB default: 10 fields x ~100B
+STORE_BYTES = RECORD_COUNT * (VALUE_BYTES + 90)
+
+
+def build_redis() -> ServiceSpec:
+    """Build the Redis service model."""
+    get_handler = Handler(
+        name="get",
+        ops=(
+            SyscallOp(SyscallInvocation("recv", nbytes=64)),
+            ComputeOp(parse_block("redis_resp_parse", instructions=2100,
+                                  buffer_bytes=1024)),
+            ComputeOp(kv_lookup_block(
+                "redis_dict_lookup", instructions=3800,
+                table_bytes=STORE_BYTES, accesses=0,
+                value_bytes=VALUE_BYTES, shared_frac=0.0)),
+            ComputeOp(serialize_block("redis_reply", instructions=1500,
+                                      payload_bytes=VALUE_BYTES)),
+            SyscallOp(SyscallInvocation("send", nbytes=VALUE_BYTES + 30)),
+        ),
+    )
+    set_handler = Handler(
+        name="set",
+        ops=(
+            SyscallOp(SyscallInvocation("recv", nbytes=VALUE_BYTES + 80)),
+            ComputeOp(parse_block("redis_resp_parse_set", instructions=2600,
+                                  buffer_bytes=2048)),
+            ComputeOp(kv_lookup_block(
+                "redis_dict_store", instructions=4600,
+                table_bytes=STORE_BYTES, accesses=0,
+                value_bytes=VALUE_BYTES, shared_frac=0.0)),
+            SyscallOp(SyscallInvocation("send", nbytes=24)),
+        ),
+    )
+    skeleton = Skeleton(
+        server_model=ServerNetworkModel.IO_MULTIPLEXING,
+        client_model=ClientNetworkModel.SYNCHRONOUS,
+        thread_classes=(
+            # The event loop both accepts and serves: a single worker.
+            ThreadClass("event_loop", 1, "worker", ThreadTrigger.SOCKET),
+            ThreadClass("serverCron", 1, "background", ThreadTrigger.TIMER,
+                        background_period_s=0.1),
+        ),
+        max_connections=10000,
+        event_batch_window_s=100e-6,
+        max_batch=16,
+    )
+    program = Program(
+        handlers={"get": get_handler, "set": set_handler},
+        hot_code_bytes=110 * 1024,
+        resident_bytes=float(STORE_BYTES),
+    )
+    return ServiceSpec(
+        name="redis",
+        skeleton=skeleton,
+        program=program,
+        request_mix={"get": 0.95, "set": 0.05},
+    )

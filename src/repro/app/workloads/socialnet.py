@@ -1,0 +1,414 @@
+"""DeathStarBench Social Network application model (§6.1.2).
+
+A 13-tier microservice DAG composed over the socfb-Reed98 Facebook graph
+(962 users, 18.8K follow edges ⇒ ~39 followers per user). The tiers and
+call structure follow DeathStarBench's social network:
+
+    frontend ─┬─ compose-post ─┬─ text-service ─┬─ url-shorten
+              │                │                └─ user-mention
+              │                ├─ unique-id
+              │                ├─ media-service
+              │                ├─ user-service
+              │                ├─ post-storage
+              │                └─ write-home-timeline ── social-graph ── socialgraph-redis
+              ├─ home-timeline ─┬─ social-graph ── socialgraph-redis
+              │                 └─ post-storage
+              └─ user-timeline ── post-storage
+
+The two tiers the paper reports individually are **text-service** (text
+processing for composed posts: parse-heavy, branchy) and
+**social-graph-service** (follow-relationship management: its Reed98
+working set fits in the LLC, giving it the paper's noted high IPC).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.app.program import ComputeOp, Handler, Program, RpcOp, SyscallOp
+from repro.app.service import Deployment, Placement, ServiceSpec
+from repro.app.skeleton import (
+    ClientNetworkModel,
+    ServerNetworkModel,
+    Skeleton,
+    ThreadClass,
+    ThreadTrigger,
+)
+from repro.app.workloads.common import (
+    fp_compute_block,
+    graph_traverse_block,
+    kv_lookup_block,
+    parse_block,
+    serialize_block,
+)
+from repro.kernelsim.syscalls import SyscallInvocation
+
+USERS = 962
+FOLLOW_EDGES = 18_800
+AVG_FOLLOWERS = 2 * FOLLOW_EDGES / USERS   # undirected fb graph ≈ 39
+#: adjacency lists + per-user metadata; tiny — it fits the LLC.
+GRAPH_BYTES = int(FOLLOW_EDGES * 2 * 16 + USERS * 256)
+POST_STORE_BYTES = 96 * 1024 * 1024
+TIMELINE_STORE_BYTES = 48 * 1024 * 1024
+
+#: the entry-point request mix the wrk2-style client drives
+DEFAULT_MIX = {
+    "compose_post": 0.10,
+    "read_home_timeline": 0.60,
+    "read_user_timeline": 0.30,
+}
+
+
+def _thrift_skeleton(workers: int = 8, scales: bool = False) -> Skeleton:
+    """The Apache-Thrift-style server skeleton DSB tiers share."""
+    worker = (
+        ThreadClass("worker", 0, "worker", ThreadTrigger.SOCKET,
+                    scales_with_connections=True)
+        if scales
+        else ThreadClass("worker", workers, "worker", ThreadTrigger.SOCKET)
+    )
+    return Skeleton(
+        server_model=ServerNetworkModel.IO_MULTIPLEXING,
+        client_model=ClientNetworkModel.SYNCHRONOUS,
+        thread_classes=(
+            ThreadClass("acceptor", 1, "acceptor", ThreadTrigger.SOCKET),
+            worker,
+        ),
+        max_connections=512,
+        event_batch_window_s=150e-6,
+        max_batch=16,
+    )
+
+
+def _rpc_wrap(name: str, instructions: float, payload: int) -> List:
+    """Thrift deserialise/serialise framing every DSB handler performs."""
+    return [
+        SyscallOp(SyscallInvocation("recv", nbytes=payload)),
+        ComputeOp(parse_block(f"{name}_thrift_de", instructions=instructions,
+                              buffer_bytes=max(1024, payload))),
+    ]
+
+
+def _reply(name: str, instructions: float, payload: int) -> List:
+    return [
+        ComputeOp(serialize_block(f"{name}_thrift_ser",
+                                  instructions=instructions,
+                                  payload_bytes=payload)),
+        SyscallOp(SyscallInvocation("send", nbytes=payload)),
+    ]
+
+
+def _simple_service(
+    service: str,
+    handler: str,
+    work_blocks: List,
+    request_bytes: int,
+    response_bytes: int,
+    hot_code: float = 120 * 1024,
+    resident: float = 8 * 1024 * 1024,
+    workers: int = 8,
+) -> ServiceSpec:
+    ops = (
+        _rpc_wrap(service, 2200, request_bytes)
+        + list(work_blocks)
+        + _reply(service, 1800, response_bytes)
+    )
+    return ServiceSpec(
+        name=service,
+        skeleton=_thrift_skeleton(workers),
+        program=Program(
+            handlers={handler: Handler(handler, tuple(ops))},
+            hot_code_bytes=hot_code,
+            resident_bytes=resident,
+        ),
+        request_mix={handler: 1.0},
+    )
+
+
+def build_social_network() -> Dict[str, ServiceSpec]:
+    """Build all tiers; returns service-name -> spec."""
+    services: Dict[str, ServiceSpec] = {}
+
+    # --- leaf tiers ------------------------------------------------------
+    services["url-shorten-service"] = _simple_service(
+        "url-shorten-service", "shorten",
+        [ComputeOp(parse_block("url_scan", 2600, buffer_bytes=2048)),
+         ComputeOp(kv_lookup_block("url_store", 2200,
+                                   table_bytes=4 * 1024 * 1024, accesses=0))],
+        request_bytes=300, response_bytes=200,
+    )
+    services["user-mention-service"] = _simple_service(
+        "user-mention-service", "mention",
+        [ComputeOp(parse_block("mention_scan", 2400, buffer_bytes=2048)),
+         ComputeOp(kv_lookup_block("user_cache", 2800,
+                                   table_bytes=2 * 1024 * 1024, accesses=0))],
+        request_bytes=300, response_bytes=200,
+    )
+    services["unique-id-service"] = _simple_service(
+        "unique-id-service", "gen",
+        [ComputeOp(serialize_block("snowflake_id", 900, payload_bytes=64))],
+        request_bytes=100, response_bytes=64,
+        hot_code=60 * 1024, resident=1024 * 1024,
+    )
+    services["media-service"] = _simple_service(
+        "media-service", "add",
+        [ComputeOp(parse_block("media_meta", 2000, buffer_bytes=4096))],
+        request_bytes=400, response_bytes=100,
+    )
+    services["user-service"] = _simple_service(
+        "user-service", "auth",
+        [ComputeOp(kv_lookup_block("user_table", 2600,
+                                   table_bytes=2 * 1024 * 1024, accesses=0)),
+         ComputeOp(fp_compute_block("session_hmac", 2400,
+                                    data_bytes=16 * 1024))],
+        request_bytes=200, response_bytes=150,
+    )
+    services["socialgraph-redis"] = _simple_service(
+        "socialgraph-redis", "get",
+        [ComputeOp(kv_lookup_block("sg_redis_dict", 2600,
+                                   table_bytes=GRAPH_BYTES, accesses=0,
+                                   value_bytes=1600))],
+        request_bytes=200, response_bytes=1600,
+        hot_code=110 * 1024, resident=float(GRAPH_BYTES * 4),
+        workers=1,
+    )
+    services["post-storage-service"] = ServiceSpec(
+        name="post-storage-service",
+        skeleton=_thrift_skeleton(scales=True),
+        program=Program(
+            handlers={
+                "store": Handler("store", tuple(
+                    _rpc_wrap("ps_store", 2600, 2048)
+                    + [ComputeOp(kv_lookup_block(
+                        "post_insert", 5200, table_bytes=POST_STORE_BYTES,
+                        accesses=0, shared_frac=0.2))]
+                    + _reply("ps_store", 1500, 100)
+                )),
+                "read_posts": Handler("read_posts", tuple(
+                    _rpc_wrap("ps_read", 2400, 600)
+                    + [ComputeOp(kv_lookup_block(
+                        "post_fetch", 6400, table_bytes=POST_STORE_BYTES,
+                        accesses=0, value_bytes=4096, shared_frac=0.1))]
+                    + _reply("ps_read", 2600, 4096)
+                )),
+            },
+            hot_code_bytes=200 * 1024,
+            resident_bytes=float(POST_STORE_BYTES),
+        ),
+        request_mix={"store": 0.15, "read_posts": 0.85},
+    )
+
+    # --- the paper's two featured tiers -----------------------------------
+    services["text-service"] = ServiceSpec(
+        name="text-service",
+        skeleton=_thrift_skeleton(),
+        program=Program(
+            handlers={
+                "process_text": Handler("process_text", tuple(
+                    _rpc_wrap("text", 2800, 1024)
+                    + [
+                        # Heavy text scanning: urls, mentions, emoji, escaping.
+                        ComputeOp(parse_block("text_scan", 8200,
+                                              buffer_bytes=4096)),
+                        RpcOp("url-shorten-service", 300, 200,
+                              handler="shorten", parallel_group=1),
+                        RpcOp("user-mention-service", 300, 200,
+                              handler="mention", parallel_group=1),
+                        ComputeOp(parse_block("text_rewrite", 4200,
+                                              buffer_bytes=4096)),
+                    ]
+                    + _reply("text", 2200, 600)
+                )),
+            },
+            hot_code_bytes=150 * 1024,
+            resident_bytes=6 * 1024 * 1024,
+        ),
+        request_mix={"process_text": 1.0},
+    )
+    services["social-graph-service"] = ServiceSpec(
+        name="social-graph-service",
+        skeleton=_thrift_skeleton(),
+        program=Program(
+            handlers={
+                "get_followers": Handler("get_followers", tuple(
+                    _rpc_wrap("sg", 2200, 300)
+                    + [
+                        # Reed98 fits in cache: high IPC, few LLC misses.
+                        ComputeOp(graph_traverse_block(
+                            "follow_graph", 7400, graph_bytes=GRAPH_BYTES)),
+                        RpcOp("socialgraph-redis", 200, 1600, handler="get"),
+                    ]
+                    + _reply("sg", 2000, 1800)
+                )),
+            },
+            hot_code_bytes=130 * 1024,
+            resident_bytes=float(GRAPH_BYTES * 8),
+        ),
+        request_mix={"get_followers": 1.0},
+    )
+
+    # --- mid tiers ---------------------------------------------------------
+    services["write-home-timeline-service"] = ServiceSpec(
+        name="write-home-timeline-service",
+        skeleton=_thrift_skeleton(),
+        program=Program(
+            handlers={
+                "fanout": Handler("fanout", tuple(
+                    _rpc_wrap("wht", 2400, 600)
+                    + [
+                        RpcOp("social-graph-service", 300, 1800,
+                              handler="get_followers"),
+                        # Insert the post id into ~39 follower timelines.
+                        ComputeOp(kv_lookup_block(
+                            "timeline_insert", 700,
+                            table_bytes=TIMELINE_STORE_BYTES, accesses=0,
+                            shared_frac=0.3,
+                            iterations=AVG_FOLLOWERS)),
+                    ]
+                    + _reply("wht", 1400, 100)
+                )),
+            },
+            hot_code_bytes=120 * 1024,
+            resident_bytes=float(TIMELINE_STORE_BYTES),
+        ),
+        request_mix={"fanout": 1.0},
+    )
+    services["home-timeline-service"] = ServiceSpec(
+        name="home-timeline-service",
+        skeleton=_thrift_skeleton(),
+        program=Program(
+            handlers={
+                "read": Handler("read", tuple(
+                    _rpc_wrap("ht", 2400, 300)
+                    + [
+                        RpcOp("social-graph-service", 300, 1800,
+                              handler="get_followers"),
+                        RpcOp("post-storage-service", 600, 4096,
+                              handler="read_posts"),
+                        ComputeOp(fp_compute_block("timeline_rank", 4600,
+                                                   data_bytes=64 * 1024)),
+                    ]
+                    + _reply("ht", 3200, 6144)
+                )),
+            },
+            hot_code_bytes=140 * 1024,
+            resident_bytes=float(TIMELINE_STORE_BYTES),
+        ),
+        request_mix={"read": 1.0},
+    )
+    services["user-timeline-service"] = ServiceSpec(
+        name="user-timeline-service",
+        skeleton=_thrift_skeleton(),
+        program=Program(
+            handlers={
+                "read": Handler("read", tuple(
+                    _rpc_wrap("ut", 2200, 300)
+                    + [
+                        RpcOp("post-storage-service", 600, 4096,
+                              handler="read_posts"),
+                    ]
+                    + _reply("ut", 2600, 4096)
+                )),
+            },
+            hot_code_bytes=120 * 1024,
+            resident_bytes=32 * 1024 * 1024,
+        ),
+        request_mix={"read": 1.0},
+    )
+    services["compose-post-service"] = ServiceSpec(
+        name="compose-post-service",
+        skeleton=_thrift_skeleton(),
+        program=Program(
+            handlers={
+                "compose": Handler("compose", tuple(
+                    _rpc_wrap("cp", 3000, 1200)
+                    + [
+                        RpcOp("text-service", 1024, 600,
+                              handler="process_text", parallel_group=1),
+                        RpcOp("unique-id-service", 100, 64, handler="gen",
+                              parallel_group=1),
+                        RpcOp("media-service", 400, 100, handler="add",
+                              parallel_group=1),
+                        RpcOp("user-service", 200, 150, handler="auth",
+                              parallel_group=1),
+                        ComputeOp(serialize_block("assemble_post", 3600,
+                                                  payload_bytes=2048)),
+                        RpcOp("post-storage-service", 2048, 100,
+                              handler="store", parallel_group=2),
+                        RpcOp("write-home-timeline-service", 600, 100,
+                              handler="fanout", parallel_group=2),
+                    ]
+                    + _reply("cp", 1800, 200)
+                )),
+            },
+            hot_code_bytes=140 * 1024,
+            resident_bytes=16 * 1024 * 1024,
+        ),
+        request_mix={"compose": 1.0},
+    )
+
+    # --- frontend ----------------------------------------------------------
+    def frontend_handler(name: str, target: str, target_handler: str,
+                         req: int, resp: int) -> Handler:
+        return Handler(name, (
+            SyscallOp(SyscallInvocation("recv", nbytes=max(200, req // 2))),
+            ComputeOp(parse_block(f"fe_{name}_http", 4200, buffer_bytes=4096)),
+            RpcOp(target, req, resp, handler=target_handler),
+            ComputeOp(serialize_block(f"fe_{name}_resp", 2400,
+                                      payload_bytes=resp)),
+            SyscallOp(SyscallInvocation("writev", nbytes=resp + 300)),
+        ))
+
+    services["frontend"] = ServiceSpec(
+        name="frontend",
+        skeleton=Skeleton(
+            server_model=ServerNetworkModel.IO_MULTIPLEXING,
+            client_model=ClientNetworkModel.SYNCHRONOUS,
+            thread_classes=(
+                ThreadClass("master", 1, "acceptor", ThreadTrigger.SOCKET),
+                ThreadClass("worker", 4, "worker", ThreadTrigger.SOCKET),
+            ),
+            max_connections=4096,
+            event_batch_window_s=200e-6,
+            max_batch=32,
+        ),
+        program=Program(
+            handlers={
+                "compose_post": frontend_handler(
+                    "compose_post", "compose-post-service", "compose",
+                    1200, 200),
+                "read_home_timeline": frontend_handler(
+                    "read_home_timeline", "home-timeline-service", "read",
+                    300, 6144),
+                "read_user_timeline": frontend_handler(
+                    "read_user_timeline", "user-timeline-service", "read",
+                    300, 4096),
+            },
+            hot_code_bytes=180 * 1024,
+            resident_bytes=24 * 1024 * 1024,
+        ),
+        request_mix=dict(DEFAULT_MIX),
+    )
+    return services
+
+
+def social_network_deployment(
+    node: str = "node0",
+    placement: Optional[Dict[str, str]] = None,
+) -> Deployment:
+    """Deploy the Social Network.
+
+    By default every tier lands on ``node`` (the paper's local Docker
+    deployment); pass ``placement`` (service -> node) to spread tiers over
+    a cluster.
+    """
+    services = build_social_network()
+    placements = [
+        Placement(name, (placement or {}).get(name, node))
+        for name in services
+    ]
+    return Deployment(
+        services=services,
+        placements=placements,
+        entry_service="frontend",
+    )

@@ -1,0 +1,52 @@
+"""Ditto's core: feature extraction, generation, fine tuning, cloning.
+
+The pipeline mirrors Fig. 3 of the paper:
+
+1. :mod:`repro.core.topology` — learn the RPC dependency graph from
+   distributed traces (§4.2);
+2. :mod:`repro.core.skeleton_gen` — reconstruct each tier's thread and
+   network models (§4.3);
+3. :mod:`repro.core.body_gen` — generate the application body: system
+   calls (§4.4.1), instruction mix (§4.4.2), branch bitmask behaviour
+   (§4.4.3), working-set data memory (Eq. 1, §4.4.4), instruction-memory
+   blocks (Eq. 2, §4.4.5), and register-assigned data dependencies
+   (§4.4.6);
+4. :mod:`repro.core.finetune` — the feedback calibration loop (§4.5);
+5. :mod:`repro.core.cloner` — end-to-end orchestration producing a
+   drop-in synthetic deployment;
+6. :mod:`repro.core.codegen` — the shareable x86-flavoured assembly
+   listing of the generated body.
+"""
+
+from repro.core.features import ServiceFeatures, extract_service_features
+from repro.core.body_gen import GeneratorConfig, TuningKnobs, generate_program
+from repro.core.skeleton_gen import generate_skeleton
+from repro.core.topology import analyze_topology
+from repro.core.finetune import FineTuneResult, fine_tune
+from repro.core.cloner import CloneReport, DittoCloner
+from repro.core.codegen import emit_assembly
+from repro.core.bundle import (
+    audit_bundle_confidentiality,
+    deployment_from_bundle,
+    load_bundle,
+    save_bundle,
+)
+
+__all__ = [
+    "CloneReport",
+    "audit_bundle_confidentiality",
+    "deployment_from_bundle",
+    "load_bundle",
+    "save_bundle",
+    "DittoCloner",
+    "FineTuneResult",
+    "GeneratorConfig",
+    "ServiceFeatures",
+    "TuningKnobs",
+    "analyze_topology",
+    "emit_assembly",
+    "extract_service_features",
+    "fine_tune",
+    "generate_program",
+    "generate_skeleton",
+]

@@ -1,0 +1,501 @@
+"""Application-body generation (§4.4).
+
+Builds each synthetic handler from the profiled feature set:
+
+- **system calls** are replayed from the per-operation templates with
+  profiled counts and argument sizes (§4.4.1);
+- **instruction blocks** follow the instruction-memory working-set
+  distribution (Eq. 2): one static looping block per populated
+  power-of-two code footprint, its loop count matching the profiled
+  dynamic executions (§4.4.5);
+- each block's **instruction mix** is filled from the profiled iform
+  distribution (§4.4.2);
+- **conditional branches** get (taken, transition) rates drawn from the
+  log-scale-quantised profile — the <BIT_MASK> mechanism of Fig. 3
+  (§4.4.3);
+- **data accesses** realise the Eq. 1 working-set histogram as
+  sequential sweeps (Fig. 4), split into prefetcher-regular, random and
+  pointer-chasing portions per the profiled regularity and MLP
+  (§4.4.4, §4.4.6);
+- **registers** are assigned by dependency-distance matching (§4.4.6).
+
+Every step can be disabled through :class:`GeneratorConfig` to reproduce
+the paper's accuracy-decomposition study (Fig. 9), and every feature
+group has a multiplicative :class:`TuningKnobs` entry for the §4.5
+fine-tuning loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.app.program import ComputeOp, Handler, Op, Program, RpcOp, SyscallOp
+from repro.core.features import ServiceFeatures
+from repro.core.regalloc import assign_registers
+from repro.hw.ir import (
+    BlockSpec,
+    BranchSpec,
+    DependencyProfile,
+    MemAccessSpec,
+    MemPattern,
+)
+from repro.kernelsim.syscalls import SyscallInvocation
+from repro.profiling.branches import BranchProfile
+from repro.profiling.deps import DependencyDistanceProfile
+from repro.profiling.syscalls import SyscallTemplateEntry
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+#: conditional-branch iforms the generator emits
+CONDITIONAL_BRANCHES = ("JZ_rel", "JNZ_rel", "JL_rel")
+
+
+def _is_narrow_port(name: str) -> bool:
+    """True for iforms that serialise on a single execution port."""
+    from repro.isa.instructions import iform as _iform
+    from repro.isa.ports import PortGroup
+    form = _iform(name)
+    narrow = {PortGroup.MUL, PortGroup.DIV, PortGroup.FP_DIV}
+    used = set(form.port_uops)
+    return bool(used & narrow) and used <= narrow | {PortGroup.ALU,
+                                                     PortGroup.LOAD}
+#: wait syscalls belong to the skeleton, not the handler body
+WAIT_SYSCALLS = ("epoll_wait", "poll", "select")
+
+
+@dataclass(frozen=True)
+class TuningKnobs:
+    """Multiplicative calibration knobs (§4.5 groups)."""
+
+    instr_scale: float = 1.0
+    imem_scale: float = 1.0
+    dmem_scale: float = 1.0
+    #: scales only the large (LLC-scale, >=1MB) working sets
+    big_wset_scale: float = 1.0
+    transition_scale: float = 1.0
+    chase_scale: float = 1.0
+    #: >1 compresses dependency distances (less ILP, lower IPC)
+    ilp_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("instr_scale", "imem_scale", "dmem_scale",
+                     "big_wset_scale", "transition_scale", "chase_scale",
+                     "ilp_scale"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    def with_(self, **changes) -> "TuningKnobs":
+        """A modified copy."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Feature switches (Fig. 9 stages) plus tuning knobs."""
+
+    syscalls: bool = True            # stage B
+    instruction_count: bool = True   # stage C
+    instruction_mix: bool = True     # stage D
+    branch_behavior: bool = True     # stage E
+    instruction_memory: bool = True  # stage F
+    data_memory: bool = True         # stage G
+    data_dependencies: bool = True   # stage H
+    knobs: TuningKnobs = field(default_factory=TuningKnobs)
+    max_blocks: int = 16
+    seed: int = 1729
+
+    @staticmethod
+    def stage(name: str) -> "GeneratorConfig":
+        """The cumulative Fig. 9 configurations, A..H (I adds tuning)."""
+        order = ["skeleton", "syscall", "inst_count", "inst_mix", "branch",
+                 "imem", "dmem", "datadep"]
+        if name not in order:
+            raise ConfigurationError(
+                f"unknown stage {name!r}; expected one of {order}")
+        level = order.index(name)
+        return GeneratorConfig(
+            syscalls=level >= 1,
+            instruction_count=level >= 2,
+            instruction_mix=level >= 3,
+            branch_behavior=level >= 4,
+            instruction_memory=level >= 5,
+            data_memory=level >= 6,
+            data_dependencies=level >= 7,
+        )
+
+
+# --------------------------------------------------------------------- #
+# instruction blocks
+# --------------------------------------------------------------------- #
+def _instruction_bins(
+    features: ServiceFeatures,
+    config: GeneratorConfig,
+    instr_target: float,
+) -> List[Tuple[int, float]]:
+    """(code working-set size, dynamic executions) per generated block."""
+    if not config.instruction_memory or not features.instr_wsets:
+        return [(256, instr_target)]
+    total = sum(features.instr_wsets.values())
+    if total <= 0:
+        return [(256, instr_target)]
+    bins = [
+        (size, execs / total * instr_target)
+        for size, execs in sorted(features.instr_wsets.items())
+        if execs / total >= 0.002
+    ]
+    bins.sort(key=lambda item: -item[1])
+    bins = bins[: config.max_blocks]
+    # Renormalise after dropping the tail.
+    kept = sum(execs for _, execs in bins)
+    if kept <= 0:
+        return [(256, instr_target)]
+    return [(size, execs / kept * instr_target) for size, execs in
+            sorted(bins)]
+
+
+def _mix_counts(
+    features: ServiceFeatures,
+    config: GeneratorConfig,
+    instructions: float,
+) -> Dict[str, float]:
+    if not config.instruction_mix:
+        # Stage C: match the count with plain dependent-free adds.
+        return {"ADD_r64_r64": instructions}
+    counts: Dict[str, float] = {}
+    for name, prob in features.mix.mix.normalized().items():
+        if str(name) in features.mix.rep_counts:
+            # REP-prefixed forms get dedicated blocks carrying their own
+            # profiled repeat counts — a block-global rep_elements would
+            # cross-contaminate e.g. REPNZ scans with REP MOVS bulk copies.
+            continue
+        if _is_narrow_port(str(name)):
+            # Narrow-port iforms (single-port multipliers/dividers, e.g.
+            # CRC32 on port 1) get dedicated blocks: spreading them over
+            # the mix would hide the port serialisation the original's
+            # hot kernels exhibit — the very concentration the §4.4.2
+            # clustering is meant to preserve.
+            continue
+        value = instructions * prob
+        if value > 1e-6:
+            counts[str(name)] = value
+    return counts or {"ADD_r64_r64": instructions}
+
+
+def _branch_specs(
+    features: ServiceFeatures,
+    config: GeneratorConfig,
+    counts: Dict[str, float],
+    code_instructions: float,
+    rng: np.random.Generator,
+) -> Tuple[BranchSpec, ...]:
+    executions = sum(counts.get(name, 0.0) for name in CONDITIONAL_BRANCHES)
+    if executions <= 0:
+        return ()
+    static_density = max(1, int(code_instructions
+                                * max(0.01, features.mix.branch_fraction())))
+    if not config.branch_behavior:
+        # Pre-E assumption: the hostile corner of the grid.
+        return (BranchSpec(executions=executions, taken_rate=0.5,
+                           transition_rate=0.5,
+                           static_count=static_density),)
+    top_bins = features.branches.rate_distribution.most_common(6)
+    total_weight = sum(weight for _, weight in top_bins)
+    specs: List[BranchSpec] = []
+    knob = config.knobs.transition_scale
+    for bin_, weight in top_bins:
+        taken, transition = BranchProfile.rates_for_bin(bin_)
+        share = weight / total_weight
+        specs.append(BranchSpec(
+            executions=executions * share,
+            taken_rate=taken,
+            transition_rate=min(1.0, transition * knob),
+            static_count=max(1, int(static_density * share)),
+        ))
+    return tuple(specs)
+
+
+def _memory_specs(
+    features: ServiceFeatures,
+    config: GeneratorConfig,
+    block_index: int,
+    block_count: int,
+    iterations: float,
+) -> Tuple[MemAccessSpec, ...]:
+    """Realise this block's share of the Eq. 1 working-set histogram.
+
+    Data bins are dealt round-robin across blocks so each bin lands in
+    exactly one block (keeping the generated spec count proportional to
+    the profile's support).
+    """
+    if not features.data_wsets:
+        return ()
+    items = sorted(features.data_wsets.items())
+    if not config.data_memory:
+        # Pre-G assumption: every access hits the smallest working set.
+        total = sum(accesses for _, accesses in items)
+        if block_index != 0:
+            return ()
+        return (MemAccessSpec(wset_bytes=64,
+                              accesses=total / max(1.0, iterations)),)
+    specs: List[MemAccessSpec] = []
+    for index, (size, accesses) in enumerate(items):
+        if index % block_count != block_index:
+            continue
+        scale = (config.knobs.big_wset_scale if size >= 1024 * 1024
+                 else config.knobs.dmem_scale)
+        wset = max(64, int(size * scale))
+        large = wset > 512 * 1024
+        # Dependent-load (pointer-chase) fractions attribute per region
+        # class: the DCFG ties dependent loads to the large structures
+        # they actually walk.
+        base_chase = (features.chase_ratio_large if large
+                      else features.deps.pointer_chase_frac)
+        chase = (min(0.95, base_chase * config.knobs.chase_scale)
+                 if config.data_dependencies else 0.0)
+        ratio = (features.regular_ratio_large if large
+                 else features.regular_ratio)
+        regular = min(1.0 - chase, max(0.0, ratio))
+        irregular = max(0.0, 1.0 - regular - chase)
+        per_iteration = accesses / max(1.0, iterations)
+        if per_iteration <= 0:
+            continue
+        for pattern, fraction in (
+            (MemPattern.SEQUENTIAL, regular),
+            (MemPattern.SHUFFLED, irregular),
+            (MemPattern.POINTER_CHASE, chase),
+        ):
+            if fraction <= 0.01:
+                continue
+            specs.append(MemAccessSpec(
+                wset_bytes=wset,
+                accesses=per_iteration * fraction,
+                pattern=pattern,
+                write_frac=features.write_frac,
+                shared_frac=features.shared_ratio,
+            ))
+    return tuple(specs)
+
+
+def _dependency_profile(
+    features: ServiceFeatures,
+    config: GeneratorConfig,
+    slots: int,
+    rng: np.random.Generator,
+) -> DependencyProfile:
+    if not config.data_dependencies:
+        # Pre-H assumption: the strongest possible dependencies.
+        return DependencyProfile(raw={1: 1.0}, pointer_chase_frac=0.0)
+    profiled = features.deps
+    ilp = config.knobs.ilp_scale
+    if ilp != 1.0:
+        # The calibration knob compresses/stretches the distance grid,
+        # tightening or relaxing the clone's instruction-level parallelism.
+        from repro.hw.ir import DependencyProfile as _DP
+        scaled: Dict[int, float] = {}
+        for edge, weight in profiled.raw.items():
+            new_edge = _DP.quantize_distance(max(1.0, edge / ilp))
+            scaled[new_edge] = scaled.get(new_edge, 0.0) + weight
+        profiled = DependencyDistanceProfile(
+            raw=scaled, war=dict(profiled.war), waw=dict(profiled.waw),
+            pointer_chase_frac=profiled.pointer_chase_frac,
+        )
+    allocation = assign_registers(
+        slots=max(8, min(slots, 384)),
+        profile=profiled,
+        rng=rng,
+    )
+    realized = allocation.realized
+    chase = min(1.0, profiled.pointer_chase_frac * config.knobs.chase_scale)
+    return DependencyProfile(
+        raw=dict(realized.raw),
+        war=dict(realized.war),
+        waw=dict(realized.waw),
+        pointer_chase_frac=chase,
+    )
+
+
+def build_blocks(
+    features: ServiceFeatures,
+    config: GeneratorConfig,
+    handler: str,
+    rng: np.random.Generator,
+) -> List[BlockSpec]:
+    """Generate the synthetic instruction blocks for one handler."""
+    if not config.instruction_count:
+        # Stage A/B: an (almost) empty body.
+        return [BlockSpec(name=f"syn_{handler}_empty",
+                          iform_counts={"NOP": 16.0}, code_bytes=64)]
+    instr_target = (features.instructions_per_request(handler)
+                    * config.knobs.instr_scale)
+    instr_target = max(64.0, instr_target)
+    bins = _instruction_bins(features, config, instr_target)
+    blocks: List[BlockSpec] = []
+    for index, (size, execs) in enumerate(bins):
+        code_bytes = max(64, int(size * config.knobs.imem_scale))
+        static_instructions = max(16.0, code_bytes / 4.0)
+        iterations = max(1.0, execs / static_instructions)
+        per_iteration = execs / iterations
+        counts = _mix_counts(features, config, per_iteration)
+        branches = _branch_specs(features, config, counts,
+                                 static_instructions, rng)
+        mem = _memory_specs(features, config, index, len(bins), iterations)
+        deps = _dependency_profile(features, config, int(per_iteration), rng)
+        blocks.append(BlockSpec(
+            name=f"syn_{handler}_b{index}_{size}",
+            iform_counts=counts,
+            iterations=iterations,
+            code_bytes=code_bytes,
+            mem=mem,
+            branches=branches,
+            deps=deps,
+        ))
+    if config.instruction_mix:
+        mix = features.mix.mix.normalized()
+        # One dedicated block per REP-prefixed iform with its own
+        # profiled repeat count.
+        for name, rep_count in sorted(features.mix.rep_counts.items()):
+            executions = instr_target * mix.get(name, 0.0)
+            if executions < 0.05:
+                continue
+            blocks.append(BlockSpec(
+                name=f"syn_{handler}_rep_{name}",
+                iform_counts={name: executions},
+                code_bytes=64,
+                rep_elements=rep_count,
+            ))
+        # Dedicated blocks for narrow-port clusters preserve the port
+        # serialisation of the original's hot kernels.
+        for name in sorted(mix):
+            if not _is_narrow_port(str(name)):
+                continue
+            executions = instr_target * mix[str(name)]
+            if executions < 1.0:
+                continue
+            blocks.append(BlockSpec(
+                name=f"syn_{handler}_port_{name}",
+                iform_counts={str(name): executions},
+                code_bytes=64,
+                deps=DependencyProfile(raw={16: 1.0}),
+            ))
+    return blocks
+
+
+# --------------------------------------------------------------------- #
+# handlers
+# --------------------------------------------------------------------- #
+def _emit_syscalls(
+    entries: List[SyscallTemplateEntry],
+    file_map: Dict[str, str],
+) -> List[Op]:
+    ops: List[Op] = []
+    for entry in entries:
+        count = int(round(entry.count_per_request))
+        if count < 1 and entry.count_per_request > 0.25:
+            count = 1
+        for _ in range(count):
+            ops.append(SyscallOp(SyscallInvocation(
+                entry.name,
+                nbytes=entry.mean_bytes,
+                file=(file_map.get(entry.file) if entry.file else None),
+                write=entry.write,
+            )))
+    return ops
+
+
+def _split_template(
+    template: List[SyscallTemplateEntry],
+) -> Tuple[List[SyscallTemplateEntry], ...]:
+    rx, disk, other, tx = [], [], [], []
+    for entry in template:
+        if entry.name in WAIT_SYSCALLS:
+            continue  # the skeleton owns the wait syscall
+        device = SyscallInvocation(entry.name).spec.device
+        if device == "net_rx":
+            rx.append(entry)
+        elif device == "net_tx":
+            tx.append(entry)
+        elif device == "disk":
+            disk.append(entry)
+        else:
+            other.append(entry)
+    return rx, disk, other, tx
+
+
+def build_handler(
+    features: ServiceFeatures,
+    config: GeneratorConfig,
+    handler: str,
+    file_map: Dict[str, str],
+    rng: np.random.Generator,
+) -> Handler:
+    """Generate one synthetic handler."""
+    blocks = build_blocks(features, config, handler, rng)
+    compute_ops: List[Op] = [ComputeOp(block) for block in blocks]
+    half = max(1, len(compute_ops) // 2)
+    ops: List[Op] = []
+    rx: List[Op] = []
+    mid: List[Op] = []
+    tx: List[Op] = []
+    if config.syscalls:
+        template = features.syscalls.templates.get(handler, [])
+        rx_entries, disk_entries, other_entries, tx_entries = (
+            _split_template(template))
+        rx = _emit_syscalls(rx_entries, file_map)
+        mid = _emit_syscalls(disk_entries, file_map) + _emit_syscalls(
+            other_entries, file_map)
+        tx = _emit_syscalls(tx_entries, file_map)
+    rpcs: List[Op] = [
+        RpcOp(target, request_bytes, response_bytes,
+              handler=target_operation, parallel_group=group)
+        for target, target_operation, request_bytes, response_bytes, group in
+        features.rpc_calls.get(handler, [])
+    ]
+    ops.extend(rx)
+    ops.extend(compute_ops[:half])
+    ops.extend(mid)
+    ops.extend(rpcs)
+    ops.extend(compute_ops[half:])
+    ops.extend(tx)
+    if not ops:
+        ops = compute_ops
+    return Handler(name=handler, ops=tuple(ops))
+
+
+def generate_program(
+    features: ServiceFeatures,
+    config: Optional[GeneratorConfig] = None,
+) -> Tuple[Program, Dict[str, float]]:
+    """Generate a synthetic :class:`Program` plus its file declarations.
+
+    File names are anonymised (``synthetic_file_N``) while their sizes —
+    which determine page-cache behaviour — are preserved.
+    """
+    config = config if config is not None else GeneratorConfig()
+    stream = RngStream(config.seed, "bodygen", features.service)
+    file_map = {
+        original: f"synthetic_file_{index}"
+        for index, original in enumerate(sorted(features.file_sizes))
+    }
+    handlers: Dict[str, Handler] = {}
+    handler_names = sorted(features.handler_mix) or ["synthetic"]
+    for handler_name in handler_names:
+        rng = stream.rng("handler", handler_name)
+        handlers[handler_name] = build_handler(
+            features, config, handler_name, file_map, rng)
+    # The synthetic binary's framework footprint mirrors the original's
+    # observed hot text size, so cold-dispatch i-cache behaviour matches.
+    hot_code = features.hot_code_bytes or 64 * 1024.0
+    program = Program(
+        handlers=handlers,
+        hot_code_bytes=hot_code * config.knobs.imem_scale,
+        resident_bytes=features.resident_bytes,
+    )
+    files = {
+        file_map[original]: size
+        for original, size in features.file_sizes.items()
+    }
+    return program, files

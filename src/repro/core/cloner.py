@@ -1,0 +1,126 @@
+"""End-to-end cloning orchestration (the Fig. 3 pipeline).
+
+:class:`DittoCloner` profiles a deployment once (at a representative
+load, on one platform), extracts per-tier features, reconstructs the
+topology from traces, generates synthetic skeleton+body per tier, and
+optionally fine-tunes each tier's knobs. The result is a drop-in
+synthetic :class:`~repro.app.service.Deployment` with the same service
+names, placements and entry point — runnable anywhere the original runs,
+without reprofiling (§4.1 Portability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.app.service import Deployment, Placement, ServiceSpec
+from repro.core.body_gen import GeneratorConfig, generate_program
+from repro.core.features import ServiceFeatures, extract_service_features
+from repro.core.finetune import FineTuneResult, fine_tune
+from repro.core.skeleton_gen import generate_skeleton
+from repro.core.topology import TopologySummary, analyze_topology
+from repro.loadgen.generator import LoadSpec
+from repro.profiling.artifacts import ProfilingBudget
+from repro.profiling.collector import ApplicationProfile, profile_deployment
+from repro.runtime.experiment import ExperimentConfig
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class CloneReport:
+    """What the cloning session produced and how well tuning went."""
+
+    features: Dict[str, ServiceFeatures]
+    topology: Optional[TopologySummary]
+    tuning: Dict[str, FineTuneResult] = field(default_factory=dict)
+    profile: Optional[ApplicationProfile] = None
+
+    def tier_names(self) -> List[str]:
+        """Cloned tiers."""
+        return sorted(self.features)
+
+
+class DittoCloner:
+    """The automated cloning framework."""
+
+    def __init__(
+        self,
+        generator_config: Optional[GeneratorConfig] = None,
+        budget: Optional[ProfilingBudget] = None,
+        fine_tune_tiers: bool = True,
+        max_tune_iterations: int = 6,
+        seed: int = 17,
+    ) -> None:
+        self.generator_config = (generator_config if generator_config
+                                 is not None else GeneratorConfig())
+        self.budget = budget if budget is not None else ProfilingBudget()
+        self.fine_tune_tiers = fine_tune_tiers
+        self.max_tune_iterations = max_tune_iterations
+        self.seed = seed
+
+    def clone(
+        self,
+        deployment: Deployment,
+        profiling_load: LoadSpec,
+        profiling_config: ExperimentConfig,
+    ) -> tuple:
+        """Clone a deployment; returns (synthetic deployment, report).
+
+        Profiling happens once, at ``profiling_load`` on
+        ``profiling_config.platform`` — the synthetic deployment then
+        runs on any platform or load without reprofiling.
+        """
+        profile = profile_deployment(
+            deployment, profiling_load, profiling_config,
+            budget=self.budget, seed=self.seed,
+        )
+        topology: Optional[TopologySummary] = None
+        if len(deployment.services) > 1:
+            topology = analyze_topology(profile.spans)
+        report = CloneReport(features={}, topology=topology, profile=profile)
+        synthetic_services: Dict[str, ServiceSpec] = {}
+        for name in deployment.services:
+            artifacts = profile.artifacts(name)
+            features = extract_service_features(artifacts)
+            report.features[name] = features
+            config = self.generator_config
+            if self.fine_tune_tiers:
+                tuning = fine_tune(
+                    features,
+                    platform_config=replace(profiling_config, tracer=None),
+                    base_config=config,
+                    max_iterations=self.max_tune_iterations,
+                )
+                report.tuning[name] = tuning
+                config = replace(config, knobs=tuning.knobs)
+            program, files = generate_program(features, config)
+            skeleton = generate_skeleton(features.threads, features.network)
+            synthetic_services[name] = ServiceSpec(
+                name=name,
+                skeleton=skeleton,
+                program=program,
+                request_mix=dict(features.handler_mix) or None,
+                files=files,
+            )
+        synthetic = Deployment(
+            services=synthetic_services,
+            placements=[Placement(p.service, p.node)
+                        for p in deployment.placements],
+            entry_service=deployment.entry_service,
+        )
+        self._validate_interfaces(synthetic)
+        return synthetic, report
+
+    @staticmethod
+    def _validate_interfaces(deployment: Deployment) -> None:
+        """Every generated RPC must land on an existing handler."""
+        for name, spec in deployment.services.items():
+            for handler in spec.program.handlers.values():
+                for rpc in handler.rpcs:
+                    target = deployment.services.get(rpc.target_service)
+                    if target is None:
+                        raise ConfigurationError(
+                            f"clone of {name!r} calls missing tier "
+                            f"{rpc.target_service!r}")
+                    target.program.handler(rpc.handler)

@@ -1,0 +1,113 @@
+"""Register assignment cloning dependency distances (§4.4.6).
+
+"To assign registers for each instruction, Ditto samples a (RAW, WAR,
+WAW) distance tuple from the profiled distributions, and chooses an
+available register with the closest distance values."
+
+The allocator walks the generated instruction slots keeping, per
+register, the ages of its last write and last read. For each slot it
+samples a target tuple and scores every free register by how close the
+assignment would land to the targets, then realises the best choice.
+It returns both the concrete assignment (for the assembly listing) and
+the *realised* dependency profile (for the timing IR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.hw.ir import DependencyProfile
+from repro.isa.registers import RegisterFile
+from repro.profiling.deps import DependencyDistanceProfile
+from repro.util.errors import ConfigurationError
+from repro.util.stats import Histogram
+
+
+@dataclass(frozen=True)
+class RegisterAssignment:
+    """One instruction slot's realised operand registers."""
+
+    index: int
+    dest: str
+    source: str
+    raw_distance: float
+    war_distance: float
+    waw_distance: float
+
+
+@dataclass
+class AllocationResult:
+    """Assignments plus the dependency profile they realise."""
+
+    assignments: List[RegisterAssignment]
+    realized: DependencyProfile
+
+
+def _sample_from(hist: Dict[int, float], rng: np.random.Generator,
+                 default: float) -> float:
+    if not hist:
+        return default
+    return float(Histogram(dict(hist)).sample(rng, 1)[0])
+
+
+def assign_registers(
+    slots: int,
+    profile: DependencyDistanceProfile,
+    rng: np.random.Generator,
+    register_file: Optional[RegisterFile] = None,
+) -> AllocationResult:
+    """Assign destination/source registers for ``slots`` instructions."""
+    if slots < 1:
+        raise ConfigurationError("need at least one instruction slot")
+    rf = register_file if register_file is not None else RegisterFile()
+    pool = [reg.name for reg in rf.free_gprs()]
+    if len(pool) < 2:
+        raise ConfigurationError("register pool too small")
+    last_write: Dict[str, float] = {name: -64.0 for name in pool}
+    last_read: Dict[str, float] = {name: -64.0 for name in pool}
+    assignments: List[RegisterAssignment] = []
+    raw_hist: Dict[int, float] = {}
+    war_hist: Dict[int, float] = {}
+    waw_hist: Dict[int, float] = {}
+    for index in range(slots):
+        target_raw = _sample_from(dict(profile.raw), rng, default=24.0)
+        target_war = _sample_from(dict(profile.war), rng, default=32.0)
+        target_waw = _sample_from(dict(profile.waw), rng, default=48.0)
+        # Source: the register whose last write sits closest to the RAW
+        # target distance behind us.
+        source = min(
+            pool,
+            key=lambda name: abs((index - last_write[name]) - target_raw),
+        )
+        # Destination: balance WAR (since its last read) and WAW (since
+        # its last write); never clobber the chosen source.
+        def waw_war_score(name: str) -> float:
+            war = index - last_read[name]
+            waw = index - last_write[name]
+            return abs(war - target_war) + abs(waw - target_waw)
+
+        dest_candidates = [name for name in pool if name != source]
+        dest = min(dest_candidates, key=waw_war_score)
+        realized_raw = index - last_write[source]
+        realized_war = index - last_read[dest]
+        realized_waw = index - last_write[dest]
+        assignments.append(RegisterAssignment(
+            index=index, dest=dest, source=source,
+            raw_distance=realized_raw, war_distance=realized_war,
+            waw_distance=realized_waw,
+        ))
+        for hist, value in ((raw_hist, realized_raw),
+                            (war_hist, realized_war),
+                            (waw_hist, realized_waw)):
+            edge = DependencyProfile.quantize_distance(max(1.0, value))
+            hist[edge] = hist.get(edge, 0.0) + 1.0
+        last_read[source] = float(index)
+        last_write[dest] = float(index)
+    realized = DependencyProfile(
+        raw=raw_hist, war=war_hist, waw=waw_hist,
+        pointer_chase_frac=profile.pointer_chase_frac,
+    )
+    return AllocationResult(assignments=assignments, realized=realized)

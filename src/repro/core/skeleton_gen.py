@@ -1,0 +1,67 @@
+"""Skeleton generation (§4.3): thread model x network model.
+
+Rebuilds a :class:`~repro.app.skeleton.Skeleton` from the inferred thread
+and network profiles: the synthetic service keeps the original's wait
+discipline, worker-pool shape (fixed pool vs per-connection), acceptor,
+and background timers — the structural properties that drive latency and
+scaling behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.app.skeleton import (
+    ClientNetworkModel,
+    ServerNetworkModel,
+    Skeleton,
+    ThreadClass,
+    ThreadLifecycle,
+    ThreadTrigger,
+)
+from repro.profiling.netmodel import NetworkModelProfile
+from repro.profiling.threads import ThreadModelProfile
+
+_TRIGGERS = {
+    "socket": ThreadTrigger.SOCKET,
+    "timer": ThreadTrigger.TIMER,
+    "condvar": ThreadTrigger.CONDVAR,
+    "signal": ThreadTrigger.SIGNAL,
+}
+
+
+def generate_skeleton(
+    threads: ThreadModelProfile,
+    network: NetworkModelProfile,
+    max_connections: int = 1024,
+) -> Skeleton:
+    """Build the synthetic skeleton from inferred models."""
+    classes: List[ThreadClass] = []
+    index = 0
+    for cls in threads.classes:
+        trigger = _TRIGGERS.get(cls.trigger, ThreadTrigger.SOCKET)
+        lifecycle = (ThreadLifecycle.SHORT_LIVED if cls.short_lived
+                     else ThreadLifecycle.LONG_LIVED)
+        if cls.role == "background" and trigger is not ThreadTrigger.TIMER:
+            trigger = ThreadTrigger.TIMER
+        classes.append(ThreadClass(
+            name=f"syn_{cls.role}_{index}",
+            count=0 if cls.scales_with_connections else cls.count,
+            role=cls.role,
+            trigger=trigger,
+            lifecycle=lifecycle,
+            scales_with_connections=cls.scales_with_connections,
+            background_period_s=(1.0 if cls.role == "background" else 0.0),
+        ))
+        index += 1
+    if not any(cls.role == "worker" for cls in classes):
+        classes.append(ThreadClass(
+            name="syn_worker_fallback", count=1, role="worker",
+            trigger=ThreadTrigger.SOCKET,
+        ))
+    return Skeleton(
+        server_model=network.server_model,
+        client_model=network.client_model,
+        thread_classes=tuple(classes),
+        max_connections=max_connections,
+    )

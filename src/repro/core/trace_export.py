@@ -1,0 +1,167 @@
+"""Trace export for trace-driven simulators (§5).
+
+"The synthesized binaries can run directly on hardware, execution-driven
+simulators like gem5 and ZSim, or their traces can be fed to trace-driven
+simulators like Ramulator."
+
+This module materialises a synthetic program's per-request memory and
+instruction traces:
+
+- :func:`export_memory_trace` — Ramulator-style lines
+  (``<bubble-count> <read-address> [write-address]``), derived from each
+  block's generated access streams;
+- :func:`export_instruction_trace` — a flat instruction trace
+  (``<pc> <iform>``) suitable for simple trace-driven frontends.
+
+The traces come from the *synthetic* program, so sharing them leaks
+nothing beyond the clone itself.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, List, Optional, TextIO, Tuple
+
+import numpy as np
+
+from repro.app.program import ComputeOp, Handler, Program
+from repro.hw.cache import generate_access_stream
+from repro.isa.instructions import iform
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+#: cap on the number of trace records emitted per call, a safety net
+MAX_RECORDS = 5_000_000
+
+
+def _blocks_of(program: Program, handler: Optional[str]) -> List:
+    if handler is not None:
+        return program.handler(handler).compute_blocks
+    return program.all_blocks()
+
+
+def iter_memory_accesses(
+    program: Program,
+    handler: Optional[str] = None,
+    requests: int = 1,
+    seed: int = 31,
+    max_accesses_per_spec: int = 4096,
+) -> Iterator[Tuple[int, bool]]:
+    """Yield (byte address, is_write) for the generated body's accesses.
+
+    Streams are produced by the same generator mechanics the timing model
+    assumes (Fig. 4 working-set sweeps, shuffled loops, pointer chains),
+    laid out over disjoint per-working-set regions.
+    """
+    if requests < 1:
+        raise ConfigurationError("requests must be >= 1")
+    stream = RngStream(seed, "trace-export")
+    next_base = 0x10_0000
+    region_of = {}
+    emitted = 0
+    for request in range(requests):
+        for block in _blocks_of(program, handler):
+            iterations = max(1, int(round(block.iterations)))
+            for spec_index, spec in enumerate(block.mem):
+                total = spec.accesses * iterations
+                if total < 1:
+                    continue
+                key = (block.name, spec_index)
+                if key not in region_of:
+                    region_of[key] = next_base
+                    next_base += 2 * max(64, int(spec.wset_bytes))
+                length = int(min(max_accesses_per_spec, total))
+                rng = stream.rng(block.name, str(spec_index), str(request))
+                addresses = generate_access_stream(
+                    spec, rng, length, base=region_of[key])
+                writes = rng.random(length) < spec.write_frac
+                for address, write in zip(addresses, writes):
+                    yield int(address), bool(write)
+                    emitted += 1
+                    if emitted >= MAX_RECORDS:
+                        return
+
+
+def export_memory_trace(
+    program: Program,
+    destination,
+    handler: Optional[str] = None,
+    requests: int = 1,
+    seed: int = 31,
+    bubbles_per_access: int = 4,
+) -> int:
+    """Write a Ramulator-format CPU trace; returns the line count.
+
+    Each line is ``<num-cpu-instructions> <read-addr>`` or
+    ``<num-cpu-instructions> <read-addr> <write-addr>``; the bubble count
+    approximates the non-memory instructions between accesses (derived
+    from the program's memory-instruction fraction when available).
+    """
+    path = Path(destination)
+    lines = 0
+    pending_write: Optional[int] = None
+    with path.open("w") as sink:
+        for address, is_write in iter_memory_accesses(
+                program, handler=handler, requests=requests, seed=seed):
+            if is_write:
+                # Ramulator attaches a writeback to the preceding read.
+                pending_write = address
+                continue
+            if pending_write is not None:
+                sink.write(f"{bubbles_per_access} {address} "
+                           f"{pending_write}\n")
+                pending_write = None
+            else:
+                sink.write(f"{bubbles_per_access} {address}\n")
+            lines += 1
+    return lines
+
+
+def export_instruction_trace(
+    program: Program,
+    destination,
+    handler: Optional[str] = None,
+    requests: int = 1,
+    seed: int = 31,
+    max_instructions: int = 200_000,
+) -> int:
+    """Write a ``<pc> <iform>`` instruction trace; returns the line count.
+
+    Instructions are sampled from each block's mix in execution order,
+    with program counters walking the block's code region — the same
+    layout the i-side working-set analysis assumes.
+    """
+    if requests < 1:
+        raise ConfigurationError("requests must be >= 1")
+    path = Path(destination)
+    stream = RngStream(seed, "itrace-export")
+    written = 0
+    code_base = 0x40_0000
+    code_base_of = {}
+    with path.open("w") as sink:
+        for request in range(requests):
+            for block in _blocks_of(program, handler):
+                if block.name not in code_base_of:
+                    code_base_of[block.name] = code_base
+                    code_base += 2 * max(64, block.static_code_bytes())
+                base = code_base_of[block.name]
+                names = sorted(block.iform_counts)
+                counts = np.array([block.iform_counts[n] for n in names])
+                if counts.sum() <= 0:
+                    continue
+                probs = counts / counts.sum()
+                per_request = block.instructions_per_request
+                budget = int(min(per_request,
+                                 max_instructions - written))
+                if budget <= 0:
+                    return written
+                rng = stream.rng(block.name, str(request))
+                drawn = rng.choice(len(names), size=budget, p=probs)
+                code_bytes = max(64, block.static_code_bytes())
+                offset = 0
+                for index in drawn:
+                    name = names[index]
+                    sink.write(f"0x{base + offset:x} {name}\n")
+                    offset = (offset + iform(name).size_bytes) % code_bytes
+                    written += 1
+    return written

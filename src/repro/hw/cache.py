@@ -1,0 +1,259 @@
+"""Cache models.
+
+Two complementary views of the same hardware:
+
+- :class:`SetAssociativeCache` — an explicit set-associative LRU cache
+  simulator. This is what the Valgrind-like working-set profiler drives
+  when it sweeps "cache sizes" (§4.4.4): it replays sampled address
+  streams and counts hits, exactly as ``cachegrind`` would.
+- closed-form hit/miss fractions for the runtime timing model
+  (:func:`miss_fraction`), exploiting the paper's key observation: for a
+  sequential loop over a working set of W bytes under (pseudo-)LRU, every
+  access hits when the cache is at least W bytes and misses otherwise,
+  independent of hierarchy depth or inclusion policy.
+
+:class:`CacheHierarchy` composes per-level configs into the L1i/L1d/L2/LLC
+stack of Table 1's platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.hw.ir import MemAccessSpec, MemPattern
+from repro.util.errors import ConfigurationError
+
+LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    latency_cycles: float
+    line_bytes: int = LINE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < self.line_bytes:
+            raise ConfigurationError(
+                f"{self.name}: size {self.size_bytes} below one line"
+            )
+        if self.associativity < 1:
+            raise ConfigurationError(f"{self.name}: associativity must be >= 1")
+        if self.size_bytes % (self.line_bytes * self.associativity) != 0:
+            raise ConfigurationError(
+                f"{self.name}: size must be a multiple of line*associativity"
+            )
+        if self.latency_cycles < 0:
+            raise ConfigurationError(f"{self.name}: negative latency")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of cache sets."""
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+    def scaled(self, factor: float) -> "CacheConfig":
+        """A config with capacity scaled by ``factor`` (sets rounded down).
+
+        Used by the contention model to express a co-runner stealing
+        capacity. The result keeps associativity and never shrinks below
+        one set.
+        """
+        if factor <= 0:
+            raise ConfigurationError("scale factor must be positive")
+        new_sets = max(1, int(self.num_sets * factor))
+        return replace(
+            self, size_bytes=new_sets * self.line_bytes * self.associativity
+        )
+
+
+class SetAssociativeCache:
+    """Explicit set-associative LRU cache simulator over line addresses.
+
+    Addresses are byte addresses; the simulator tracks tags per set with
+    true-LRU replacement. It is used by profilers (cache-size sweeps) and
+    by tests that validate the closed-form model against simulation.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._sets: List[List[int]] = [[] for _ in range(config.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (state is kept)."""
+        self.hits = 0
+        self.misses = 0
+
+    def flush(self) -> None:
+        """Invalidate all lines and zero the counters."""
+        self._sets = [[] for _ in range(self.config.num_sets)]
+        self.reset_stats()
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses observed since the last counter reset."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss fraction since the last counter reset (0 when idle)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def access(self, address: int) -> bool:
+        """Access one byte address; returns True on hit."""
+        line = address // self.config.line_bytes
+        index = line % self.config.num_sets
+        ways = self._sets[index]
+        try:
+            position = ways.index(line)
+        except ValueError:
+            self.misses += 1
+            ways.insert(0, line)
+            if len(ways) > self.config.associativity:
+                ways.pop()
+            return False
+        self.hits += 1
+        ways.insert(0, ways.pop(position))
+        return True
+
+    def access_many(self, addresses: Iterable[int]) -> int:
+        """Access a stream of addresses; returns the number of hits."""
+        before = self.hits
+        for address in addresses:
+            self.access(address)
+        return self.hits - before
+
+
+def generate_access_stream(
+    spec: MemAccessSpec,
+    rng: np.random.Generator,
+    length: int,
+    base: int = 0,
+) -> np.ndarray:
+    """Materialise a byte-address stream realising ``spec``'s pattern.
+
+    The application models and the synthetic clones both turn their
+    :class:`MemAccessSpec`s into concrete streams through this single
+    function, so profilers observe addresses produced by the same
+    mechanics for either side.
+    """
+    if length <= 0:
+        raise ConfigurationError("stream length must be positive")
+    lines = max(1, spec.wset_bytes // LINE_BYTES)
+    if spec.pattern is MemPattern.SEQUENTIAL:
+        offsets = np.arange(length) % lines
+    elif spec.pattern is MemPattern.STRIDED:
+        # Stride of 2 lines still touches every line over two sweeps.
+        stride = 2
+        offsets = (np.arange(length) * stride) % lines
+    elif spec.pattern is MemPattern.RANDOM:
+        offsets = rng.integers(0, lines, size=length)
+    elif spec.pattern in (MemPattern.POINTER_CHASE, MemPattern.SHUFFLED):
+        # A fixed random permutation cycle — irregular; for POINTER_CHASE
+        # additionally each load depends on the previous one.
+        perm = rng.permutation(lines)
+        offsets = perm[np.arange(length) % lines]
+    else:  # pragma: no cover - exhaustive over enum
+        raise ConfigurationError(f"unknown pattern {spec.pattern}")
+    return (base + offsets * LINE_BYTES).astype(np.int64)
+
+
+def miss_fraction(spec: MemAccessSpec, cache_bytes: float) -> float:
+    """Steady-state miss fraction of ``spec`` against a ``cache_bytes`` cache.
+
+    Closed forms matching :class:`SetAssociativeCache` behaviour:
+
+    - sequential/strided/pointer-chase cyclic patterns: all-hit when the
+      working set fits, all-miss otherwise (the §4.4.4 LRU argument);
+    - random: per-access hit probability is the resident fraction
+      ``cache/W`` (capped at 1).
+    """
+    if cache_bytes <= 0:
+        return 1.0
+    wset = float(spec.wset_bytes)
+    if spec.pattern is MemPattern.RANDOM:
+        return float(max(0.0, 1.0 - min(1.0, cache_bytes / wset)))
+    return 0.0 if wset <= cache_bytes else 1.0
+
+
+class CacheHierarchy:
+    """The per-core view of an L1i/L1d/L2/LLC stack plus memory latency."""
+
+    def __init__(
+        self,
+        l1i: CacheConfig,
+        l1d: CacheConfig,
+        l2: CacheConfig,
+        llc: CacheConfig,
+        memory_latency_cycles: float,
+    ) -> None:
+        if not l1d.size_bytes <= l2.size_bytes <= llc.size_bytes:
+            raise ConfigurationError("cache sizes must be monotone L1d<=L2<=LLC")
+        if memory_latency_cycles <= 0:
+            raise ConfigurationError("memory latency must be positive")
+        self.l1i = l1i
+        self.l1d = l1d
+        self.l2 = l2
+        self.llc = llc
+        self.memory_latency_cycles = memory_latency_cycles
+
+    def data_levels(self) -> Sequence[CacheConfig]:
+        """The data-side levels, innermost first."""
+        return (self.l1d, self.l2, self.llc)
+
+    def instruction_levels(self) -> Sequence[CacheConfig]:
+        """The instruction-side levels, innermost first."""
+        return (self.l1i, self.l2, self.llc)
+
+    def with_effective_sizes(
+        self,
+        l1i_factor: float = 1.0,
+        l1d_factor: float = 1.0,
+        l2_factor: float = 1.0,
+        llc_factor: float = 1.0,
+    ) -> "CacheHierarchy":
+        """A hierarchy with capacities scaled by contention factors."""
+        return CacheHierarchy(
+            self.l1i.scaled(l1i_factor),
+            self.l1d.scaled(l1d_factor),
+            self.l2.scaled(l2_factor),
+            self.llc.scaled(llc_factor),
+            self.memory_latency_cycles,
+        )
+
+    def data_miss_profile(self, spec: MemAccessSpec) -> Dict[str, float]:
+        """Miss fractions of ``spec`` at each data level.
+
+        Returns a mapping level-name -> miss fraction *of the accesses
+        presented to that level* — the hierarchy filters sequentially, so
+        L2's denominator is L1d's misses, etc.
+        """
+        profile: Dict[str, float] = {}
+        for level in self.data_levels():
+            profile[level.name] = miss_fraction(spec, level.size_bytes)
+        return profile
+
+    def load_latency(self, spec: MemAccessSpec) -> float:
+        """Expected cycles to satisfy one access of ``spec`` (no MLP/prefetch).
+
+        Computed as the latency of the first level the access hits in,
+        averaged over the hit/miss fractions.
+        """
+        remaining = 1.0
+        expected = 0.0
+        for level in self.data_levels():
+            miss = miss_fraction(spec, level.size_bytes)
+            expected += remaining * (1.0 - miss) * level.latency_cycles
+            remaining *= miss
+        expected += remaining * self.memory_latency_cycles
+        return expected

@@ -1,0 +1,393 @@
+"""Analytical out-of-order core timing model.
+
+Given a :class:`~repro.hw.ir.BlockSpec` and an :class:`ExecutionContext`
+(microarchitecture + effective cache hierarchy + contention state), the
+model computes cycles and performance counters for the block, in the
+style of a static pipeline analyser crossed with top-down accounting:
+
+- compute-bound cycles: max of issue-width, per-port-group, and
+  dependency-chain (ILP) bounds;
+- memory stalls: per-working-set miss fractions through the hierarchy,
+  divided by achievable memory-level parallelism, minus prefetcher
+  coverage for regular patterns;
+- frontend stalls: instruction-side working-set behaviour (block footprint
+  plus code executed between repeats vs the i-cache);
+- bad speculation: measured misprediction rates from the gshare model
+  times the microarchitecture's re-steer penalty.
+
+The same model prices both original applications and Ditto's synthetic
+clones — differences between the two arise only from how faithfully the
+clone's specs reconstruct the original's, which is precisely what the
+paper evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.hw.branch import BranchPredictorModel
+from repro.hw.cache import LINE_BYTES, CacheHierarchy, miss_fraction
+from repro.hw.ir import BlockSpec, MemAccessSpec, MemPattern
+from repro.hw.topdown import TopDownBreakdown
+from repro.isa.instructions import iform
+from repro.isa.ports import PortGroup, UArch
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Everything outside the block that shapes its timing.
+
+    - ``caches``: the *effective* hierarchy after contention scaling;
+    - ``smt_contention``: 1.0 when the sibling hardware thread is idle,
+      up to 2.0 when it saturates the shared ports;
+    - ``active_threads``: software threads of this application touching
+      shared data (coherence exposure);
+    - ``code_reuse_bytes``: i-side bytes executed between two consecutive
+      executions of a block (other handlers, kernel code) — the i-cache
+      reuse distance;
+    - ``static_branch_sites``: total static conditional branches in the
+      hot code (BTB/PHT aliasing pressure);
+    - ``prefetch_coverage``: fraction of a regular-pattern miss's latency
+      the stride prefetcher hides.
+    """
+
+    uarch: UArch
+    caches: CacheHierarchy
+    smt_contention: float = 1.0
+    active_threads: int = 1
+    code_reuse_bytes: float = 0.0
+    static_branch_sites: int = 64
+    prefetch_coverage: float = 0.75
+    #: True when the thread was just scheduled in after an idle period:
+    #: predictor tables/history are polluted by whatever ran in between.
+    predictor_cold: bool = False
+    branch_model: Optional[BranchPredictorModel] = None
+
+    def __post_init__(self) -> None:
+        if not 1.0 <= self.smt_contention <= 2.0:
+            raise ConfigurationError("smt_contention must be within [1, 2]")
+        if self.active_threads < 1:
+            raise ConfigurationError("active_threads must be >= 1")
+        if not 0.0 <= self.prefetch_coverage <= 1.0:
+            raise ConfigurationError("prefetch_coverage must be in [0, 1]")
+
+    def with_(self, **changes) -> "ExecutionContext":
+        """A modified copy (dataclasses.replace convenience)."""
+        return replace(self, **changes)
+
+    @property
+    def alias_pressure(self) -> float:
+        """How saturated the branch predictor tables are, in [0, 1].
+
+        A cold dispatch behaves like heavy aliasing: the intervening code
+        overwrote the counters this thread trained.
+        """
+        pressure = self.static_branch_sites / self.uarch.btb_entries
+        if self.predictor_cold:
+            pressure += 0.5
+        return min(1.0, pressure)
+
+    def predictor(self) -> BranchPredictorModel:
+        """The branch misprediction oracle for this context."""
+        if self.branch_model is not None:
+            return self.branch_model
+        return BranchPredictorModel(self.uarch.predictor_history)
+
+
+@dataclass
+class BlockTiming:
+    """Cycles and counters for one full execution of a block (all iterations)."""
+
+    cycles: float = 0.0
+    instructions: float = 0.0
+    uops: float = 0.0
+    branches: float = 0.0
+    branch_mispredictions: float = 0.0
+    l1i_accesses: float = 0.0
+    l1i_misses: float = 0.0
+    l1d_accesses: float = 0.0
+    l1d_misses: float = 0.0
+    l2_accesses: float = 0.0
+    l2_misses: float = 0.0
+    llc_accesses: float = 0.0
+    llc_misses: float = 0.0
+    memory_bytes: float = 0.0
+    topdown: TopDownBreakdown = field(default_factory=TopDownBreakdown.zero)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle (0 for an empty block)."""
+        if self.cycles <= 0.0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    def __add__(self, other: "BlockTiming") -> "BlockTiming":
+        return BlockTiming(
+            cycles=self.cycles + other.cycles,
+            instructions=self.instructions + other.instructions,
+            uops=self.uops + other.uops,
+            branches=self.branches + other.branches,
+            branch_mispredictions=(
+                self.branch_mispredictions + other.branch_mispredictions
+            ),
+            l1i_accesses=self.l1i_accesses + other.l1i_accesses,
+            l1i_misses=self.l1i_misses + other.l1i_misses,
+            l1d_accesses=self.l1d_accesses + other.l1d_accesses,
+            l1d_misses=self.l1d_misses + other.l1d_misses,
+            l2_accesses=self.l2_accesses + other.l2_accesses,
+            l2_misses=self.l2_misses + other.l2_misses,
+            llc_accesses=self.llc_accesses + other.llc_accesses,
+            llc_misses=self.llc_misses + other.llc_misses,
+            memory_bytes=self.memory_bytes + other.memory_bytes,
+            topdown=self.topdown + other.topdown,
+        )
+
+    def scaled(self, factor: float) -> "BlockTiming":
+        """Every additive quantity multiplied by ``factor``."""
+        return BlockTiming(
+            cycles=self.cycles * factor,
+            instructions=self.instructions * factor,
+            uops=self.uops * factor,
+            branches=self.branches * factor,
+            branch_mispredictions=self.branch_mispredictions * factor,
+            l1i_accesses=self.l1i_accesses * factor,
+            l1i_misses=self.l1i_misses * factor,
+            l1d_accesses=self.l1d_accesses * factor,
+            l1d_misses=self.l1d_misses * factor,
+            l2_accesses=self.l2_accesses * factor,
+            l2_misses=self.l2_misses * factor,
+            llc_accesses=self.llc_accesses * factor,
+            llc_misses=self.llc_misses * factor,
+            memory_bytes=self.memory_bytes * factor,
+            topdown=self.topdown.scaled(factor),
+        )
+
+
+class CoreModel:
+    """Prices BlockSpecs on an ExecutionContext."""
+
+    #: fraction of an i-miss refill that overlaps with execution
+    FETCH_OVERLAP = 0.5
+    #: fetch-group width used for L1i access accounting (16B groups)
+    FETCH_BYTES = 16
+
+    def __init__(self, ctx: ExecutionContext) -> None:
+        self.ctx = ctx
+
+    # ------------------------------------------------------------------ #
+    # compute-bound components
+    # ------------------------------------------------------------------ #
+    def _port_uops(self, block: BlockSpec) -> Dict[PortGroup, float]:
+        totals: Dict[PortGroup, float] = {}
+        for name, count in block.iform_counts.items():
+            form = iform(name)
+            for group, uops in form.port_uops.items():
+                totals[group] = totals.get(group, 0.0) + uops * count
+            if form.is_rep:
+                extra = form.rep_uops_per_element * block.rep_elements * count
+                totals[PortGroup.STRING] = totals.get(PortGroup.STRING, 0.0) + extra
+        return totals
+
+    def _compute_cycles(
+        self, block: BlockSpec, port_uops: Dict[PortGroup, float]
+    ) -> tuple[float, float]:
+        """Return (compute_cycles, total_uops) for one iteration."""
+        uarch = self.ctx.uarch
+        total_uops = sum(port_uops.values())
+        issue_cycles = total_uops / uarch.issue_width
+        port_cycles = 0.0
+        for group, uops in port_uops.items():
+            cycles = uarch.group(group).cycles_for(uops)
+            port_cycles = max(port_cycles, cycles)
+        # SMT sibling competes for the same issue ports.
+        port_cycles *= self.ctx.smt_contention
+        # Dependency-chain (ILP) bound: with mean RAW distance d, the
+        # stream decomposes into ~d independent chains of n/d hops with
+        # the mix's average producing latency per hop.
+        instructions = block.instructions_per_iteration
+        dep_cycles = 0.0
+        if instructions > 0:
+            weighted_latency = 0.0
+            for name, count in block.iform_counts.items():
+                weighted_latency += iform(name).latency * count
+            avg_latency = max(0.5, weighted_latency / instructions)
+            distance = max(1.0, block.deps.mean_raw_distance())
+            chain_parallelism = min(distance, float(uarch.issue_width) * 2.0)
+            dep_cycles = instructions * avg_latency / chain_parallelism
+        return max(issue_cycles, port_cycles, dep_cycles), total_uops
+
+    # ------------------------------------------------------------------ #
+    # memory subsystem
+    # ------------------------------------------------------------------ #
+    def _memory_mlp(self, block: BlockSpec, spec: MemAccessSpec) -> float:
+        """Achievable memory-level parallelism for ``spec``'s misses."""
+        uarch = self.ctx.uarch
+        if spec.pattern is MemPattern.POINTER_CHASE:
+            return 1.0
+        chase = block.deps.pointer_chase_frac
+        mshr = float(uarch.mshr_count)
+        # Harmonic blend: chasing fraction is serialised at MLP=1, the rest
+        # enjoys the full miss-handling capacity.
+        return 1.0 / (chase / 1.0 + (1.0 - chase) / mshr)
+
+    def _memory_component(
+        self, block: BlockSpec, timing: BlockTiming
+    ) -> float:
+        caches = self.ctx.caches
+        stall = 0.0
+        lat_l1 = caches.l1d.latency_cycles
+        lat_l2 = caches.l2.latency_cycles
+        lat_llc = caches.llc.latency_cycles
+        lat_mem = caches.memory_latency_cycles
+        other_threads = max(0, self.ctx.active_threads - 1)
+        for spec in block.mem:
+            accesses = spec.accesses
+            if accesses <= 0:
+                continue
+            m1 = miss_fraction(spec, caches.l1d.size_bytes)
+            m2 = miss_fraction(spec, caches.l2.size_bytes)
+            m3 = miss_fraction(spec, caches.llc.size_bytes)
+            # The hierarchy filters: fraction of accesses resolving at each
+            # level (m2/m3 conditional on having missed inward levels).
+            f_l2 = m1 * (1.0 - m2) if m1 > 0 else 0.0
+            f_llc = m1 * m2 * (1.0 - m3) if m1 * m2 > 0 else 0.0
+            f_mem = m1 * m2 * m3
+            # Coherence misses: shared lines invalidated by other threads'
+            # writes surface as extra L1d misses served from the LLC.
+            coh_rate = spec.shared_frac * spec.write_frac * min(1.0, other_threads)
+            extra_latency = (
+                f_l2 * (lat_l2 - lat_l1)
+                + f_llc * (lat_llc - lat_l1)
+                + f_mem * (lat_mem - lat_l1)
+                + coh_rate * (lat_llc - lat_l1)
+            )
+            if spec.is_regular:
+                extra_latency *= 1.0 - self.ctx.prefetch_coverage
+            mlp = self._memory_mlp(block, spec)
+            stall += accesses * extra_latency / mlp
+            # Counters.
+            timing.l1d_accesses += accesses
+            timing.l1d_misses += accesses * (m1 + coh_rate)
+            timing.l2_accesses += accesses * m1
+            timing.l2_misses += accesses * m1 * m2
+            timing.llc_accesses += accesses * (m1 * m2 + coh_rate)
+            timing.llc_misses += accesses * m1 * m2 * m3
+            timing.memory_bytes += accesses * m1 * m2 * m3 * LINE_BYTES
+        return stall
+
+    # ------------------------------------------------------------------ #
+    # frontend / instruction side
+    # ------------------------------------------------------------------ #
+    def _frontend_component(
+        self, block: BlockSpec, timing: BlockTiming
+    ) -> float:
+        caches = self.ctx.caches
+        code_bytes = float(block.static_code_bytes())
+        if code_bytes <= 0:
+            return 0.0
+        instructions = block.instructions_per_iteration
+        # Lines actually fetched per loop pass: instructions lay out
+        # densely (4B each, 16 per line), so a pass touches at most
+        # instructions/16 lines, capped by the block footprint.
+        lines = max(1.0, min(code_bytes, 4.0 * max(1.0, instructions))
+                    / LINE_BYTES)
+        iterations = max(1.0, block.iterations)
+        # Two reuse regimes: the first pass of a visit re-fetches lines
+        # last seen one full visit ago (block + everything run in
+        # between); subsequent loop passes re-fetch with the block body
+        # itself as the reuse distance.
+        first_spec = MemAccessSpec(
+            wset_bytes=max(64, int(code_bytes + self.ctx.code_reuse_bytes)),
+            accesses=lines, pattern=MemPattern.SEQUENTIAL,
+        )
+        loop_spec = MemAccessSpec(
+            wset_bytes=max(64, int(code_bytes)), accesses=lines,
+            pattern=MemPattern.SEQUENTIAL,
+        )
+        first_weight = 1.0 / iterations
+        loop_weight = (iterations - 1.0) / iterations
+
+        def blended(cache_bytes: float) -> float:
+            return (miss_fraction(first_spec, cache_bytes) * first_weight
+                    + miss_fraction(loop_spec, cache_bytes) * loop_weight)
+
+        m1 = blended(caches.l1i.size_bytes)
+        m2 = min(m1, blended(caches.l2.size_bytes))
+        m3 = min(m2, blended(caches.llc.size_bytes))
+        miss_l1 = lines * m1
+        miss_l2 = lines * m2
+        miss_llc = lines * m3
+        lat_l2 = caches.l2.latency_cycles
+        lat_llc = caches.llc.latency_cycles
+        lat_mem = caches.memory_latency_cycles
+        # Fetches resolve at the first level they hit: (m1-m2) of the
+        # lines stop at L2, (m2-m3) at the LLC, m3 go to memory.
+        stall = (
+            lines * (m1 - m2) * lat_l2
+            + lines * (m2 - m3) * lat_llc
+            + lines * m3 * lat_mem
+        ) * self.FETCH_OVERLAP
+        timing.l1i_accesses += max(1.0, instructions * 4.0 / self.FETCH_BYTES)
+        timing.l1i_misses += miss_l1
+        timing.l2_accesses += miss_l1
+        timing.l2_misses += miss_l2
+        timing.llc_accesses += miss_l2
+        timing.llc_misses += miss_llc
+        timing.memory_bytes += miss_llc * LINE_BYTES
+        # Decode-width bound adds to frontend pressure for dense blocks.
+        return stall
+
+    # ------------------------------------------------------------------ #
+    # branches
+    # ------------------------------------------------------------------ #
+    def _branch_component(
+        self, block: BlockSpec, timing: BlockTiming
+    ) -> float:
+        predictor = self.ctx.predictor()
+        penalty = self.ctx.uarch.mispredict_penalty
+        pressure = self.ctx.alias_pressure
+        stall = 0.0
+        for spec in block.branches:
+            if spec.executions <= 0:
+                continue
+            rate = predictor.rate_for(spec, alias_pressure=pressure)
+            misses = spec.executions * rate
+            timing.branches += spec.executions
+            timing.branch_mispredictions += misses
+            stall += misses * penalty
+        return stall
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def time_block(self, block: BlockSpec) -> BlockTiming:
+        """Price all iterations of ``block`` under this context."""
+        timing = BlockTiming()
+        port_uops = self._port_uops(block)
+        compute_cycles, total_uops = self._compute_cycles(block, port_uops)
+        mem_stall = self._memory_component(block, timing)
+        fe_stall = self._frontend_component(block, timing)
+        bs_stall = self._branch_component(block, timing)
+        cycles_per_iter = compute_cycles + mem_stall + fe_stall + bs_stall
+        instructions = block.instructions_per_iteration
+        timing.instructions = instructions
+        timing.uops = total_uops
+        timing.cycles = max(cycles_per_iter, total_uops / self.ctx.uarch.issue_width)
+        width = self.ctx.uarch.issue_width
+        total_slots = timing.cycles * width
+        retiring = min(total_slots, total_uops)
+        bad_spec = min(total_slots - retiring, bs_stall * width)
+        frontend = min(total_slots - retiring - bad_spec, fe_stall * width)
+        backend = max(0.0, total_slots - retiring - bad_spec - frontend)
+        timing.topdown = TopDownBreakdown(retiring, frontend, bad_spec, backend)
+        iterations = max(block.iterations, 0.0)
+        return timing.scaled(iterations)
+
+    def time_blocks(self, blocks) -> BlockTiming:
+        """Sum of :meth:`time_block` over ``blocks``."""
+        total = BlockTiming()
+        for block in blocks:
+            total = total + self.time_block(block)
+        return total

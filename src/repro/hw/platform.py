@@ -1,0 +1,228 @@
+"""Server platform specifications (Table 1 of the paper).
+
+A :class:`PlatformSpec` bundles a microarchitecture, cache hierarchy,
+frequency, core topology, memory, disk, and network. The three concrete
+platforms mirror the paper's heterogeneous validation cluster:
+
+=========  ============  ============  ============
+field      Platform A    Platform B    Platform C
+=========  ============  ============  ============
+CPU        Gold 6152     E5-2660 v3    E3-1240 v5
+Freq       2.10 GHz      2.60 GHz      3.50 GHz
+Cores      22 x 2        10 x 2        4 x 1
+uArch      Skylake       Haswell       Skylake
+L2         1 MB          256 KB        256 KB
+LLC        30.25 MB      25 MB         8 MB
+RAM        192GB@2666    128GB@2400    32GB@2133
+Disk       1 TB SSD      2 TB HDD      1 TB HDD
+Network    10 GbE        1 GbE         1 GbE
+=========  ============  ============  ============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.hw.cache import CacheConfig, CacheHierarchy
+from repro.hw.core import ExecutionContext
+from repro.isa.ports import HASWELL, SKYLAKE_CLIENT, SKYLAKE_SERVER, UArch
+from repro.util.errors import ConfigurationError
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """A storage device: access latency plus streaming bandwidth."""
+
+    kind: str                    # "ssd" | "hdd"
+    capacity_bytes: int
+    read_latency_s: float        # per-request device latency
+    write_latency_s: float
+    bandwidth_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ssd", "hdd"):
+            raise ConfigurationError(f"unknown disk kind {self.kind!r}")
+        for name in ("read_latency_s", "write_latency_s", "bandwidth_bytes_per_s"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    def transfer_time(self, nbytes: float, write: bool = False) -> float:
+        """Seconds to service one request of ``nbytes``."""
+        latency = self.write_latency_s if write else self.read_latency_s
+        return latency + nbytes / self.bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A NIC / link: bandwidth plus per-message base latency."""
+
+    bandwidth_bits_per_s: float
+    base_latency_s: float = 30e-6   # same-rack RTT/2 incl. stack traversal
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bits_per_s <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.base_latency_s < 0:
+            raise ConfigurationError("base latency must be non-negative")
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        """Link bandwidth in bytes/second."""
+        return self.bandwidth_bits_per_s / 8.0
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to push ``nbytes`` onto the wire (excl. queueing)."""
+        return self.base_latency_s + nbytes / self.bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One server platform."""
+
+    name: str
+    cpu_model: str
+    uarch: UArch
+    base_frequency_ghz: float
+    cores_per_socket: int
+    sockets: int
+    smt_ways: int
+    l1i: CacheConfig
+    l1d: CacheConfig
+    l2: CacheConfig
+    llc: CacheConfig
+    memory_latency_ns: float
+    ram_bytes: int
+    disk: DiskSpec
+    network: NetworkSpec
+
+    def __post_init__(self) -> None:
+        if self.base_frequency_ghz <= 0:
+            raise ConfigurationError("frequency must be positive")
+        if self.cores_per_socket < 1 or self.sockets < 1:
+            raise ConfigurationError("core/socket counts must be >= 1")
+
+    @property
+    def total_cores(self) -> int:
+        """Physical cores across sockets."""
+        return self.cores_per_socket * self.sockets
+
+    def frequency_hz(self, frequency_ghz: Optional[float] = None) -> float:
+        """Clock in Hz, with an optional DVFS override (Fig. 11)."""
+        freq = frequency_ghz if frequency_ghz is not None else self.base_frequency_ghz
+        if freq <= 0:
+            raise ConfigurationError("frequency must be positive")
+        return freq * 1e9
+
+    def cycles_to_seconds(
+        self, cycles: float, frequency_ghz: Optional[float] = None
+    ) -> float:
+        """Convert core cycles to wall-clock seconds."""
+        return cycles / self.frequency_hz(frequency_ghz)
+
+    def hierarchy(self, frequency_ghz: Optional[float] = None) -> CacheHierarchy:
+        """The per-core cache hierarchy with DRAM latency in cycles.
+
+        DRAM latency in *cycles* scales with the clock: a faster core waits
+        more cycles for the same wall-clock DRAM access.
+        """
+        freq = frequency_ghz if frequency_ghz is not None else self.base_frequency_ghz
+        memory_cycles = self.memory_latency_ns * freq
+        return CacheHierarchy(self.l1i, self.l1d, self.l2, self.llc, memory_cycles)
+
+    def context(
+        self,
+        frequency_ghz: Optional[float] = None,
+        **overrides,
+    ) -> ExecutionContext:
+        """A default :class:`ExecutionContext` for this platform."""
+        return ExecutionContext(
+            uarch=self.uarch,
+            caches=self.hierarchy(frequency_ghz),
+            **overrides,
+        )
+
+    def with_disk(self, disk: DiskSpec) -> "PlatformSpec":
+        """A copy with a different storage device."""
+        return replace(self, disk=disk)
+
+
+def _cache(name: str, size: int, assoc: int, latency: float) -> CacheConfig:
+    return CacheConfig(name=name, size_bytes=size, associativity=assoc,
+                       latency_cycles=latency)
+
+
+PLATFORM_A = PlatformSpec(
+    name="A",
+    cpu_model="Xeon Gold 6152",
+    uarch=SKYLAKE_SERVER,
+    base_frequency_ghz=2.10,
+    cores_per_socket=22,
+    sockets=2,
+    smt_ways=2,
+    l1i=_cache("l1i", 32 * KB, 8, 4),
+    l1d=_cache("l1d", 32 * KB, 8, 4),
+    l2=_cache("l2", 1 * MB, 16, 14),
+    llc=_cache("llc", 30 * MB + 256 * KB, 11, 50),
+    memory_latency_ns=85.0,
+    ram_bytes=192 * GB,
+    disk=DiskSpec("ssd", 1024 * GB, read_latency_s=90e-6, write_latency_s=110e-6,
+                  bandwidth_bytes_per_s=520e6),
+    network=NetworkSpec(bandwidth_bits_per_s=10e9),
+)
+
+PLATFORM_B = PlatformSpec(
+    name="B",
+    cpu_model="Xeon E5-2660 v3",
+    uarch=HASWELL,
+    base_frequency_ghz=2.60,
+    cores_per_socket=10,
+    sockets=2,
+    smt_ways=2,
+    l1i=_cache("l1i", 32 * KB, 8, 4),
+    l1d=_cache("l1d", 32 * KB, 8, 4),
+    l2=_cache("l2", 256 * KB, 8, 12),
+    llc=_cache("llc", 25 * MB, 20, 45),
+    memory_latency_ns=95.0,
+    ram_bytes=128 * GB,
+    disk=DiskSpec("hdd", 2048 * GB, read_latency_s=4.2e-3, write_latency_s=4.6e-3,
+                  bandwidth_bytes_per_s=160e6),
+    network=NetworkSpec(bandwidth_bits_per_s=1e9),
+)
+
+PLATFORM_C = PlatformSpec(
+    name="C",
+    cpu_model="Xeon E3-1240 v5",
+    uarch=SKYLAKE_CLIENT,
+    base_frequency_ghz=3.50,
+    cores_per_socket=4,
+    sockets=1,
+    smt_ways=2,
+    l1i=_cache("l1i", 32 * KB, 8, 4),
+    l1d=_cache("l1d", 32 * KB, 8, 4),
+    l2=_cache("l2", 256 * KB, 4, 12),
+    llc=_cache("llc", 8 * MB, 16, 42),
+    memory_latency_ns=98.0,
+    ram_bytes=32 * GB,
+    disk=DiskSpec("hdd", 1024 * GB, read_latency_s=4.5e-3, write_latency_s=5.0e-3,
+                  bandwidth_bytes_per_s=140e6),
+    network=NetworkSpec(bandwidth_bits_per_s=1e9),
+)
+
+_PLATFORMS: Dict[str, PlatformSpec] = {
+    "A": PLATFORM_A, "B": PLATFORM_B, "C": PLATFORM_C,
+}
+
+
+def platform_by_name(name: str) -> PlatformSpec:
+    """Look a platform up by its Table 1 letter."""
+    try:
+        return _PLATFORMS[name.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown platform {name!r}; expected one of {sorted(_PLATFORMS)}"
+        ) from None

@@ -1,0 +1,42 @@
+"""x86-flavoured instruction-set model.
+
+Ditto's application-body generator works at the assembly level: it samples
+instructions from the profiled mix, honouring each instruction's uop count,
+port usage, and latency (§4.4.2 cites uops.info and Agner Fog's tables).
+This package provides:
+
+- the register file and the registers Ditto reserves for generated code
+  (loop counters, memory base, pointer-chase register, branch mask);
+- execution-port *groups* that abstract the per-microarchitecture port maps
+  so instruction definitions stay platform-independent;
+- an iform catalogue with uops / port groups / latency / encoded size;
+- per-microarchitecture tables (Skylake server & client, Haswell).
+"""
+
+from repro.isa.instructions import (
+    IForm,
+    InstructionCategory,
+    OperandKind,
+    catalog,
+    iform,
+    iform_names,
+)
+from repro.isa.ports import PortGroup, UArch, HASWELL, SKYLAKE_CLIENT, SKYLAKE_SERVER
+from repro.isa.registers import Register, RegisterClass, RegisterFile
+
+__all__ = [
+    "HASWELL",
+    "IForm",
+    "InstructionCategory",
+    "OperandKind",
+    "PortGroup",
+    "Register",
+    "RegisterClass",
+    "RegisterFile",
+    "SKYLAKE_CLIENT",
+    "SKYLAKE_SERVER",
+    "UArch",
+    "catalog",
+    "iform",
+    "iform_names",
+]

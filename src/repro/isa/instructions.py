@@ -1,0 +1,318 @@
+"""The iform catalogue.
+
+Intel SDE reports dynamic instruction counts per *XED iform* — an opcode
+specialised by operand kinds (§4.4.2). The catalogue below defines the
+iforms the simulated applications and the synthetic generator draw from,
+with uop counts, abstract port-group usage, latency and encoded size
+following uops.info / Agner Fog for Skylake-class cores.
+
+The catalogue is intentionally richer than the classic 8-category
+taxonomies the paper criticises: it distinguishes e.g. ``CRC32_r64_r64``
+(3 cycles, MUL port only) from ``ADD_r64_r64`` (1 cycle, any ALU port),
+and models LOCK-prefixed and REP-string iforms whose cost depends on the
+repeat count.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from repro.isa.ports import PortGroup
+from repro.util.errors import ConfigurationError
+
+
+class InstructionCategory(enum.Enum):
+    """Functional clusters used in Ditto's first clustering axis (§4.4.2)."""
+
+    DATA_MOVE = "data_move"
+    ARITH_LOGIC = "arith_logic"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    FP = "fp"
+    SIMD = "simd"
+    CONTROL = "control"
+    LOCK = "lock"
+    REP_STRING = "rep_string"
+
+
+class OperandKind(enum.Enum):
+    """Operand classes used in Ditto's second clustering axis (§4.4.2)."""
+
+    GPR = "gpr"
+    XMM = "xmm"
+    X87 = "x87"
+    MEM = "mem"
+    IMM = "imm"
+
+
+@dataclass(frozen=True)
+class IForm:
+    """One instruction form with its microarchitectural cost model.
+
+    ``port_uops`` maps each abstract port group to the number of uops the
+    iform issues to it; ``latency`` is the dependency-chain latency in
+    cycles; ``size_bytes`` is the typical encoded length (drives the
+    instruction-memory footprint maths of §4.4.5).
+    """
+
+    name: str
+    category: InstructionCategory
+    operands: Tuple[OperandKind, ...]
+    port_uops: Mapping[PortGroup, float]
+    latency: float
+    size_bytes: int = 4
+    reads_mem: bool = False
+    writes_mem: bool = False
+    is_branch: bool = False
+    is_rep: bool = False
+    is_lock: bool = False
+    #: cost (uops to STRING group) added per repeated element for REP forms
+    rep_uops_per_element: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ConfigurationError(f"{self.name}: negative latency")
+        if self.size_bytes <= 0:
+            raise ConfigurationError(f"{self.name}: non-positive size")
+        if not self.port_uops:
+            raise ConfigurationError(f"{self.name}: no port usage")
+
+    @property
+    def uops(self) -> float:
+        """Total uops issued by one execution of the iform."""
+        return float(sum(self.port_uops.values()))
+
+    @property
+    def uses_memory(self) -> bool:
+        """True when the iform reads or writes memory."""
+        return self.reads_mem or self.writes_mem
+
+
+def _mk(
+    name: str,
+    category: InstructionCategory,
+    operands: Tuple[OperandKind, ...],
+    ports: Dict[PortGroup, float],
+    latency: float,
+    **kwargs,
+) -> IForm:
+    return IForm(name, category, operands, ports, latency, **kwargs)
+
+
+_G = OperandKind.GPR
+_X = OperandKind.XMM
+_M = OperandKind.MEM
+_I = OperandKind.IMM
+_PG = PortGroup
+
+
+def _build_catalog() -> Dict[str, IForm]:
+    forms: List[IForm] = [
+        # --- data movement -------------------------------------------------
+        _mk("MOV_r64_r64", InstructionCategory.DATA_MOVE, (_G, _G),
+            {_PG.ALU: 1}, 0.0, size_bytes=3),
+        _mk("MOV_r64_imm", InstructionCategory.DATA_MOVE, (_G, _I),
+            {_PG.ALU: 1}, 1.0, size_bytes=5),
+        _mk("MOV_r64_m64", InstructionCategory.DATA_MOVE, (_G, _M),
+            {_PG.LOAD: 1}, 4.0, size_bytes=4, reads_mem=True),
+        _mk("MOV_m64_r64", InstructionCategory.DATA_MOVE, (_M, _G),
+            {_PG.STORE: 1, _PG.ALU: 1}, 1.0, size_bytes=4, writes_mem=True),
+        _mk("MOV_r32_m32", InstructionCategory.DATA_MOVE, (_G, _M),
+            {_PG.LOAD: 1}, 4.0, size_bytes=3, reads_mem=True),
+        _mk("MOV_m32_r32", InstructionCategory.DATA_MOVE, (_M, _G),
+            {_PG.STORE: 1, _PG.ALU: 1}, 1.0, size_bytes=3, writes_mem=True),
+        _mk("MOVZX_r64_m8", InstructionCategory.DATA_MOVE, (_G, _M),
+            {_PG.LOAD: 1}, 4.0, size_bytes=4, reads_mem=True),
+        _mk("LEA_r64_m", InstructionCategory.DATA_MOVE, (_G, _M),
+            {_PG.ALU: 1}, 1.0, size_bytes=4),
+        _mk("PUSH_r64", InstructionCategory.DATA_MOVE, (_G,),
+            {_PG.STORE: 1, _PG.ALU: 1}, 1.0, size_bytes=1, writes_mem=True),
+        _mk("POP_r64", InstructionCategory.DATA_MOVE, (_G,),
+            {_PG.LOAD: 1}, 4.0, size_bytes=1, reads_mem=True),
+        _mk("XCHG_r64_r64", InstructionCategory.DATA_MOVE, (_G, _G),
+            {_PG.ALU: 3}, 2.0, size_bytes=3),
+        _mk("CMOVZ_r64_r64", InstructionCategory.DATA_MOVE, (_G, _G),
+            {_PG.ALU: 1}, 1.0, size_bytes=4),
+        # --- integer arithmetic / logic -------------------------------------
+        _mk("ADD_r64_r64", InstructionCategory.ARITH_LOGIC, (_G, _G),
+            {_PG.ALU: 1}, 1.0, size_bytes=3),
+        _mk("ADD_r64_imm", InstructionCategory.ARITH_LOGIC, (_G, _I),
+            {_PG.ALU: 1}, 1.0, size_bytes=4),
+        _mk("ADD_r64_m64", InstructionCategory.ARITH_LOGIC, (_G, _M),
+            {_PG.ALU: 1, _PG.LOAD: 1}, 5.0, size_bytes=4, reads_mem=True),
+        _mk("ADD_m64_r64", InstructionCategory.ARITH_LOGIC, (_M, _G),
+            {_PG.ALU: 1, _PG.LOAD: 1, _PG.STORE: 1}, 6.0, size_bytes=4,
+            reads_mem=True, writes_mem=True),
+        _mk("SUB_r64_r64", InstructionCategory.ARITH_LOGIC, (_G, _G),
+            {_PG.ALU: 1}, 1.0, size_bytes=3),
+        _mk("SUB_r32_m32", InstructionCategory.ARITH_LOGIC, (_G, _M),
+            {_PG.ALU: 1, _PG.LOAD: 1}, 5.0, size_bytes=4, reads_mem=True),
+        _mk("XOR_r64_r64", InstructionCategory.ARITH_LOGIC, (_G, _G),
+            {_PG.ALU: 1}, 0.0, size_bytes=3),
+        _mk("AND_r64_r64", InstructionCategory.ARITH_LOGIC, (_G, _G),
+            {_PG.ALU: 1}, 1.0, size_bytes=3),
+        _mk("OR_r64_r64", InstructionCategory.ARITH_LOGIC, (_G, _G),
+            {_PG.ALU: 1}, 1.0, size_bytes=3),
+        _mk("NOT_r64", InstructionCategory.ARITH_LOGIC, (_G,),
+            {_PG.ALU: 1}, 1.0, size_bytes=3),
+        _mk("NEG_r64", InstructionCategory.ARITH_LOGIC, (_G,),
+            {_PG.ALU: 1}, 1.0, size_bytes=3),
+        _mk("INC_r64", InstructionCategory.ARITH_LOGIC, (_G,),
+            {_PG.ALU: 1}, 1.0, size_bytes=3),
+        _mk("DEC_r64", InstructionCategory.ARITH_LOGIC, (_G,),
+            {_PG.ALU: 1}, 1.0, size_bytes=3),
+        _mk("CMP_r64_r64", InstructionCategory.ARITH_LOGIC, (_G, _G),
+            {_PG.ALU: 1}, 1.0, size_bytes=3),
+        _mk("CMP_r64_imm", InstructionCategory.ARITH_LOGIC, (_G, _I),
+            {_PG.ALU: 1}, 1.0, size_bytes=4),
+        _mk("TEST_r64_r64", InstructionCategory.ARITH_LOGIC, (_G, _G),
+            {_PG.ALU: 1}, 1.0, size_bytes=3),
+        _mk("TEST_r32_imm", InstructionCategory.ARITH_LOGIC, (_G, _I),
+            {_PG.ALU: 1}, 1.0, size_bytes=6),
+        _mk("SHL_r64_imm", InstructionCategory.ARITH_LOGIC, (_G, _I),
+            {_PG.SHIFT: 1}, 1.0, size_bytes=4),
+        _mk("SHR_r64_imm", InstructionCategory.ARITH_LOGIC, (_G, _I),
+            {_PG.SHIFT: 1}, 1.0, size_bytes=4),
+        _mk("ROL_r64_imm", InstructionCategory.ARITH_LOGIC, (_G, _I),
+            {_PG.SHIFT: 1}, 1.0, size_bytes=4),
+        _mk("BSF_r64_r64", InstructionCategory.ARITH_LOGIC, (_G, _G),
+            {_PG.MUL: 1}, 3.0, size_bytes=4),
+        _mk("POPCNT_r64_r64", InstructionCategory.ARITH_LOGIC, (_G, _G),
+            {_PG.MUL: 1}, 3.0, size_bytes=5),
+        # --- integer multiply / divide / checksum ---------------------------
+        _mk("IMUL_r64_r64", InstructionCategory.INT_MUL, (_G, _G),
+            {_PG.MUL: 1}, 3.0, size_bytes=4),
+        _mk("MUL_m64", InstructionCategory.INT_MUL, (_M,),
+            {_PG.MUL: 1, _PG.LOAD: 1, _PG.ALU: 1}, 7.0, size_bytes=4,
+            reads_mem=True),
+        _mk("CRC32_r64_r64", InstructionCategory.INT_MUL, (_G, _G),
+            {_PG.MUL: 1}, 3.0, size_bytes=5),
+        _mk("DIV_r64", InstructionCategory.INT_DIV, (_G,),
+            {_PG.DIV: 1, _PG.ALU: 1}, 36.0, size_bytes=3),
+        _mk("IDIV_r32", InstructionCategory.INT_DIV, (_G,),
+            {_PG.DIV: 1, _PG.ALU: 1}, 26.0, size_bytes=3),
+        # --- scalar floating point ------------------------------------------
+        _mk("ADDSD_x_x", InstructionCategory.FP, (_X, _X),
+            {_PG.FP: 1}, 4.0, size_bytes=4),
+        _mk("MULSD_x_x", InstructionCategory.FP, (_X, _X),
+            {_PG.FP: 1}, 4.0, size_bytes=4),
+        _mk("DIVSD_x_x", InstructionCategory.FP, (_X, _X),
+            {_PG.FP_DIV: 1}, 14.0, size_bytes=4),
+        _mk("SQRTSD_x_x", InstructionCategory.FP, (_X, _X),
+            {_PG.FP_DIV: 1}, 18.0, size_bytes=4),
+        _mk("CVTSI2SD_x_r64", InstructionCategory.FP, (_X, _G),
+            {_PG.FP: 1, _PG.ALU: 1}, 6.0, size_bytes=5),
+        _mk("COMISD_x_x", InstructionCategory.FP, (_X, _X),
+            {_PG.FP: 1}, 2.0, size_bytes=4),
+        _mk("ADDSD_x_m64", InstructionCategory.FP, (_X, _M),
+            {_PG.FP: 1, _PG.LOAD: 1}, 8.0, size_bytes=5, reads_mem=True),
+        # --- SIMD ------------------------------------------------------------
+        _mk("PADDD_x_x", InstructionCategory.SIMD, (_X, _X),
+            {_PG.SIMD: 1}, 1.0, size_bytes=4),
+        _mk("PMULLD_x_x", InstructionCategory.SIMD, (_X, _X),
+            {_PG.MUL: 2}, 10.0, size_bytes=5),
+        _mk("PXOR_x_x", InstructionCategory.SIMD, (_X, _X),
+            {_PG.SIMD: 1}, 0.0, size_bytes=4),
+        _mk("PAND_x_x", InstructionCategory.SIMD, (_X, _X),
+            {_PG.SIMD: 1}, 1.0, size_bytes=4),
+        _mk("PCMPEQB_x_x", InstructionCategory.SIMD, (_X, _X),
+            {_PG.SIMD: 1}, 1.0, size_bytes=4),
+        _mk("PSHUFB_x_x", InstructionCategory.SIMD, (_X, _X),
+            {_PG.SIMD: 1}, 1.0, size_bytes=5),
+        _mk("MOVAPS_x_x", InstructionCategory.SIMD, (_X, _X),
+            {_PG.SIMD: 1}, 0.0, size_bytes=3),
+        _mk("MOVDQU_x_m128", InstructionCategory.SIMD, (_X, _M),
+            {_PG.LOAD: 1}, 5.0, size_bytes=5, reads_mem=True),
+        _mk("MOVDQU_m128_x", InstructionCategory.SIMD, (_M, _X),
+            {_PG.STORE: 1, _PG.ALU: 1}, 1.0, size_bytes=5, writes_mem=True),
+        _mk("PTEST_x_x", InstructionCategory.SIMD, (_X, _X),
+            {_PG.SIMD: 2}, 3.0, size_bytes=5),
+        # --- control flow ----------------------------------------------------
+        _mk("JZ_rel", InstructionCategory.CONTROL, (_I,),
+            {_PG.BRANCH: 1}, 1.0, size_bytes=2, is_branch=True),
+        _mk("JNZ_rel", InstructionCategory.CONTROL, (_I,),
+            {_PG.BRANCH: 1}, 1.0, size_bytes=2, is_branch=True),
+        _mk("JL_rel", InstructionCategory.CONTROL, (_I,),
+            {_PG.BRANCH: 1}, 1.0, size_bytes=2, is_branch=True),
+        _mk("JMP_rel", InstructionCategory.CONTROL, (_I,),
+            {_PG.BRANCH: 1}, 1.0, size_bytes=2, is_branch=True),
+        _mk("CALL_rel", InstructionCategory.CONTROL, (_I,),
+            {_PG.BRANCH: 1, _PG.STORE: 1, _PG.ALU: 1}, 2.0, size_bytes=5,
+            is_branch=True, writes_mem=True),
+        _mk("RET", InstructionCategory.CONTROL, (),
+            {_PG.BRANCH: 1, _PG.LOAD: 1}, 2.0, size_bytes=1,
+            is_branch=True, reads_mem=True),
+        _mk("NOP", InstructionCategory.CONTROL, (),
+            {_PG.ALU: 1}, 0.0, size_bytes=1),
+        # --- lock-prefixed ----------------------------------------------------
+        _mk("LOCK_ADD_m64_r64", InstructionCategory.LOCK, (_M, _G),
+            {_PG.LOCK: 1, _PG.LOAD: 1, _PG.STORE: 1}, 18.0, size_bytes=5,
+            reads_mem=True, writes_mem=True, is_lock=True),
+        _mk("LOCK_CMPXCHG_m64_r64", InstructionCategory.LOCK, (_M, _G),
+            {_PG.LOCK: 1, _PG.LOAD: 1, _PG.STORE: 1, _PG.ALU: 2}, 19.0,
+            size_bytes=6, reads_mem=True, writes_mem=True, is_lock=True),
+        _mk("LOCK_XADD_m64_r64", InstructionCategory.LOCK, (_M, _G),
+            {_PG.LOCK: 1, _PG.LOAD: 1, _PG.STORE: 1, _PG.ALU: 1}, 19.0,
+            size_bytes=6, reads_mem=True, writes_mem=True, is_lock=True),
+        _mk("XCHG_m64_r64", InstructionCategory.LOCK, (_M, _G),
+            {_PG.LOCK: 1, _PG.LOAD: 1, _PG.STORE: 1}, 18.0, size_bytes=4,
+            reads_mem=True, writes_mem=True, is_lock=True),
+        # --- REP string --------------------------------------------------------
+        _mk("REP_MOVSB", InstructionCategory.REP_STRING, (_M, _M),
+            {_PG.STRING: 4}, 25.0, size_bytes=2, reads_mem=True,
+            writes_mem=True, is_rep=True, rep_uops_per_element=0.035),
+        _mk("REP_STOSB", InstructionCategory.REP_STRING, (_M,),
+            {_PG.STRING: 3}, 20.0, size_bytes=2, writes_mem=True,
+            is_rep=True, rep_uops_per_element=0.03),
+        _mk("REPNZ_SCASB", InstructionCategory.REP_STRING, (_M,),
+            {_PG.STRING: 3}, 20.0, size_bytes=2, reads_mem=True,
+            is_rep=True, rep_uops_per_element=0.5),
+    ]
+    by_name = {form.name: form for form in forms}
+    if len(by_name) != len(forms):
+        raise ConfigurationError("duplicate iform names in catalogue")
+    return by_name
+
+
+_CATALOG: Dict[str, IForm] = _build_catalog()
+
+
+def catalog() -> Dict[str, IForm]:
+    """Return the full iform catalogue keyed by name (a copy)."""
+    return dict(_CATALOG)
+
+
+def iform(name: str) -> IForm:
+    """Look up a single iform by name."""
+    form = _CATALOG.get(name)
+    if form is None:
+        raise ConfigurationError(f"unknown iform {name!r}")
+    return form
+
+
+def iform_names(category: InstructionCategory | None = None) -> List[str]:
+    """All iform names, optionally filtered to one category."""
+    if category is None:
+        return sorted(_CATALOG)
+    return sorted(
+        name for name, form in _CATALOG.items() if form.category is category
+    )
+
+
+def feature_vector(form: IForm) -> List[float]:
+    """Numeric features for hierarchical clustering of iforms (§4.4.2).
+
+    Axes mirror the paper: functionality (category one-hot), operand kinds
+    (counts per class), and ALU usage (uops per port group + latency).
+    """
+    features: List[float] = []
+    for category in InstructionCategory:
+        features.append(1.0 if form.category is category else 0.0)
+    for kind in OperandKind:
+        features.append(float(sum(1 for op in form.operands if op is kind)))
+    for group in PortGroup:
+        features.append(float(form.port_uops.get(group, 0.0)))
+    features.append(form.latency / 10.0)
+    return features

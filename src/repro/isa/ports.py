@@ -1,0 +1,169 @@
+"""Execution-port groups and microarchitecture descriptions.
+
+Instruction definitions reference abstract *port groups* ("alu", "load",
+"mul", ...); each :class:`UArch` maps a group to the number of ports that
+can service it and a reciprocal throughput. This keeps the iform catalogue
+platform-independent — exactly the property Ditto relies on for porting
+clones across machines without reprofiling (§4.1 Portability) — while the
+timing model stays faithful to real Skylake/Haswell port maps (uops.info,
+Agner Fog's tables).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.util.errors import ConfigurationError
+
+
+class PortGroup(enum.Enum):
+    """Abstract execution-resource classes.
+
+    The names track the functional split of Intel big-core ports:
+
+    - ``ALU``: simple integer ops (ports 0/1/5/6 on SKL & HSW);
+    - ``MUL``: integer multiply / CRC32 (port 1 only — the paper's §4.4.2
+      CRC32 example);
+    - ``DIV``: the non-pipelined divider behind port 0;
+    - ``SHIFT``: shifts and rotates (ports 0/6);
+    - ``BRANCH``: taken-branch execution (port 0/6 on SKL, 6 on HSW);
+    - ``LOAD``: load AGU+data (ports 2/3);
+    - ``STORE``: store data (port 4; address generation folded in);
+    - ``FP``: scalar/vector FP add & mul (ports 0/1 on SKL, 0/1 on HSW);
+    - ``FP_DIV``: FP divide/sqrt (non-pipelined, port 0);
+    - ``SIMD``: integer vector ops (ports 0/1/5);
+    - ``STRING``: microcoded REP-string sequencing;
+    - ``LOCK``: locked RMW serialisation.
+    """
+
+    ALU = "alu"
+    MUL = "mul"
+    DIV = "div"
+    SHIFT = "shift"
+    BRANCH = "branch"
+    LOAD = "load"
+    STORE = "store"
+    FP = "fp"
+    FP_DIV = "fp_div"
+    SIMD = "simd"
+    STRING = "string"
+    LOCK = "lock"
+
+
+@dataclass(frozen=True)
+class PortGroupSpec:
+    """Capacity of one port group on one microarchitecture.
+
+    ``ports`` is how many uops of this group can start per cycle;
+    ``recip_throughput`` is the steady-state cycles per uop through one
+    port (1.0 for pipelined units, larger for dividers/microcode).
+    """
+
+    ports: float
+    recip_throughput: float = 1.0
+
+    def cycles_for(self, uops: float) -> float:
+        """Cycles this group needs to issue ``uops`` uops."""
+        if uops < 0:
+            raise ConfigurationError(f"negative uop count {uops}")
+        if self.ports <= 0:
+            raise ConfigurationError("port group with no ports")
+        return uops * self.recip_throughput / self.ports
+
+
+@dataclass(frozen=True)
+class UArch:
+    """An out-of-order core microarchitecture.
+
+    The parameters are the ones the analytical core model consumes; values
+    follow Intel optimisation-manual numbers for each generation.
+    """
+
+    name: str
+    issue_width: int            # allocation/rename width (uops/cycle)
+    retire_width: int
+    decode_width: int           # legacy-decode uops/cycle (frontend bound)
+    rob_size: int               # reorder-buffer entries (ILP window)
+    load_buffer: int            # outstanding loads
+    mshr_count: int             # L1d miss-level parallelism limit
+    mispredict_penalty: float   # cycles to re-steer after a branch miss
+    btb_entries: int            # branch-target buffer capacity (aliasing)
+    predictor_history: int      # global-history bits of the predictor
+    port_groups: Mapping[PortGroup, PortGroupSpec] = field(default_factory=dict)
+
+    def group(self, group: PortGroup) -> PortGroupSpec:
+        """Return the capacity spec for ``group``."""
+        spec = self.port_groups.get(group)
+        if spec is None:
+            raise ConfigurationError(f"{self.name} has no spec for {group}")
+        return spec
+
+
+def _common_port_groups(
+    branch_ports: float, fp_ports: float
+) -> Dict[PortGroup, PortGroupSpec]:
+    return {
+        PortGroup.ALU: PortGroupSpec(ports=4),
+        PortGroup.MUL: PortGroupSpec(ports=1),
+        PortGroup.DIV: PortGroupSpec(ports=1, recip_throughput=24.0),
+        PortGroup.SHIFT: PortGroupSpec(ports=2),
+        PortGroup.BRANCH: PortGroupSpec(ports=branch_ports),
+        PortGroup.LOAD: PortGroupSpec(ports=2),
+        PortGroup.STORE: PortGroupSpec(ports=1),
+        PortGroup.FP: PortGroupSpec(ports=fp_ports),
+        PortGroup.FP_DIV: PortGroupSpec(ports=1, recip_throughput=13.0),
+        PortGroup.SIMD: PortGroupSpec(ports=3),
+        PortGroup.STRING: PortGroupSpec(ports=1, recip_throughput=1.0),
+        PortGroup.LOCK: PortGroupSpec(ports=1, recip_throughput=18.0),
+    }
+
+
+#: Skylake-SP (Platform A's Gold 6152) — 4-wide allocate, 224-entry ROB.
+SKYLAKE_SERVER = UArch(
+    name="skylake-server",
+    issue_width=4,
+    retire_width=4,
+    decode_width=4,
+    rob_size=224,
+    load_buffer=72,
+    mshr_count=12,
+    mispredict_penalty=16.0,
+    btb_entries=4096,
+    predictor_history=16,
+    port_groups=_common_port_groups(branch_ports=2, fp_ports=2),
+)
+
+#: Skylake client (Platform C's E3-1240 v5) — same core, smaller uncore.
+SKYLAKE_CLIENT = UArch(
+    name="skylake-client",
+    issue_width=4,
+    retire_width=4,
+    decode_width=4,
+    rob_size=224,
+    load_buffer=72,
+    mshr_count=12,
+    mispredict_penalty=16.0,
+    btb_entries=4096,
+    predictor_history=16,
+    port_groups=_common_port_groups(branch_ports=2, fp_ports=2),
+)
+
+#: Haswell (Platform B's E5-2660 v3) — older generation: smaller ROB,
+#: single taken-branch port, shallower predictor, higher divide latency.
+HASWELL = UArch(
+    name="haswell",
+    issue_width=4,
+    retire_width=4,
+    decode_width=4,
+    rob_size=192,
+    load_buffer=72,
+    mshr_count=10,
+    mispredict_penalty=17.0,
+    btb_entries=2048,
+    predictor_history=12,
+    port_groups=_common_port_groups(branch_ports=1, fp_ports=2),
+)
+
+ALL_UARCHES = {u.name: u for u in (SKYLAKE_SERVER, SKYLAKE_CLIENT, HASWELL)}

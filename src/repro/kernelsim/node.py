@@ -1,0 +1,111 @@
+"""A node: one server binding CPU, disk, NIC and page cache together."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.hw.platform import PlatformSpec
+from repro.kernelsim.filesystem import FileSystem, PageCache
+from repro.kernelsim.netstack import NicDevice
+from repro.kernelsim.scheduler import CpuDevice
+from repro.sim import Environment, Event, Resource
+from repro.util.errors import ConfigurationError
+
+
+class DiskDevice:
+    """A storage device: serialising queue plus byte counters."""
+
+    def __init__(self, env: Environment, platform: PlatformSpec,
+                 name: str = "disk", bandwidth_share: float = 1.0) -> None:
+        if not 0.0 < bandwidth_share <= 1.0:
+            raise ConfigurationError("bandwidth_share must be in (0, 1]")
+        self.env = env
+        self.spec = platform.disk
+        self.name = name
+        self.bandwidth_share = bandwidth_share
+        # SSDs overlap several outstanding requests' access latencies;
+        # HDDs serialise on the head. Data transfer always serialises on
+        # the device link, so aggregate throughput can never exceed the
+        # device bandwidth.
+        depth = 8 if self.spec.kind == "ssd" else 1
+        self._queue = Resource(env, capacity=depth, name=name)
+        self._channel = Resource(env, capacity=1, name=f"{name}-channel")
+        self.read_bytes = 0.0
+        self.write_bytes = 0.0
+        self.operations = 0
+
+    def io(self, nbytes: float, write: bool = False
+           ) -> Generator[Event, None, None]:
+        """DES process body: one device I/O of ``nbytes``."""
+        if nbytes < 0:
+            raise ConfigurationError("nbytes must be non-negative")
+        grant = self._queue.request()
+        yield grant
+        try:
+            latency = (self.spec.write_latency_s if write
+                       else self.spec.read_latency_s)
+            yield self.env.timeout(latency)
+            channel = self._channel.request()
+            yield channel
+            try:
+                xfer = nbytes / (self.spec.bandwidth_bytes_per_s
+                                 * self.bandwidth_share)
+                yield self.env.timeout(xfer)
+            finally:
+                self._channel.release()
+        finally:
+            self._queue.release()
+        self.operations += 1
+        if write:
+            self.write_bytes += nbytes
+        else:
+            self.read_bytes += nbytes
+
+
+class Node:
+    """One simulated server: platform + devices + VFS.
+
+    ``cores`` and ``frequency_ghz`` may override the platform defaults for
+    the power-management study (Fig. 11); ``page_cache_bytes`` defaults to
+    a quarter of RAM (a database would normally configure this).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        platform: PlatformSpec,
+        name: str = "node0",
+        cores: Optional[int] = None,
+        frequency_ghz: Optional[float] = None,
+        page_cache_bytes: Optional[float] = None,
+        nic_bandwidth_share: float = 1.0,
+        disk_bandwidth_share: float = 1.0,
+    ) -> None:
+        self.env = env
+        self.platform = platform
+        self.name = name
+        self.frequency_ghz = (frequency_ghz if frequency_ghz is not None
+                              else platform.base_frequency_ghz)
+        core_count = cores if cores is not None else platform.total_cores
+        if core_count < 1:
+            raise ConfigurationError("node needs at least one core")
+        if core_count > platform.total_cores * platform.smt_ways:
+            raise ConfigurationError(
+                f"{core_count} cores exceed platform capacity"
+            )
+        self.cores = core_count
+        self.cpu = CpuDevice(
+            env, core_count, platform.frequency_hz(self.frequency_ghz),
+            name=f"{name}-cpu",
+        )
+        self.disk = DiskDevice(env, platform, name=f"{name}-disk",
+                               bandwidth_share=disk_bandwidth_share)
+        self.nic = NicDevice(env, platform.network, name=f"{name}-nic",
+                             bandwidth_share=nic_bandwidth_share)
+        cache_bytes = (page_cache_bytes if page_cache_bytes is not None
+                       else platform.ram_bytes * 0.25)
+        self.filesystem = FileSystem(PageCache(cache_bytes))
+
+    def seconds_for_cycles(self, cycles: float) -> float:
+        """Wall-clock seconds for ``cycles`` at this node's frequency."""
+        return self.cpu.seconds_for_cycles(cycles)

@@ -1,0 +1,112 @@
+"""CPU scheduling: core pools and context-switch costs.
+
+:class:`CpuDevice` is the node's pool of logical cores — a DES resource
+threads acquire to execute on-CPU work. Every block/unblock transition
+pays a context switch priced through the analytical core model (kernel
+scheduler code is real code: it pollutes the i-cache and burns cycles,
+one of the effects prior user-level cloning work misses).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.hw.core import CoreModel, ExecutionContext
+from repro.kernelsim.syscalls import context_switch_block
+from repro.sim import Environment, Event, Resource
+from repro.util.errors import ConfigurationError
+
+
+class ContextSwitchModel:
+    """Prices one context switch on a given execution context."""
+
+    def __init__(self, ctx: ExecutionContext) -> None:
+        self._timing = CoreModel(ctx).time_block(context_switch_block())
+
+    @property
+    def cycles(self) -> float:
+        """Core cycles consumed per switch."""
+        return self._timing.cycles
+
+    @property
+    def instructions(self) -> float:
+        """Kernel instructions retired per switch."""
+        return self._timing.instructions
+
+    @property
+    def timing(self):
+        """Full BlockTiming of one switch (for counter aggregation)."""
+        return self._timing
+
+
+class CpuDevice:
+    """A pool of logical cores with utilisation accounting."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cores: int,
+        frequency_hz: float,
+        name: str = "cpu",
+    ) -> None:
+        if cores < 1:
+            raise ConfigurationError("cores must be >= 1")
+        if frequency_hz <= 0:
+            raise ConfigurationError("frequency must be positive")
+        self.env = env
+        self.cores = cores
+        self.frequency_hz = frequency_hz
+        self.name = name
+        self._pool = Resource(env, capacity=cores, name=name)
+        self.busy_seconds = 0.0
+        self.context_switches = 0
+
+    @property
+    def queue_length(self) -> int:
+        """Runnable threads waiting for a core."""
+        return self._pool.queue_length
+
+    @property
+    def in_use(self) -> int:
+        """Cores currently executing."""
+        return self._pool.in_use
+
+    def utilisation(self, elapsed_seconds: float) -> float:
+        """Aggregate CPU utilisation in [0, 1] over ``elapsed_seconds``."""
+        if elapsed_seconds <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (elapsed_seconds * self.cores))
+
+    def seconds_for_cycles(self, cycles: float) -> float:
+        """Wall-clock seconds for ``cycles`` of on-core work."""
+        if cycles < 0:
+            raise ConfigurationError("cycles must be non-negative")
+        return cycles / self.frequency_hz
+
+    def execute(
+        self,
+        cycles: float,
+        switch: Optional[ContextSwitchModel] = None,
+    ) -> Generator[Event, None, None]:
+        """DES process body: occupy one core for ``cycles`` of work.
+
+        When ``switch`` is given, the dispatch pays one context switch
+        (the thread was blocked and is being scheduled back in).
+        """
+        total_cycles = cycles
+        if switch is not None:
+            total_cycles += switch.cycles
+            self.context_switches += 1
+        hold = self.seconds_for_cycles(total_cycles)
+        grant = self._pool.request()
+        yield grant
+        try:
+            yield self.env.timeout(hold)
+        finally:
+            self._pool.release()
+        self.busy_seconds += hold
+
+    @property
+    def mean_run_queue_wait(self) -> float:
+        """Average scheduling delay per dispatch so far."""
+        return self._pool.mean_wait_time

@@ -1,0 +1,244 @@
+"""System-call cost and footprint models (§4.4.1).
+
+Every syscall is described by a :class:`SyscallDef`: a base kernel
+instruction count, a kernel code footprint (i-cache pressure), optional
+per-byte copy work (``copy_to/from_user`` modelled as REP string moves),
+and a device side-effect class. :func:`kernel_block_for` turns a dynamic
+:class:`SyscallInvocation` into a :class:`~repro.hw.ir.BlockSpec` that the
+analytical core model prices like any user block — so cloning the syscall
+distribution reproduces kernel-level CPU time, i-cache pollution, and
+device traffic together, exactly the coupling Ditto exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.hw.ir import BlockSpec, BranchSpec, DependencyProfile, MemAccessSpec, MemPattern
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DeviceOp:
+    """A device side-effect of a syscall: disk or network work."""
+
+    device: str            # "disk" | "net_tx" | "net_rx"
+    nbytes: float
+    write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.device not in ("disk", "net_tx", "net_rx"):
+            raise ConfigurationError(f"unknown device {self.device!r}")
+        if self.nbytes < 0:
+            raise ConfigurationError("nbytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class SyscallDef:
+    """Static description of one syscall's kernel-side cost."""
+
+    name: str
+    base_instructions: float     # instructions excluding data copies
+    code_bytes: int              # kernel text touched per invocation
+    copies_bytes: bool = False   # does it copy the payload across the boundary
+    device: Optional[str] = None     # "disk" | "net_tx" | "net_rx" | None
+    blocking: bool = True        # can the caller block in the kernel
+    data_wset_bytes: int = 16 * 1024  # kernel data structures touched
+
+    def __post_init__(self) -> None:
+        if self.base_instructions <= 0:
+            raise ConfigurationError(f"{self.name}: instructions must be positive")
+        if self.code_bytes <= 0:
+            raise ConfigurationError(f"{self.name}: code bytes must be positive")
+
+
+#: The syscall table: instruction counts / footprints follow published
+#: kernel-profiling numbers (a read() is a few thousand instructions, a
+#: sendmsg() traversing the TCP stack nearer ten thousand, clone() several
+#: tens of thousands).
+SYSCALL_TABLE: Dict[str, SyscallDef] = {
+    spec.name: spec
+    for spec in (
+        SyscallDef("read", 3500, 12 * 1024, copies_bytes=True, device="disk"),
+        SyscallDef("pread", 3800, 12 * 1024, copies_bytes=True, device="disk"),
+        SyscallDef("write", 3800, 12 * 1024, copies_bytes=True, device="disk"),
+        SyscallDef("pwrite", 4100, 12 * 1024, copies_bytes=True, device="disk"),
+        SyscallDef("open", 6200, 20 * 1024),
+        SyscallDef("close", 1800, 6 * 1024),
+        SyscallDef("fsync", 9000, 16 * 1024, device="disk"),
+        SyscallDef("mmap", 5200, 18 * 1024),
+        SyscallDef("brk", 1500, 5 * 1024),
+        SyscallDef("madvise", 2200, 8 * 1024),
+        SyscallDef("recv", 7500, 28 * 1024, copies_bytes=True, device="net_rx"),
+        SyscallDef("send", 8200, 30 * 1024, copies_bytes=True, device="net_tx"),
+        SyscallDef("sendmsg", 8800, 32 * 1024, copies_bytes=True, device="net_tx"),
+        SyscallDef("recvmsg", 8000, 30 * 1024, copies_bytes=True, device="net_rx"),
+        SyscallDef("writev", 8600, 30 * 1024, copies_bytes=True, device="net_tx"),
+        SyscallDef("accept", 9200, 26 * 1024),
+        SyscallDef("connect", 11000, 30 * 1024),
+        SyscallDef("epoll_wait", 2400, 10 * 1024),
+        SyscallDef("epoll_ctl", 1900, 8 * 1024),
+        SyscallDef("poll", 2600, 10 * 1024),
+        SyscallDef("select", 2800, 10 * 1024),
+        SyscallDef("futex", 1600, 6 * 1024),
+        SyscallDef("clone", 24000, 48 * 1024),
+        SyscallDef("exit", 9000, 20 * 1024),
+        SyscallDef("nanosleep", 1200, 4 * 1024, blocking=True),
+        SyscallDef("getrandom", 2100, 6 * 1024),
+        SyscallDef("gettimeofday", 300, 1 * 1024, blocking=False),
+    )
+}
+
+
+@dataclass(frozen=True)
+class SyscallInvocation:
+    """One dynamic syscall: the unit the profiler observes (§4.4.1).
+
+    ``nbytes`` is the payload size (count argument); ``file``/``offset``
+    identify the target for file I/O so the page-cache model can judge
+    hits; ``miss_bytes`` is filled by the VFS for file reads that went to
+    the device.
+    """
+
+    name: str
+    nbytes: float = 0.0
+    file: Optional[str] = None
+    offset: float = 0.0
+    write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.name not in SYSCALL_TABLE:
+            raise ConfigurationError(f"unknown syscall {self.name!r}")
+        if self.nbytes < 0:
+            raise ConfigurationError("nbytes must be non-negative")
+
+    @property
+    def spec(self) -> SyscallDef:
+        """The static definition behind this invocation."""
+        return SYSCALL_TABLE[self.name]
+
+
+def kernel_block_for(invocation: SyscallInvocation) -> BlockSpec:
+    """Build the kernel-side :class:`BlockSpec` for one invocation.
+
+    The mix reflects kernel code: pointer-heavy loads/stores over kernel
+    data structures, comparison/branch dense control flow, and REP string
+    moves for the user/kernel copy when the syscall moves a payload.
+    """
+    spec = invocation.spec
+    n = spec.base_instructions
+    iform_counts: Dict[str, float] = {
+        "MOV_r64_m64": 0.18 * n,
+        "MOV_m64_r64": 0.08 * n,
+        "LEA_r64_m": 0.06 * n,
+        "ADD_r64_r64": 0.12 * n,
+        "AND_r64_r64": 0.05 * n,
+        "CMP_r64_imm": 0.14 * n,
+        "TEST_r64_r64": 0.08 * n,
+        "JNZ_rel": 0.13 * n,
+        "CALL_rel": 0.05 * n,
+        "RET": 0.05 * n,
+        "MOV_r64_r64": 0.06 * n,
+    }
+    if spec.copies_bytes and invocation.nbytes > 0:
+        iform_counts["REP_MOVSB"] = 1.0
+    mem_accesses = 0.26 * n
+    mem = [
+        MemAccessSpec(
+            wset_bytes=spec.data_wset_bytes,
+            accesses=mem_accesses * 0.7,
+            pattern=MemPattern.RANDOM,
+        ),
+        # Globally shared kernel structures (runqueues, socket tables).
+        MemAccessSpec(
+            wset_bytes=256 * 1024,
+            accesses=mem_accesses * 0.3,
+            pattern=MemPattern.RANDOM,
+            shared_frac=0.4,
+            write_frac=0.2,
+        ),
+    ]
+    if spec.copies_bytes and invocation.nbytes > 0:
+        # The payload copy streams through the cache hierarchy.
+        mem.append(
+            MemAccessSpec(
+                wset_bytes=max(64, int(invocation.nbytes)),
+                accesses=max(1.0, invocation.nbytes / 64.0),
+                pattern=MemPattern.SEQUENTIAL,
+            )
+        )
+    branches = (
+        # Kernel fast paths are well predicted; error/slow-path checks and
+        # data-dependent dispatch contribute a harder minority.
+        BranchSpec(
+            executions=iform_counts["JNZ_rel"] * 0.9,
+            taken_rate=0.95,
+            transition_rate=0.05,
+            static_count=max(1, spec.code_bytes // 96),
+        ),
+        BranchSpec(
+            executions=iform_counts["JNZ_rel"] * 0.1,
+            taken_rate=0.55,
+            transition_rate=0.4,
+            static_count=max(1, spec.code_bytes // 192),
+        ),
+    )
+    return BlockSpec(
+        name=f"sys_{invocation.name}",
+        iform_counts=iform_counts,
+        code_bytes=spec.code_bytes,
+        mem=tuple(mem),
+        branches=branches,
+        deps=DependencyProfile(raw={8: 0.6, 32: 0.4}, pointer_chase_frac=0.15),
+        rep_elements=max(1.0, invocation.nbytes),
+    )
+
+
+def kernel_code_footprint(invocations) -> float:
+    """Total distinct kernel text bytes exercised by a set of invocations.
+
+    Used by the runtime to size the i-cache reuse distance contribution of
+    kernel entries between user-code block executions.
+    """
+    seen: Dict[str, int] = {}
+    for invocation in invocations:
+        spec = (
+            invocation.spec
+            if isinstance(invocation, SyscallInvocation)
+            else SYSCALL_TABLE[str(invocation)]
+        )
+        seen[spec.name] = spec.code_bytes
+    return float(sum(seen.values()))
+
+
+#: Kernel work for one context switch: scheduler pick + MMU switch.
+CONTEXT_SWITCH_INSTRUCTIONS = 3200.0
+CONTEXT_SWITCH_CODE_BYTES = 14 * 1024
+
+
+def context_switch_block() -> BlockSpec:
+    """The BlockSpec charged for one context switch."""
+    n = CONTEXT_SWITCH_INSTRUCTIONS
+    return BlockSpec(
+        name="context_switch",
+        iform_counts={
+            "MOV_r64_m64": 0.2 * n,
+            "MOV_m64_r64": 0.12 * n,
+            "ADD_r64_r64": 0.15 * n,
+            "CMP_r64_imm": 0.15 * n,
+            "JNZ_rel": 0.13 * n,
+            "CALL_rel": 0.05 * n,
+            "RET": 0.05 * n,
+            "MOV_r64_r64": 0.15 * n,
+        },
+        code_bytes=CONTEXT_SWITCH_CODE_BYTES,
+        mem=(
+            MemAccessSpec(wset_bytes=32 * 1024, accesses=0.3 * n,
+                          pattern=MemPattern.RANDOM, shared_frac=0.3,
+                          write_frac=0.3),
+        ),
+        branches=(BranchSpec(executions=0.13 * n, taken_rate=0.94,
+                             transition_rate=0.06, static_count=200),),
+        deps=DependencyProfile(raw={8: 0.7, 64: 0.3}, pointer_chase_frac=0.2),
+    )

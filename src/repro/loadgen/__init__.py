@@ -1,0 +1,34 @@
+"""Load generators.
+
+Mirrors the paper's drivers (§6.1.2): open-loop generators (the mutated
+Memcached generator, tcpkali, the open-loop wrk2 fork) inject requests at
+a target rate regardless of completions; closed-loop generators (YCSB for
+MongoDB/Redis) keep one outstanding request per connection, which is why
+the paper's MongoDB/Redis latencies stay flat at saturation.
+"""
+
+from repro.loadgen.distributions import (
+    ConstantInterarrival,
+    ExponentialInterarrival,
+    UniformKeys,
+    ZipfKeys,
+)
+from repro.loadgen.generator import (
+    ClosedLoopGenerator,
+    LatencyRecorder,
+    LoadSpec,
+    OpenLoopGenerator,
+    build_generator,
+)
+
+__all__ = [
+    "ClosedLoopGenerator",
+    "ConstantInterarrival",
+    "ExponentialInterarrival",
+    "LatencyRecorder",
+    "LoadSpec",
+    "OpenLoopGenerator",
+    "UniformKeys",
+    "ZipfKeys",
+    "build_generator",
+]

@@ -1,0 +1,198 @@
+"""Open- and closed-loop request generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.sim import Environment, Event
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+from repro.util.stats import Histogram, percentile
+
+#: a callable the runtime provides: submit(handler_name) -> response Event
+SubmitFn = Callable[[str], Event]
+
+
+@dataclass
+class LatencyRecorder:
+    """Collects per-request latencies, grouped by handler."""
+
+    samples: List[float] = field(default_factory=list)
+    by_handler: Dict[str, List[float]] = field(default_factory=dict)
+    completed: int = 0
+    issued: int = 0
+
+    def record(self, handler: str, latency_s: float) -> None:
+        """Record one completed request."""
+        self.samples.append(latency_s)
+        self.by_handler.setdefault(handler, []).append(latency_s)
+        self.completed += 1
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile in seconds over all handlers."""
+        return percentile(self.samples, q)
+
+    @property
+    def mean(self) -> float:
+        """Average latency in seconds."""
+        if not self.samples:
+            raise ConfigurationError("no latency samples recorded")
+        return float(sum(self.samples) / len(self.samples))
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One load point.
+
+    Open-loop: ``qps`` target arrival rate (Poisson unless
+    ``deterministic``); closed-loop: ``connections`` each keeping one
+    outstanding request with ``think_time_s`` between completions.
+    """
+
+    kind: str                      # "open" | "closed"
+    qps: float = 0.0
+    connections: int = 0
+    think_time_s: float = 0.0
+    deterministic: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("open", "closed"):
+            raise ConfigurationError(f"unknown load kind {self.kind!r}")
+        if self.kind == "open" and self.qps <= 0:
+            raise ConfigurationError("open-loop load needs qps > 0")
+        if self.kind == "closed" and self.connections < 1:
+            raise ConfigurationError("closed-loop load needs connections >= 1")
+        if self.think_time_s < 0:
+            raise ConfigurationError("think time must be non-negative")
+
+    @staticmethod
+    def open_loop(qps: float, deterministic: bool = False) -> "LoadSpec":
+        """An open-loop (mutated/tcpkali/wrk2-style) load point."""
+        return LoadSpec(kind="open", qps=qps, deterministic=deterministic)
+
+    @staticmethod
+    def closed_loop(connections: int, think_time_s: float = 0.0) -> "LoadSpec":
+        """A closed-loop (YCSB-style) load point."""
+        return LoadSpec(kind="closed", connections=connections,
+                        think_time_s=think_time_s)
+
+
+class OpenLoopGenerator:
+    """Injects requests at a target rate, regardless of completions."""
+
+    def __init__(
+        self,
+        env: Environment,
+        submit: SubmitFn,
+        mix: Histogram,
+        qps: float,
+        duration_s: float,
+        rng_stream: RngStream,
+        recorder: Optional[LatencyRecorder] = None,
+        deterministic: bool = False,
+    ) -> None:
+        if qps <= 0 or duration_s <= 0:
+            raise ConfigurationError("qps and duration must be positive")
+        self.env = env
+        self.submit = submit
+        self.mix = mix
+        self.qps = qps
+        self.duration_s = duration_s
+        self.recorder = recorder if recorder is not None else LatencyRecorder()
+        self.deterministic = deterministic
+        self._rng = rng_stream.rng("openloop")
+
+    def start(self) -> Event:
+        """Start injecting; returns the injector process."""
+        return self.env.process(self._inject(), name="open-loop")
+
+    def _inject(self):
+        end = self.env.now + self.duration_s
+        keys, probs = self.mix.keys_and_probs()
+        while self.env.now < end:
+            if self.deterministic:
+                gap = 1.0 / self.qps
+            else:
+                gap = float(self._rng.exponential(1.0 / self.qps))
+            yield self.env.timeout(gap)
+            if self.env.now >= end:
+                break
+            handler = str(keys[self._rng.choice(len(keys), p=probs)])
+            self.recorder.issued += 1
+            self.env.process(self._track(handler), name="req")
+
+    def _track(self, handler: str):
+        start = self.env.now
+        response = self.submit(handler)
+        yield response
+        self.recorder.record(handler, self.env.now - start)
+
+
+class ClosedLoopGenerator:
+    """N connections, each one outstanding request at a time (YCSB)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        submit: SubmitFn,
+        mix: Histogram,
+        connections: int,
+        duration_s: float,
+        rng_stream: RngStream,
+        recorder: Optional[LatencyRecorder] = None,
+        think_time_s: float = 0.0,
+    ) -> None:
+        if connections < 1 or duration_s <= 0:
+            raise ConfigurationError("connections and duration must be positive")
+        self.env = env
+        self.submit = submit
+        self.mix = mix
+        self.connections = connections
+        self.duration_s = duration_s
+        self.think_time_s = think_time_s
+        self.recorder = recorder if recorder is not None else LatencyRecorder()
+        self._rng_stream = rng_stream
+
+    def start(self) -> Event:
+        """Start all connections; returns a join event over them."""
+        procs = [
+            self.env.process(self._connection(i), name=f"conn-{i}")
+            for i in range(self.connections)
+        ]
+        return self.env.all_of(procs)
+
+    def _connection(self, index: int):
+        rng = self._rng_stream.rng("closedloop", str(index))
+        keys, probs = self.mix.keys_and_probs()
+        end = self.env.now + self.duration_s
+        while self.env.now < end:
+            handler = str(keys[rng.choice(len(keys), p=probs)])
+            start = self.env.now
+            self.recorder.issued += 1
+            response = self.submit(handler)
+            yield response
+            self.recorder.record(handler, self.env.now - start)
+            if self.think_time_s > 0:
+                yield self.env.timeout(self.think_time_s)
+
+
+def build_generator(
+    env: Environment,
+    submit: SubmitFn,
+    mix: Histogram,
+    load: LoadSpec,
+    duration_s: float,
+    rng_stream: RngStream,
+    recorder: Optional[LatencyRecorder] = None,
+):
+    """Instantiate the right generator for a :class:`LoadSpec`."""
+    if load.kind == "open":
+        return OpenLoopGenerator(
+            env, submit, mix, load.qps, duration_s, rng_stream,
+            recorder=recorder, deterministic=load.deterministic,
+        )
+    return ClosedLoopGenerator(
+        env, submit, mix, load.connections, duration_s, rng_stream,
+        recorder=recorder, think_time_s=load.think_time_s,
+    )

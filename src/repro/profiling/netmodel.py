@@ -1,0 +1,82 @@
+"""Network-model profiling (§4.3.1).
+
+Classifies the server-side wait discipline (blocking / non-blocking /
+I/O multiplexing) and the client-side call style (synchronous /
+asynchronous) from the observed syscall mix, and extracts the message
+size statistics used to parameterise the synthetic network interfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.app.skeleton import ClientNetworkModel, ServerNetworkModel
+from repro.profiling.artifacts import ServiceArtifacts
+from repro.util.errors import ProfilingError
+from repro.util.stats import OnlineStats
+
+#: multiplexing wait syscalls
+MULTIPLEX_WAITS = ("epoll_wait", "poll", "select")
+
+
+@dataclass
+class NetworkModelProfile:
+    """The inferred network model."""
+
+    server_model: ServerNetworkModel
+    client_model: ClientNetworkModel
+    rx_bytes: OnlineStats
+    tx_bytes: OnlineStats
+    waits_per_request: float
+    rx_per_request: float
+    tx_per_request: float
+
+
+def profile_network_model(artifacts: ServiceArtifacts) -> NetworkModelProfile:
+    """Classify the network model from the syscall log."""
+    if not artifacts.syscall_log:
+        raise ProfilingError(f"{artifacts.service}: empty syscall log")
+    counts: Dict[str, int] = {}
+    rx = OnlineStats()
+    tx = OnlineStats()
+    for _, invocation in artifacts.syscall_log:
+        counts[invocation.name] = counts.get(invocation.name, 0) + 1
+        device = invocation.spec.device
+        if device == "net_rx":
+            rx.add(invocation.nbytes)
+        elif device == "net_tx":
+            tx.add(invocation.nbytes)
+    requests = max(1, artifacts.requests_observed)
+    multiplex_waits = sum(counts.get(name, 0) for name in MULTIPLEX_WAITS)
+    rx_count = sum(counts.get(name, 0)
+                   for name in ("recv", "recvmsg"))
+    if multiplex_waits > 0:
+        server = ServerNetworkModel.IO_MULTIPLEXING
+    elif rx_count >= requests:
+        # Threads block directly in recv() per request.
+        server = ServerNetworkModel.BLOCKING
+    else:
+        server = ServerNetworkModel.NONBLOCKING
+    # Synchronous clients pair each outbound call with an in-order
+    # blocking receive on the calling thread. Asynchronous clients
+    # register response sockets with a reactor instead: epoll_ctl calls
+    # tracking the outbound-call rate are their signature.
+    tx_count = sum(counts.get(n, 0)
+                   for n in ("send", "sendmsg", "writev"))
+    reactor_registrations = counts.get("epoll_ctl", 0)
+    if tx_count > 0 and reactor_registrations >= 0.3 * tx_count:
+        client = ClientNetworkModel.ASYNCHRONOUS
+    else:
+        client = ClientNetworkModel.SYNCHRONOUS
+    return NetworkModelProfile(
+        server_model=server,
+        client_model=client,
+        rx_bytes=rx,
+        tx_bytes=tx,
+        waits_per_request=multiplex_waits / requests,
+        rx_per_request=rx_count / requests,
+        tx_per_request=(
+            sum(counts.get(n, 0) for n in ("send", "sendmsg", "writev"))
+            / requests),
+    )

@@ -1,0 +1,98 @@
+"""System-call profiling (§4.4.1, the SystemTap stand-in).
+
+Aggregates the syscall log into, per operation (endpoint): the ordered
+per-request syscall template with average counts, payload-size means, and
+file targets — everything the generator needs to replay the kernel-side
+behaviour, including page-cache-relevant arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.profiling.artifacts import ServiceArtifacts
+from repro.util.errors import ProfilingError
+
+
+@dataclass(frozen=True)
+class SyscallTemplateEntry:
+    """One position in the reconstructed per-request syscall sequence."""
+
+    name: str
+    count_per_request: float
+    mean_bytes: float
+    file: Optional[str] = None
+    write: bool = False
+    mean_position: float = 0.0
+
+
+@dataclass
+class SyscallProfile:
+    """Per-operation syscall templates plus global statistics."""
+
+    templates: Dict[str, List[SyscallTemplateEntry]] = field(
+        default_factory=dict)
+    counts_per_request: Dict[str, float] = field(default_factory=dict)
+    files_seen: Dict[str, int] = field(default_factory=dict)
+
+    def template(self, operation: str) -> List[SyscallTemplateEntry]:
+        """The ordered template for one operation."""
+        found = self.templates.get(operation)
+        if found is None:
+            raise ProfilingError(f"no syscall template for {operation!r}")
+        return found
+
+
+def profile_syscalls(artifacts: ServiceArtifacts) -> SyscallProfile:
+    """Extract per-operation syscall templates from the log."""
+    if not artifacts.syscall_log:
+        raise ProfilingError(f"{artifacts.service}: empty syscall log")
+    profile = SyscallProfile()
+    # Group log entries per request, keeping order.
+    per_request: Dict[int, List] = {}
+    for seq, invocation in artifacts.syscall_log:
+        per_request.setdefault(seq, []).append(invocation)
+    # Group requests per operation.
+    per_operation: Dict[str, List[List]] = {}
+    for seq, invocations in per_request.items():
+        operation = artifacts.handler_of_request.get(seq, "default")
+        per_operation.setdefault(operation, []).append(invocations)
+    global_counts: Dict[str, float] = {}
+    total_requests = max(1, len(per_request))
+    for operation, request_lists in per_operation.items():
+        # Aggregate identical (name, file, write) keys across requests,
+        # tracking average position to preserve ordering.
+        stats: Dict[Tuple[str, Optional[str], bool], Dict[str, float]] = {}
+        for invocations in request_lists:
+            for position, invocation in enumerate(invocations):
+                key = (invocation.name, invocation.file, invocation.write)
+                entry = stats.setdefault(
+                    key, {"count": 0.0, "bytes": 0.0, "position": 0.0})
+                entry["count"] += 1.0
+                entry["bytes"] += invocation.nbytes
+                entry["position"] += position
+                if invocation.file is not None:
+                    profile.files_seen[invocation.file] = (
+                        profile.files_seen.get(invocation.file, 0) + 1)
+        n_requests = len(request_lists)
+        template = []
+        for (name, file, write), entry in stats.items():
+            template.append(SyscallTemplateEntry(
+                name=name,
+                count_per_request=entry["count"] / n_requests,
+                mean_bytes=entry["bytes"] / entry["count"],
+                file=file,
+                write=write,
+                mean_position=entry["position"] / entry["count"],
+            ))
+        template.sort(key=lambda e: e.mean_position)
+        profile.templates[operation] = template
+    for _, invocations in per_request.items():
+        for invocation in invocations:
+            global_counts[invocation.name] = (
+                global_counts.get(invocation.name, 0.0) + 1.0)
+    profile.counts_per_request = {
+        name: count / total_requests for name, count in global_counts.items()
+    }
+    return profile

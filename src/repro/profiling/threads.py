@@ -1,0 +1,125 @@
+"""Thread-model profiling (§4.3.2).
+
+Clusters observed threads by call-graph similarity (tree-edit distance +
+agglomerative clustering with an unknown cluster count), classifies each
+cluster's role, lifecycle, and trigger, and detects connection-scaling
+classes by comparing thread counts across the two connection settings the
+prober experimented with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.clustering import agglomerative_cluster
+from repro.analysis.treedit import CallTree, normalized_tree_distance
+from repro.profiling.artifacts import ServiceArtifacts, ThreadObservation
+from repro.util.errors import ProfilingError
+
+#: normalised tree-edit distance below which threads share a class
+CLUSTER_THRESHOLD = 0.4
+
+
+def _tree_labels(tree: CallTree) -> List[str]:
+    labels = [tree.label]
+    for child in tree.children:
+        labels.extend(_tree_labels(child))
+    return labels
+
+
+@dataclass
+class ReconstructedThreadClass:
+    """One inferred thread class."""
+
+    name: str
+    role: str                         # "acceptor" | "worker" | "background"
+    count: int
+    scales_with_connections: bool
+    trigger: str                      # "socket" | "timer" | ...
+    short_lived: bool
+    representative_tree: CallTree = None
+
+
+@dataclass
+class ThreadModelProfile:
+    """The inferred thread model."""
+
+    classes: List[ReconstructedThreadClass] = field(default_factory=list)
+
+    def worker_classes(self) -> List[ReconstructedThreadClass]:
+        """All classes with the worker role."""
+        return [cls for cls in self.classes if cls.role == "worker"]
+
+    def total_workers(self, connections: int) -> int:
+        """Worker threads expected at a connection count."""
+        total = 0
+        for cls in self.worker_classes():
+            if cls.scales_with_connections:
+                total += connections
+            else:
+                total += cls.count
+        return max(1, total)
+
+
+def _classify_role(labels: List[str], trigger: str) -> str:
+    if "accept" in labels:
+        return "acceptor"
+    if trigger == "timer" or "nanosleep" in labels:
+        return "background"
+    return "worker"
+
+
+def profile_thread_model(artifacts: ServiceArtifacts) -> ThreadModelProfile:
+    """Cluster and classify the observed threads."""
+    if not artifacts.threads:
+        raise ProfilingError(f"{artifacts.service}: no thread observations")
+    observations = artifacts.threads
+    clusters = agglomerative_cluster(
+        observations,
+        distance=lambda a, b: normalized_tree_distance(a.call_tree,
+                                                       b.call_tree),
+        threshold=CLUSTER_THRESHOLD,
+    )
+    connection_settings = sorted(
+        {obs.connections_at_observation for obs in observations})
+    profile = ThreadModelProfile()
+    for index, cluster in enumerate(clusters):
+        representative: ThreadObservation = cluster[0]
+        labels = _tree_labels(representative.call_tree)
+        trigger_votes: Dict[str, int] = {}
+        for obs in cluster:
+            trigger_votes[obs.wakeup_trigger] = (
+                trigger_votes.get(obs.wakeup_trigger, 0) + 1)
+        trigger = max(trigger_votes, key=trigger_votes.get)
+        role = _classify_role(labels, trigger)
+        # Count per connection setting to detect scaling.
+        counts_by_setting = {
+            setting: sum(1 for obs in cluster
+                         if obs.connections_at_observation == setting)
+            for setting in connection_settings
+        }
+        scales = False
+        if len(connection_settings) >= 2 and role == "worker":
+            low, high = connection_settings[0], connection_settings[-1]
+            low_count = counts_by_setting.get(low, 0)
+            high_count = counts_by_setting.get(high, 0)
+            if low_count > 0 and high_count > low_count:
+                # Counts grow roughly with connections -> dynamic pool.
+                scales = (high_count / low_count
+                          > 0.5 * (high / max(1, low)))
+        count = counts_by_setting.get(connection_settings[-1], len(cluster))
+        short_lived = (
+            sum(1 for obs in cluster if obs.spawned_by_clone
+                and obs.lifetime_fraction < 0.95) > len(cluster) / 2
+        )
+        profile.classes.append(ReconstructedThreadClass(
+            name=f"class_{index}",
+            role=role,
+            count=max(1, count),
+            scales_with_connections=scales,
+            trigger=trigger,
+            short_lived=short_lived,
+            representative_tree=representative.call_tree,
+        ))
+    return profile

@@ -1,0 +1,158 @@
+"""Experiment orchestration: deploy, load, measure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.app.service import Deployment
+from repro.hw.contention import CoRunner, contention_factors
+from repro.hw.platform import PlatformSpec
+from repro.kernelsim.node import Node
+from repro.loadgen.generator import LatencyRecorder, LoadSpec, build_generator
+from repro.runtime.metrics import RunResult
+from repro.runtime.pricing import BlockPricer
+from repro.runtime.service import NodeState, ServiceRuntime
+from repro.sim import Environment
+from repro.tracing.tracer import Tracer
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+#: cap on how much of a co-located tier's code can pollute the i-side
+COLOCATED_CODE_CAP = 512 * 1024
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs for one experiment run."""
+
+    platform: PlatformSpec
+    duration_s: float = 1.0
+    seed: int = 42
+    frequency_ghz: Optional[float] = None    # DVFS override (Fig. 11)
+    cores: Optional[int] = None              # core-count override (Fig. 11)
+    corunners: Tuple[CoRunner, ...] = ()     # interference (Fig. 10)
+    page_cache_bytes: Optional[float] = None
+    trace_sample_rate: float = 0.1
+    connections_hint: Optional[int] = None
+    tracer: Optional[Tracer] = None
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+
+
+def run_experiment(
+    deployment: Deployment,
+    load: LoadSpec,
+    config: ExperimentConfig,
+) -> RunResult:
+    """Run one load point of a deployment and collect measurements."""
+    env = Environment()
+    stream = RngStream(config.seed, "experiment")
+    tracer = config.tracer if config.tracer is not None else Tracer(
+        sample_rate=config.trace_sample_rate, seed=config.seed)
+    platform = config.platform
+    corunners = list(config.corunners)
+    # Nodes with their devices (NIC/disk shares degraded by stressors).
+    nodes: Dict[str, Node] = {}
+    node_states: Dict[str, NodeState] = {}
+    for node_name in deployment.node_names():
+        factors_probe = contention_factors(0.0, corunners)
+        node = Node(
+            env, platform, name=node_name,
+            cores=config.cores,
+            frequency_ghz=config.frequency_ghz,
+            page_cache_bytes=config.page_cache_bytes,
+            nic_bandwidth_share=factors_probe.net_share,
+            disk_bandwidth_share=factors_probe.disk_share,
+        )
+        nodes[node_name] = node
+        state = NodeState(node=node)
+        for service_name in deployment.services_on(node_name):
+            program = deployment.services[service_name].program
+            state.colocated_code_bytes[service_name] = min(
+                COLOCATED_CODE_CAP, program.hot_code_bytes)
+            state.colocated_resident_bytes[service_name] = (
+                program.resident_bytes)
+        node_states[node_name] = state
+    pricer = BlockPricer(platform, frequency_ghz=config.frequency_ghz)
+    # Connection hint: closed-loop connection count, else a typical pool.
+    if config.connections_hint is not None:
+        connections = config.connections_hint
+    elif load.kind == "closed":
+        connections = load.connections
+    else:
+        connections = 32
+    # Service runtimes share one registry for RPC routing.
+    registry: Dict[str, ServiceRuntime] = {}
+    for service_name, spec in deployment.services.items():
+        node = nodes[deployment.node_of(service_name)]
+        factors = contention_factors(spec.program.resident_bytes, corunners)
+        runtime = ServiceRuntime(
+            env=env,
+            spec=spec,
+            node=node,
+            node_state=node_states[deployment.node_of(service_name)],
+            pricer=pricer,
+            tracer=tracer,
+            base_factors=factors,
+            connections_hint=connections,
+            registry=registry,
+            cross_node_latency_s=platform.network.base_latency_s,
+        )
+        registry[service_name] = runtime
+        # Pre-warm the page cache to steady state: a long-running service
+        # arrives at our measurement window with its cache share filled.
+        for fname in spec.files:
+            file_spec = node.filesystem.lookup(fname)
+            capacity = node.filesystem.page_cache.capacity_bytes
+            node.filesystem.page_cache.write(
+                file_spec, min(file_spec.size_bytes, capacity))
+    for runtime in registry.values():
+        runtime.start()
+    entry = registry[deployment.entry_service]
+    recorder = LatencyRecorder()
+
+    def submit(handler: str):
+        trace_id = tracer.start_trace()
+        return entry.submit(handler, src_node="client", trace_id=trace_id)
+
+    generator = build_generator(
+        env=env,
+        submit=submit,
+        mix=deployment.services[deployment.entry_service].mix_histogram(),
+        load=load,
+        duration_s=config.duration_s,
+        rng_stream=stream,
+        recorder=recorder,
+    )
+    generator.start()
+    # Run until all injected requests drain (workers blocked on empty
+    # queues schedule no events, so the event queue empties naturally).
+    env.run(until=None)
+    duration = max(config.duration_s, 1e-9)
+    result = RunResult(
+        duration_s=duration,
+        services={name: rt.metrics for name, rt in registry.items()},
+        latency=recorder,
+        node_utilisation={
+            name: node.cpu.utilisation(duration)
+            for name, node in nodes.items()
+        },
+        disk_utilisation={
+            name: min(1.0, (node.disk.read_bytes + node.disk.write_bytes)
+                      / (node.disk.spec.bandwidth_bytes_per_s * duration))
+            for name, node in nodes.items()
+        },
+    )
+    return result
+
+
+def sweep_load(
+    deployment: Deployment,
+    loads: List[LoadSpec],
+    config: ExperimentConfig,
+) -> List[RunResult]:
+    """Run a list of load points (fresh simulation each)."""
+    return [run_experiment(deployment, load, config) for load in loads]

@@ -1,0 +1,151 @@
+"""Measurement containers: per-service counters and run results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.hw.core import BlockTiming
+from repro.hw.topdown import TopDownBreakdown
+from repro.loadgen.generator import LatencyRecorder
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class ServiceMetrics:
+    """Aggregated hardware counters and I/O volumes for one service."""
+
+    timing: BlockTiming = field(default_factory=BlockTiming)
+    requests: int = 0
+    cold_wakeups: int = 0
+    context_switches: int = 0
+    net_tx_bytes: float = 0.0
+    net_rx_bytes: float = 0.0
+    disk_read_bytes: float = 0.0
+    disk_write_bytes: float = 0.0
+
+    def absorb(self, timing: BlockTiming) -> None:
+        """Fold one block execution's counters in."""
+        self.timing = self.timing + timing
+
+    # ------------------------------------------------------------------ #
+    # derived metrics (the Fig. 5/7 radar axes)
+    # ------------------------------------------------------------------ #
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle across user+kernel on-core work."""
+        return self.timing.ipc
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction (Fig. 8's y-axis)."""
+        if self.timing.instructions <= 0:
+            return 0.0
+        return self.timing.cycles / self.timing.instructions
+
+    def _rate(self, misses: float, accesses: float) -> float:
+        if accesses <= 0:
+            return 0.0
+        return min(1.0, misses / accesses)
+
+    @property
+    def branch_mispredict_rate(self) -> float:
+        """Mispredictions / executed conditional branches."""
+        return self._rate(self.timing.branch_mispredictions,
+                          self.timing.branches)
+
+    @property
+    def l1i_miss_rate(self) -> float:
+        """L1i misses / L1i accesses."""
+        return self._rate(self.timing.l1i_misses, self.timing.l1i_accesses)
+
+    @property
+    def l1d_miss_rate(self) -> float:
+        """L1d misses / L1d accesses."""
+        return self._rate(self.timing.l1d_misses, self.timing.l1d_accesses)
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """L2 misses / L2 accesses."""
+        return self._rate(self.timing.l2_misses, self.timing.l2_accesses)
+
+    @property
+    def llc_miss_rate(self) -> float:
+        """LLC misses / LLC accesses."""
+        return self._rate(self.timing.llc_misses, self.timing.llc_accesses)
+
+    def mpki(self, misses: float) -> float:
+        """Misses per kilo-instruction for any counter."""
+        if self.timing.instructions <= 0:
+            return 0.0
+        return 1000.0 * misses / self.timing.instructions
+
+    @property
+    def topdown(self) -> TopDownBreakdown:
+        """Aggregated top-down slot breakdown."""
+        return self.timing.topdown
+
+    @property
+    def instructions_per_request(self) -> float:
+        """Average dynamic instructions per served request."""
+        if self.requests <= 0:
+            return 0.0
+        return self.timing.instructions / self.requests
+
+    def metric(self, name: str) -> float:
+        """Look a derived metric up by its figure label."""
+        table = {
+            "ipc": self.ipc,
+            "cpi": self.cpi,
+            "branch": self.branch_mispredict_rate,
+            "l1i": self.l1i_miss_rate,
+            "l1d": self.l1d_miss_rate,
+            "l2": self.l2_miss_rate,
+            "llc": self.llc_miss_rate,
+        }
+        if name not in table:
+            raise ConfigurationError(f"unknown metric {name!r}")
+        return table[name]
+
+
+@dataclass
+class RunResult:
+    """Everything one experiment run produced."""
+
+    duration_s: float
+    services: Dict[str, ServiceMetrics]
+    latency: LatencyRecorder
+    node_utilisation: Dict[str, float] = field(default_factory=dict)
+    disk_utilisation: Dict[str, float] = field(default_factory=dict)
+
+    def service(self, name: str) -> ServiceMetrics:
+        """Metrics for one service."""
+        found = self.services.get(name)
+        if found is None:
+            raise ConfigurationError(f"no metrics for service {name!r}")
+        return found
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second at the entry service."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.latency.completed / self.duration_s
+
+    def net_bandwidth(self, service: str) -> float:
+        """Service egress+ingress bandwidth in bytes/s."""
+        metrics = self.service(service)
+        return (metrics.net_tx_bytes + metrics.net_rx_bytes) / self.duration_s
+
+    def disk_bandwidth(self, service: str) -> float:
+        """Service disk traffic in bytes/s."""
+        metrics = self.service(service)
+        return (
+            metrics.disk_read_bytes + metrics.disk_write_bytes
+        ) / self.duration_s
+
+    def latency_ms(self, q: Optional[float] = None) -> float:
+        """Latency in milliseconds: mean when ``q`` is None, else percentile."""
+        if q is None:
+            return self.latency.mean * 1e3
+        return self.latency.percentile(q) * 1e3

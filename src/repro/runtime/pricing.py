@@ -1,0 +1,128 @@
+"""Block pricing with execution-state bucketing.
+
+Pricing a block through the analytical core model is cheap but not free
+(the branch oracle runs Monte-Carlo simulations on first use), and a run
+executes the same handful of blocks millions of times. The pricer
+memoises :class:`~repro.hw.core.BlockTiming` per (block, quantised
+execution state): concurrency is bucketed to powers of two and cache/SMT
+factors to two decimals, so a run touches only a few dozen distinct
+pricings while timing still responds to load, colocation and
+interference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.hw.core import BlockTiming, CoreModel, ExecutionContext
+from repro.hw.ir import BlockSpec
+from repro.hw.platform import PlatformSpec
+from repro.util.errors import ConfigurationError
+from repro.util.quantize import next_pow2
+
+
+@dataclass(frozen=True)
+class PricingKey:
+    """Quantised execution state a pricing is valid for."""
+
+    cold: bool
+    concurrency_bucket: int
+    smt_contention: float
+    l1i_factor: float
+    l1d_factor: float
+    l2_factor: float
+    llc_factor: float
+    code_reuse_kb: int
+    static_branch_sites: int
+
+    @staticmethod
+    def build(
+        cold: bool,
+        concurrency: int,
+        smt_contention: float,
+        cache_factors: Tuple[float, float, float, float],
+        code_reuse_bytes: float,
+        static_branch_sites: int,
+    ) -> "PricingKey":
+        """Quantise raw state into a cache-friendly key."""
+        if concurrency < 1:
+            raise ConfigurationError("concurrency must be >= 1")
+        l1i, l1d, l2, llc = cache_factors
+        return PricingKey(
+            cold=cold,
+            concurrency_bucket=next_pow2(concurrency),
+            smt_contention=round(smt_contention, 2),
+            l1i_factor=round(l1i, 2),
+            l1d_factor=round(l1d, 2),
+            l2_factor=round(l2, 2),
+            llc_factor=round(llc, 2),
+            # 64KB steps: fine enough to keep cache-boundary distinctions
+            # (a 680KB reuse must stay below a 1MB L2 and above a 256KB
+            # one), coarse enough to memoise well.
+            code_reuse_kb=64 * max(1, round(code_reuse_bytes / 1024 / 64)),
+            static_branch_sites=next_pow2(max(1, static_branch_sites)),
+        )
+
+
+class BlockPricer:
+    """Memoised CoreModel frontend for one platform/frequency."""
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        frequency_ghz: Optional[float] = None,
+        prefetch_coverage: float = 0.75,
+    ) -> None:
+        self.platform = platform
+        self.frequency_ghz = (
+            frequency_ghz if frequency_ghz is not None
+            else platform.base_frequency_ghz
+        )
+        self.prefetch_coverage = prefetch_coverage
+        self._base_hierarchy = platform.hierarchy(self.frequency_ghz)
+        self._cache: Dict[Tuple[int, PricingKey], BlockTiming] = {}
+        self._context_cache: Dict[PricingKey, ExecutionContext] = {}
+
+    def context_for(self, key: PricingKey) -> ExecutionContext:
+        """The ExecutionContext realising a pricing key."""
+        ctx = self._context_cache.get(key)
+        if ctx is not None:
+            return ctx
+        caches = self._base_hierarchy.with_effective_sizes(
+            l1i_factor=key.l1i_factor,
+            l1d_factor=key.l1d_factor,
+            l2_factor=key.l2_factor,
+            llc_factor=key.llc_factor,
+        )
+        ctx = ExecutionContext(
+            uarch=self.platform.uarch,
+            caches=caches,
+            smt_contention=key.smt_contention,
+            active_threads=key.concurrency_bucket,
+            code_reuse_bytes=float(key.code_reuse_kb * 1024),
+            static_branch_sites=key.static_branch_sites,
+            prefetch_coverage=self.prefetch_coverage,
+            predictor_cold=key.cold,
+        )
+        self._context_cache[key] = ctx
+        return ctx
+
+    def price(self, block: BlockSpec, key: PricingKey) -> BlockTiming:
+        """Memoised timing of ``block`` under state ``key``."""
+        cache_key = (id(block), key)
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return cached
+        timing = CoreModel(self.context_for(key)).time_block(block)
+        self._cache[cache_key] = timing
+        return timing
+
+    def seconds(self, cycles: float) -> float:
+        """Convert cycles to seconds at the pricer's frequency."""
+        return self.platform.cycles_to_seconds(cycles, self.frequency_ghz)
+
+    @property
+    def cache_size(self) -> int:
+        """Number of distinct pricings computed so far."""
+        return len(self._cache)

@@ -1,0 +1,457 @@
+"""Per-service runtime: workers, request handling, RPC client."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.app.program import ComputeOp, Handler, RpcOp, SyscallOp
+from repro.app.service import ServiceSpec
+from repro.app.skeleton import ClientNetworkModel, ServerNetworkModel
+from repro.hw.contention import ContentionFactors
+from repro.kernelsim.node import Node
+from repro.kernelsim.syscalls import (
+    SyscallInvocation,
+    context_switch_block,
+    kernel_block_for,
+    kernel_code_footprint,
+)
+from repro.runtime.metrics import ServiceMetrics
+from repro.runtime.pricing import BlockPricer, PricingKey
+from repro.sim import Environment, Event, Store
+from repro.tracing.span import SpanKind
+from repro.tracing.tracer import Tracer
+from repro.util.errors import ConfigurationError
+
+#: cache pollution accumulates while a worker sleeps: timer ticks, RCU,
+#: and other processes walk the caches at roughly this rate, so short
+#: idles only evict small L2s while long idles evict anything private.
+IDLE_POLLUTION_BYTES_PER_S = 1.5e9
+#: pollution saturates once everything private is evicted anyway
+MAX_IDLE_POLLUTION_BYTES = 4 * 1024 * 1024
+#: a worker idle longer than this redispatches with cold caches/predictor
+COLD_IDLE_THRESHOLD_S = 100e-6
+#: static branch sites contributed by the kernel's hot paths
+KERNEL_STATIC_BRANCHES = 1500
+
+
+@lru_cache(maxsize=8192)
+def _cached_kernel_block(invocation: SyscallInvocation):
+    return kernel_block_for(invocation)
+
+
+@dataclass
+class Request:
+    """One in-flight request."""
+
+    handler: str
+    response: Event
+    src_node: str
+    arrival: float
+    trace_id: int = 0
+    parent_span_id: Optional[int] = None
+
+
+@dataclass
+class NodeState:
+    """Cross-service view of one node's software load."""
+
+    node: Node
+    active_threads: int = 0
+    colocated_code_bytes: Dict[str, float] = field(default_factory=dict)
+    colocated_resident_bytes: Dict[str, float] = field(default_factory=dict)
+
+    def oversubscription(self) -> float:
+        """Active software threads per core (>=1)."""
+        return max(1.0, self.active_threads / max(1, self.node.cores))
+
+    def other_code_bytes(self, service: str) -> float:
+        """Hot code of co-located services other than ``service``."""
+        return float(
+            sum(b for name, b in self.colocated_code_bytes.items()
+                if name != service)
+        )
+
+    def other_resident_pressure(self, service: str, llc_bytes: float) -> float:
+        """LLC pressure from other services' resident data, capped per tier."""
+        return float(
+            sum(min(b, llc_bytes) for name, b in
+                self.colocated_resident_bytes.items() if name != service)
+        )
+
+
+class ServiceRuntime:
+    """Executes one service's skeleton and handlers on a node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: ServiceSpec,
+        node: Node,
+        node_state: NodeState,
+        pricer: BlockPricer,
+        tracer: Tracer,
+        base_factors: ContentionFactors = ContentionFactors(),
+        connections_hint: int = 32,
+        registry: Optional[Dict[str, "ServiceRuntime"]] = None,
+        cross_node_latency_s: float = 30e-6,
+    ) -> None:
+        self.env = env
+        self.spec = spec
+        self.node = node
+        self.node_state = node_state
+        self.pricer = pricer
+        self.tracer = tracer
+        self.base_factors = base_factors
+        self.connections_hint = connections_hint
+        self.registry = registry if registry is not None else {}
+        self.cross_node_latency_s = cross_node_latency_s
+        self.queue: Store = Store(env, name=f"{spec.name}-queue")
+        self.metrics = ServiceMetrics()
+        self.active = 0
+        self._started = False
+        # Static execution-state ingredients.
+        program = spec.program
+        syscall_names: List[str] = [spec.skeleton.wait_syscall()]
+        per_handler_kernel: Dict[str, float] = {}
+        for hname, handler in program.handlers.items():
+            names = [inv.name for inv in handler.syscalls]
+            syscall_names.extend(names)
+            per_handler_kernel[hname] = kernel_code_footprint(names)
+        self._kernel_footprint = kernel_code_footprint(syscall_names)
+        self._warm_reuse = (0.3 * program.hot_code_bytes
+                            + 0.3 * self._kernel_footprint)
+        self._cold_reuse = program.hot_code_bytes + self._kernel_footprint
+        self._static_branches = (program.static_branch_sites()
+                                 + KERNEL_STATIC_BRANCHES)
+        self._switch_block = context_switch_block()
+        self._wait_invocation = SyscallInvocation(spec.skeleton.wait_syscall())
+        # Per-handler concurrent data footprint (for LLC competition).
+        self._handler_footprint = {
+            hname: handler.data_footprint_bytes()
+            for hname, handler in program.handlers.items()
+        }
+        self._mean_footprint = (
+            sum(self._handler_footprint.values())
+            / max(1, len(self._handler_footprint))
+        )
+        # Register declared files with the node's VFS.
+        for fname, size in spec.files.items():
+            node.filesystem.create(fname, size)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Spawn worker (and background) processes."""
+        if self._started:
+            raise ConfigurationError(f"{self.spec.name} already started")
+        self._started = True
+        workers = self.spec.skeleton.worker_threads(self.connections_hint)
+        for index in range(workers):
+            self.env.process(self._worker(index),
+                             name=f"{self.spec.name}-worker-{index}")
+        for cls in self.spec.skeleton.background_classes():
+            if self.spec.program.background_blocks:
+                self.env.process(self._background(cls),
+                                 name=f"{self.spec.name}-{cls.name}")
+
+    @property
+    def worker_count(self) -> int:
+        """Configured worker threads for the current connection hint."""
+        return self.spec.skeleton.worker_threads(self.connections_hint)
+
+    # ------------------------------------------------------------------ #
+    # request entry
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        handler: str,
+        src_node: str = "client",
+        trace_id: int = 0,
+        parent_span_id: Optional[int] = None,
+    ) -> Event:
+        """Enqueue a request; returns the response event."""
+        self.spec.program.handler(handler)  # validate
+        response = self.env.event()
+        request = Request(
+            handler=handler,
+            response=response,
+            src_node=src_node,
+            arrival=self.env.now,
+            trace_id=trace_id,
+            parent_span_id=parent_span_id,
+        )
+        self.queue.put(request)
+        return response
+
+    # ------------------------------------------------------------------ #
+    # workers
+    # ------------------------------------------------------------------ #
+    def _worker(self, index: int):
+        skeleton = self.spec.skeleton
+        blocking = skeleton.server_model is ServerNetworkModel.BLOCKING
+
+        def dispatch(request, cold, idle):
+            """Serve one request; returns the event freeing this worker.
+
+            Synchronous clients hold the worker for the whole handler.
+            Asynchronous clients (§4.3.1) hand the downstream wait to the
+            event loop: the worker frees as soon as the RPC group is
+            issued, and the continuation (a callback) re-runs without
+            occupying a worker slot.
+            """
+            release = self.env.event()
+            self.env.process(
+                self._serve(request, cold=cold, idle_s=idle,
+                            worker_release=release),
+                name=f"{self.spec.name}-serve")
+            return release
+
+        while True:
+            wait_start = self.env.now
+            request = yield self.queue.get()
+            idle = self.env.now - wait_start
+            if blocking:
+                idle = max(idle, 2 * COLD_IDLE_THRESHOLD_S)
+            cold = idle > COLD_IDLE_THRESHOLD_S
+            yield dispatch(request, cold, idle)
+            if blocking:
+                continue
+            # Drain the epoll batch while it lasts: subsequent requests in
+            # the same wakeup are warm (no context switch, hot i-cache).
+            served = 1
+            while len(self.queue) > 0 and served < skeleton.max_batch:
+                request = yield self.queue.get()
+                yield dispatch(request, False, 0.0)
+                served += 1
+
+    def _background(self, cls):
+        while True:
+            yield self.env.timeout(cls.background_period_s)
+            key = self._pricing_key(cold=True)
+            cycles = 0.0
+            for block in self.spec.program.background_blocks:
+                timing = self.pricer.price(block, key)
+                self.metrics.absorb(timing)
+                cycles += timing.cycles
+            if cycles > 0:
+                yield self.env.process(self.node.cpu.execute(cycles))
+
+    # ------------------------------------------------------------------ #
+    # execution-state -> pricing key
+    # ------------------------------------------------------------------ #
+    def _pricing_key(self, cold: bool, idle_s: float = 0.0) -> PricingKey:
+        conc = max(1, self.active)
+        llc_bytes = float(self.pricer.platform.llc.size_bytes)
+        # Other in-flight requests and co-located tiers compete for LLC.
+        pressure = ((conc - 1) * min(self._mean_footprint, llc_bytes)
+                    + self.node_state.other_resident_pressure(
+                        self.spec.name, llc_bytes))
+        llc_dyn = max(0.2, llc_bytes / (llc_bytes + pressure))
+        oversub = self.node_state.oversubscription()
+        l2_dyn = max(0.3, 1.0 / (1.0 + 0.35 * (oversub - 1.0)))
+        l1_dyn = max(0.5, 1.0 / (1.0 + 0.15 * (oversub - 1.0)))
+        reuse = self._cold_reuse if cold else self._warm_reuse
+        if cold:
+            reuse += min(MAX_IDLE_POLLUTION_BYTES,
+                         idle_s * IDLE_POLLUTION_BYTES_PER_S)
+            reuse += self.node_state.other_code_bytes(self.spec.name)
+        factors = self.base_factors
+        return PricingKey.build(
+            cold=cold,
+            concurrency=conc,
+            smt_contention=factors.smt_contention,
+            cache_factors=(
+                factors.l1i_factor * l1_dyn,
+                factors.l1d_factor * l1_dyn,
+                factors.l2_factor * l2_dyn,
+                factors.llc_factor * llc_dyn,
+            ),
+            code_reuse_bytes=reuse,
+            static_branch_sites=self._static_branches,
+        )
+
+    # ------------------------------------------------------------------ #
+    # request execution
+    # ------------------------------------------------------------------ #
+    def _serve(self, request: Request, cold: bool, idle_s: float = 0.0,
+               worker_release=None):
+        self.active += 1
+        self.node_state.active_threads += 1
+        handler = self.spec.program.handler(request.handler)
+        span = self.tracer.start_span(
+            request.trace_id, self.spec.name, request.handler,
+            SpanKind.SERVER, self.env.now, parent_id=request.parent_span_id,
+        )
+        key = self._pricing_key(cold, idle_s)
+        pending = [0.0]  # cycles awaiting a CPU grant
+
+        def charge(block) -> None:
+            timing = self.pricer.price(block, key)
+            self.metrics.absorb(timing)
+            pending[0] += timing.cycles
+
+        def flush():
+            cycles, pending[0] = pending[0], 0.0
+            if cycles > 0:
+                return self.env.process(self.node.cpu.execute(cycles))
+            return self.env.timeout(0.0)
+
+        if cold:
+            self.metrics.cold_wakeups += 1
+            self.metrics.context_switches += 1
+            self.node.cpu.context_switches += 1
+            switch = self.pricer.price(self._switch_block, key)
+            self.metrics.absorb(switch)
+            pending[0] += switch.cycles
+            charge(_cached_kernel_block(self._wait_invocation))
+
+        loopback = request.src_node == self.node.name
+        index = 0
+        ops = handler.ops
+        while index < len(ops):
+            op = ops[index]
+            if isinstance(op, ComputeOp):
+                charge(op.block)
+                index += 1
+            elif isinstance(op, SyscallOp):
+                yield from self._do_syscall(op.invocation, charge, flush,
+                                            loopback)
+                index += 1
+            elif isinstance(op, RpcOp):
+                group = [op]
+                if op.parallel_group is not None:
+                    while (index + len(group) < len(ops)
+                           and isinstance(ops[index + len(group)], RpcOp)
+                           and ops[index + len(group)].parallel_group
+                           == op.parallel_group):
+                        group.append(ops[index + len(group)])
+                asynchronous = (self.spec.skeleton.client_model
+                                is ClientNetworkModel.ASYNCHRONOUS)
+                if (asynchronous and worker_release is not None
+                        and not worker_release.triggered):
+                    # Event-driven client: the downstream wait belongs to
+                    # the reactor, not to a worker slot (§4.3.1).
+                    worker_release.succeed(None)
+                yield from self._do_rpcs(group, request, span, charge,
+                                         flush, asynchronous=asynchronous)
+                index += len(group)
+            else:  # pragma: no cover - exhaustive over Op union
+                raise ConfigurationError(f"unknown op {op!r}")
+        yield flush()
+        if worker_release is not None and not worker_release.triggered:
+            worker_release.succeed(None)
+        self.metrics.requests += 1
+        self.active -= 1
+        self.node_state.active_threads -= 1
+        if span is not None:
+            span.finish(self.env.now)
+        if request.src_node != self.node.name:
+            self.env.process(
+                self._delayed_reply(request.response),
+                name="reply",
+            )
+        else:
+            request.response.succeed(self.env.now)
+
+    def _delayed_reply(self, response: Event):
+        yield self.env.timeout(self.cross_node_latency_s)
+        response.succeed(self.env.now)
+
+    def _do_syscall(self, invocation: SyscallInvocation, charge, flush,
+                    loopback: bool = False):
+        charge(_cached_kernel_block(invocation))
+        device = invocation.spec.device
+        if device == "disk" and invocation.file is not None:
+            if invocation.write:
+                miss = self.node.filesystem.write(invocation.file,
+                                                  invocation.nbytes)
+            else:
+                miss = self.node.filesystem.read(invocation.file,
+                                                 invocation.nbytes)
+            if miss > 0:
+                yield flush()
+                yield self.env.process(
+                    self.node.disk.io(miss, write=invocation.write))
+                if invocation.write:
+                    self.metrics.disk_write_bytes += miss
+                else:
+                    self.metrics.disk_read_bytes += miss
+        elif device == "disk" and invocation.name == "fsync":
+            yield flush()
+            yield self.env.process(
+                self.node.disk.io(invocation.nbytes, write=True))
+            self.metrics.disk_write_bytes += invocation.nbytes
+        elif device == "net_tx":
+            self.metrics.net_tx_bytes += invocation.nbytes
+            if loopback:
+                # Same-node peer: the payload never hits the wire.
+                self.node.nic.tx_bytes += invocation.nbytes
+            else:
+                yield flush()
+                yield self.env.process(
+                    self.node.nic.transmit(invocation.nbytes))
+        elif device == "net_rx":
+            self.metrics.net_rx_bytes += invocation.nbytes
+            self.node.nic.account_rx(invocation.nbytes)
+
+    def _do_rpcs(self, group: List[RpcOp], request: Request, span, charge,
+                 flush, asynchronous: bool = False):
+        # Client-side kernel send work for every call in the group; an
+        # asynchronous client additionally registers each response socket
+        # with its reactor (epoll_ctl).
+        for rpc in group:
+            charge(_cached_kernel_block(
+                SyscallInvocation("sendmsg", nbytes=rpc.request_bytes)))
+            if asynchronous:
+                charge(_cached_kernel_block(
+                    SyscallInvocation("epoll_ctl")))
+        yield flush()
+        calls = []
+        for rpc in group:
+            calls.append(self.env.process(
+                self._one_rpc(rpc, request, span), name=f"rpc-{rpc.target_service}"))
+        yield self.env.all_of(calls)
+        # Client-side kernel receive work for the responses.
+        for rpc in group:
+            charge(_cached_kernel_block(
+                SyscallInvocation("recv", nbytes=rpc.response_bytes)))
+
+    def _one_rpc(self, rpc: RpcOp, request: Request, parent_span):
+        target = self.registry.get(rpc.target_service)
+        if target is None:
+            raise ConfigurationError(
+                f"{self.spec.name} calls unknown service "
+                f"{rpc.target_service!r}"
+            )
+        client_span = self.tracer.start_span(
+            request.trace_id, self.spec.name,
+            f"call_{rpc.target_service}", SpanKind.CLIENT, self.env.now,
+            parent_id=parent_span.span_id if parent_span is not None else None,
+            tags={"request_bytes": rpc.request_bytes,
+                  "response_bytes": rpc.response_bytes},
+        )
+        cross_node = target.node.name != self.node.name
+        self.metrics.net_tx_bytes += rpc.request_bytes
+        if cross_node:
+            # Request serialisation on our NIC, then the wire.
+            yield self.env.process(
+                self.node.nic.transmit(rpc.request_bytes))
+            yield self.env.timeout(self.cross_node_latency_s)
+        else:
+            self.node.nic.tx_bytes += rpc.request_bytes
+        target.metrics.net_rx_bytes += rpc.request_bytes
+        target.node.nic.account_rx(rpc.request_bytes)
+        response = target.submit(
+            rpc.handler,
+            src_node=self.node.name,
+            trace_id=request.trace_id,
+            parent_span_id=(client_span.span_id if client_span is not None
+                            else None),
+        )
+        yield response
+        self.metrics.net_rx_bytes += rpc.response_bytes
+        if client_span is not None:
+            client_span.finish(self.env.now)

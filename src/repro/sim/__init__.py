@@ -1,0 +1,20 @@
+"""Discrete-event simulation engine.
+
+A small, fast, generator-based DES kernel in the style of SimPy: processes
+are Python generators that ``yield`` events; the environment advances a
+virtual clock through a binary-heap event queue. Everything higher in the
+stack (network stack, disk queues, thread scheduling, load generation) is
+built from these primitives.
+"""
+
+from repro.sim.engine import Environment, Event, Interrupt, Process, Timeout
+from repro.sim.resources import Resource, Store
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Store",
+]

@@ -1,0 +1,317 @@
+"""Core event loop, events and processes for discrete-event simulation."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.util.errors import SimulationError
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    Processes wait on events by yielding them. An event carries an optional
+    ``value`` delivered to every waiter when it succeeds. Events may be
+    *succeeded* (normal) or *failed* (the waiting process sees the stored
+    exception raised at its yield point).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_scheduled")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been succeeded or failed."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or exception when failed)."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters see ``exception`` raised."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """Wraps a generator as a schedulable simulation process.
+
+    The process is itself an event that triggers with the generator's
+    return value when it finishes, so processes can wait on each other
+    (fork/join) simply by yielding the child process.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ) -> None:
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise SimulationError("Process requires a generator")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if self._triggered:
+            return
+        waiting = self._waiting_on
+        if waiting is not None and self._resume in waiting.callbacks:
+            waiting.callbacks.remove(self._resume)
+        self._waiting_on = None
+        interrupt_event = Event(self.env)
+        interrupt_event.callbacks.append(
+            lambda _evt: self._step(lambda: self._generator.throw(Interrupt(cause)))
+        )
+        interrupt_event.succeed()
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._step(lambda: self._generator.send(event.value))
+        else:
+            self._step(lambda: self._generator.throw(event.value))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An un-caught interrupt terminates the process quietly.
+            if not self._triggered:
+                self.succeed(None)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        if target.env is not self.env:
+            raise SimulationError("process yielded an event from another Environment")
+        self._waiting_on = target
+        if target._triggered and not isinstance(target, Timeout):
+            # Already-triggered non-timeout events resume the process on the
+            # next scheduling round (value already available).
+            resume_now = Event(self.env)
+            resume_now.callbacks.append(lambda _evt: self._resume(target))
+            resume_now.succeed()
+        else:
+            target.callbacks.append(self._resume)
+
+
+class Environment:
+    """The simulation environment: clock plus event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[tuple[float, int, Event]] = []
+        self._counter = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str = ""
+    ) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event that succeeds when every event in ``events`` has.
+
+        Delivers the list of individual values, in input order.
+        """
+        events = list(events)
+        done = self.event()
+        if not events:
+            done.succeed([])
+            return done
+        remaining = {"count": len(events)}
+        values: List[Any] = [None] * len(events)
+
+        def make_callback(index: int) -> Callable[[Event], None]:
+            def callback(event: Event) -> None:
+                if done.triggered:
+                    return
+                if not event.ok:
+                    done.fail(event.value)
+                    return
+                values[index] = event.value
+                remaining["count"] -= 1
+                if remaining["count"] == 0:
+                    done.succeed(list(values))
+
+            return callback
+
+        for index, event in enumerate(events):
+            if event.triggered:
+                # Propagate immediately via a proxy so ordering stays sane.
+                proxy = self.event()
+                proxy.callbacks.append(make_callback(index))
+                if event.ok:
+                    proxy.succeed(event.value)
+                else:
+                    proxy.fail(event.value)
+            else:
+                event.callbacks.append(make_callback(index))
+        return done
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """An event that succeeds as soon as any event in ``events`` does."""
+        events = list(events)
+        done = self.event()
+        if not events:
+            done.succeed(None)
+            return done
+
+        def callback(event: Event) -> None:
+            if done.triggered:
+                return
+            if event.ok:
+                done.succeed(event.value)
+            else:
+                done.fail(event.value)
+
+        for event in events:
+            if event.triggered:
+                proxy = self.event()
+                proxy.callbacks.append(callback)
+                if event.ok:
+                    proxy.succeed(event.value)
+                else:
+                    proxy.fail(event.value)
+            else:
+                event.callbacks.append(callback)
+        return done
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        heapq.heappush(self._queue, (self._now + delay, self._counter, event))
+        self._counter += 1
+
+    def step(self) -> None:
+        """Process the single next event in the queue."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        - ``until`` is a number: run until the clock reaches it.
+        - ``until`` is an Event: run until that event triggers; its value is
+          returned (its exception raised when it failed).
+        - ``until`` is None: run until no events remain.
+        """
+        if isinstance(until, Event):
+            while not until.triggered or until._scheduled:
+                if not self._queue:
+                    if until.triggered:
+                        break
+                    raise SimulationError(
+                        "event queue drained before the awaited event triggered"
+                    )
+                self.step()
+                if until.triggered and not self._queue:
+                    break
+            if not until.ok:
+                raise until.value
+            return until.value
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        deadline = float(until)
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = max(self._now, deadline)
+        return None

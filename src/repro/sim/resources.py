@@ -1,0 +1,156 @@
+"""Shared-resource primitives built on the DES engine.
+
+:class:`Resource` models a counted server pool (CPU cores, disk channels,
+worker slots) with FIFO queueing. :class:`Store` models an unbounded or
+bounded FIFO of items (request queues, mailboxes between threads).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional
+
+from repro.sim.engine import Environment, Event
+from repro.util.errors import SimulationError
+
+
+class Resource:
+    """A pool of ``capacity`` identical servers with a FIFO wait queue.
+
+    Usage from a process::
+
+        grant = resource.request()
+        yield grant
+        ...  # hold the resource
+        resource.release()
+
+    The grant event's value is the resource itself. Waiting time statistics
+    are accumulated so callers can report queueing delay.
+    """
+
+    def __init__(self, env: Environment, capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[tuple[Event, float]] = deque()
+        self.total_wait_time = 0.0
+        self.total_grants = 0
+        self.peak_queue_length = 0
+
+    @property
+    def in_use(self) -> int:
+        """Number of servers currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a server."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that fires once a server is granted."""
+        grant = self.env.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self.total_grants += 1
+            grant.succeed(self)
+        else:
+            self._waiters.append((grant, self.env.now))
+            self.peak_queue_length = max(self.peak_queue_length, len(self._waiters))
+        return grant
+
+    def release(self) -> None:
+        """Release one held server, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        if self._waiters:
+            grant, enqueued_at = self._waiters.popleft()
+            self.total_wait_time += self.env.now - enqueued_at
+            self.total_grants += 1
+            grant.succeed(self)
+        else:
+            self._in_use -= 1
+
+    def use(self, hold_time: float) -> Generator[Event, Any, None]:
+        """A ready-made process body: acquire, hold ``hold_time``, release."""
+        grant = self.request()
+        yield grant
+        try:
+            yield self.env.timeout(hold_time)
+        finally:
+            self.release()
+
+    @property
+    def mean_wait_time(self) -> float:
+        """Average queueing delay per grant so far."""
+        if self.total_grants == 0:
+            return 0.0
+        return self.total_wait_time / self.total_grants
+
+
+class Store:
+    """A FIFO buffer of items with blocking get and optional capacity."""
+
+    def __init__(
+        self, env: Environment, capacity: Optional[int] = None, name: str = ""
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"store capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+        self.total_puts = 0
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> List[Any]:
+        """A snapshot of buffered items (oldest first)."""
+        return list(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; blocks (as an event) when at capacity."""
+        done = self.env.event()
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            self.total_puts += 1
+            done.succeed(None)
+            return done
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self._putters.append((done, item))
+            return done
+        self._items.append(item)
+        self.total_puts += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._items))
+        done.succeed(None)
+        return done
+
+    def get(self) -> Event:
+        """Remove and return the oldest item; blocks when empty."""
+        got = self.env.event()
+        if self._items:
+            item = self._items.popleft()
+            self._admit_blocked_putter()
+            got.succeed(item)
+        else:
+            self._getters.append(got)
+        return got
+
+    def _admit_blocked_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            done, item = self._putters.popleft()
+            self._items.append(item)
+            self.total_puts += 1
+            self.peak_occupancy = max(self.peak_occupancy, len(self._items))
+            done.succeed(None)

@@ -1,0 +1,20 @@
+"""Distributed-tracing substrate (§4.2).
+
+Production microservice deployments run tracers like Jaeger/Zipkin/Dapper;
+Ditto consumes their sampled end-to-end traces to learn the RPC dependency
+graph. This package provides the span data model, a sampling tracer the
+runtime reports RPCs to, and the dependency-graph extraction Ditto's
+topology analyser runs.
+"""
+
+from repro.tracing.span import Span, SpanKind
+from repro.tracing.tracer import Tracer
+from repro.tracing.graph import DependencyGraph, extract_dependency_graph
+
+__all__ = [
+    "DependencyGraph",
+    "Span",
+    "SpanKind",
+    "Tracer",
+    "extract_dependency_graph",
+]

@@ -1,0 +1,129 @@
+"""RPC dependency-graph extraction (§4.2).
+
+Given collected traces, reconstruct the microservice topology: a DAG
+whose nodes are services and whose edges carry call counts, per-call
+request/response size statistics, and per-parent fan-out — everything the
+skeleton generator needs to recreate the API interfaces between synthetic
+tiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.tracing.span import Span, SpanKind
+from repro.util.errors import ProfilingError
+from repro.util.stats import OnlineStats
+
+
+@dataclass
+class EdgeStats:
+    """Statistics of one caller->callee RPC edge."""
+
+    calls: int = 0
+    operations: Dict[str, int] = field(default_factory=dict)
+    request_bytes: OnlineStats = field(default_factory=OnlineStats)
+    response_bytes: OnlineStats = field(default_factory=OnlineStats)
+    #: mean concurrent calls issued by one parent execution
+    calls_per_parent: float = 0.0
+
+
+@dataclass
+class DependencyGraph:
+    """The extracted topology."""
+
+    graph: nx.DiGraph
+    root_services: List[str]
+    operation_mix: Dict[str, Dict[str, float]]   # service -> op -> weight
+
+    def services(self) -> List[str]:
+        """All services, topologically sorted from the roots."""
+        return list(nx.topological_sort(self.graph))
+
+    def edge(self, src: str, dst: str) -> EdgeStats:
+        """Stats for one edge."""
+        data = self.graph.get_edge_data(src, dst)
+        if data is None:
+            raise ProfilingError(f"no edge {src!r} -> {dst!r}")
+        return data["stats"]
+
+    def downstreams(self, service: str) -> List[str]:
+        """Callee services of ``service``."""
+        return list(self.graph.successors(service))
+
+
+def extract_dependency_graph(spans: List[Span]) -> DependencyGraph:
+    """Reconstruct the service DAG from finished spans.
+
+    Client spans are matched to the server span of the same trace whose
+    parent is that client span; edges aggregate call counts and byte-size
+    statistics. Roots are services whose server spans have no parent.
+    """
+    finished = [span for span in spans if span.finished]
+    if not finished:
+        raise ProfilingError("no finished spans to extract a topology from")
+    by_id: Dict[Tuple[int, int], Span] = {
+        (span.trace_id, span.span_id): span for span in finished
+    }
+    server_by_parent: Dict[Tuple[int, int], Span] = {
+        (span.trace_id, span.parent_id): span
+        for span in finished
+        if span.kind is SpanKind.SERVER and span.parent_id is not None
+    }
+    graph = nx.DiGraph()
+    roots: Dict[str, int] = {}
+    op_mix: Dict[str, Dict[str, float]] = {}
+    parent_call_counts: Dict[Tuple[str, str, int, int], int] = {}
+    for span in finished:
+        if span.kind is SpanKind.SERVER:
+            graph.add_node(span.service)
+            op_mix.setdefault(span.service, {})
+            op_mix[span.service][span.operation] = (
+                op_mix[span.service].get(span.operation, 0.0) + 1.0
+            )
+            if span.parent_id is None:
+                roots[span.service] = roots.get(span.service, 0) + 1
+            continue
+        # CLIENT span: its parent is the caller's server span; its child
+        # (same-trace server span pointing at it) is the callee.
+        if span.parent_id is None:
+            continue
+        parent = by_id.get((span.trace_id, span.parent_id))
+        if parent is None:
+            continue
+        # The callee is the server span whose parent is this client span.
+        callee_span = server_by_parent.get((span.trace_id, span.span_id))
+        if callee_span is None:
+            continue
+        callee_operation = callee_span.operation
+        src, dst = parent.service, callee_span.service
+        graph.add_edge(src, dst)
+        data = graph.get_edge_data(src, dst)
+        stats: EdgeStats = data.setdefault("stats", EdgeStats())
+        stats.calls += 1
+        stats.operations[callee_operation] = (
+            stats.operations.get(callee_operation, 0) + 1
+        )
+        stats.request_bytes.add(span.tags.get("request_bytes", 0.0))
+        stats.response_bytes.add(span.tags.get("response_bytes", 0.0))
+        key = (src, dst, parent.trace_id, parent.span_id)
+        parent_call_counts[key] = parent_call_counts.get(key, 0) + 1
+    # Fan-out per parent execution.
+    per_edge_parents: Dict[Tuple[str, str], List[int]] = {}
+    for (src, dst, _, _), count in parent_call_counts.items():
+        per_edge_parents.setdefault((src, dst), []).append(count)
+    for (src, dst), counts in per_edge_parents.items():
+        stats = graph.get_edge_data(src, dst)["stats"]
+        stats.calls_per_parent = sum(counts) / len(counts)
+    if not nx.is_directed_acyclic_graph(graph):
+        raise ProfilingError("extracted topology contains a cycle")
+    if not roots:
+        raise ProfilingError("no root services found in traces")
+    return DependencyGraph(
+        graph=graph,
+        root_services=sorted(roots, key=roots.get, reverse=True),
+        operation_mix=op_mix,
+    )

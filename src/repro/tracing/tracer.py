@@ -1,0 +1,81 @@
+"""The collecting tracer."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.tracing.span import Span, SpanKind
+from repro.util.errors import ConfigurationError
+
+
+class Tracer:
+    """Collects spans with head-based sampling.
+
+    Sampling is decided once per trace (at root creation) so sampled
+    traces are always complete — the property dependency-graph extraction
+    relies on. The paper notes properly-sampled tracing has negligible
+    overhead; here sampling simply bounds memory.
+    """
+
+    def __init__(self, sample_rate: float = 1.0, seed: int = 7) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ConfigurationError("sample_rate must be within [0, 1]")
+        self.sample_rate = sample_rate
+        self._rng = np.random.default_rng(seed)
+        self._next_trace_id = 1
+        self._next_span_id = 1
+        self._sampled_traces: Dict[int, bool] = {}
+        self.spans: List[Span] = []
+
+    def start_trace(self) -> int:
+        """Open a new trace; returns its id (sampling decided here)."""
+        trace_id = self._next_trace_id
+        self._next_trace_id += 1
+        self._sampled_traces[trace_id] = bool(
+            self._rng.random() < self.sample_rate
+        )
+        return trace_id
+
+    def is_sampled(self, trace_id: int) -> bool:
+        """Whether a trace's spans are being recorded."""
+        return self._sampled_traces.get(trace_id, False)
+
+    def start_span(
+        self,
+        trace_id: int,
+        service: str,
+        operation: str,
+        kind: SpanKind,
+        start_time: float,
+        parent_id: Optional[int] = None,
+        tags: Optional[Dict[str, float]] = None,
+    ) -> Optional[Span]:
+        """Open a span (returns None for unsampled traces)."""
+        if not self.is_sampled(trace_id):
+            return None
+        span = Span(
+            trace_id=trace_id,
+            span_id=self._next_span_id,
+            parent_id=parent_id,
+            service=service,
+            operation=operation,
+            kind=kind,
+            start_time=start_time,
+            tags=dict(tags or {}),
+        )
+        self._next_span_id += 1
+        self.spans.append(span)
+        return span
+
+    def finished_spans(self) -> List[Span]:
+        """All closed spans collected so far."""
+        return [span for span in self.spans if span.finished]
+
+    def traces(self) -> Dict[int, List[Span]]:
+        """Finished spans grouped by trace id."""
+        grouped: Dict[int, List[Span]] = {}
+        for span in self.finished_spans():
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped

@@ -1,0 +1,50 @@
+"""Shared utilities: seeded randomness, statistics, quantisation, errors.
+
+These helpers are deliberately free of any domain knowledge so every
+substrate (hardware, kernel, applications, profilers) can depend on them
+without cycles.
+"""
+
+from repro.util.errors import (
+    ConfigurationError,
+    ProfilingError,
+    ReproError,
+    SimulationError,
+)
+from repro.util.quantize import (
+    LogScaleQuantizer,
+    next_pow2,
+    pow2_bins,
+    prev_pow2,
+    quantize_pow2,
+)
+from repro.util.rng import RngStream, derive_seed, make_rng
+from repro.util.stats import (
+    Histogram,
+    OnlineStats,
+    geometric_mean,
+    percentile,
+    relative_error,
+    weighted_mean,
+)
+
+__all__ = [
+    "ConfigurationError",
+    "Histogram",
+    "LogScaleQuantizer",
+    "OnlineStats",
+    "ProfilingError",
+    "ReproError",
+    "RngStream",
+    "SimulationError",
+    "derive_seed",
+    "geometric_mean",
+    "make_rng",
+    "next_pow2",
+    "percentile",
+    "pow2_bins",
+    "prev_pow2",
+    "quantize_pow2",
+    "relative_error",
+    "weighted_mean",
+]

@@ -1,0 +1,69 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library draws from a named
+:class:`RngStream` derived from a root seed, so that (a) experiments are
+reproducible bit-for-bit and (b) changing the amount of randomness one
+component consumes does not perturb any other component.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(root_seed: int, *names: str) -> int:
+    """Derive a stable 63-bit child seed from a root seed and a name path.
+
+    The derivation hashes the root seed together with the path components,
+    so streams are independent for distinct names and stable across runs
+    and platforms.
+
+    >>> derive_seed(1, "a") != derive_seed(1, "b")
+    True
+    >>> derive_seed(1, "a") == derive_seed(1, "a")
+    True
+    """
+    digest = hashlib.sha256()
+    digest.update(str(int(root_seed)).encode())
+    for name in names:
+        digest.update(b"/")
+        digest.update(name.encode())
+    return int.from_bytes(digest.digest()[:8], "little") & (2**63 - 1)
+
+
+def make_rng(root_seed: int, *names: str) -> np.random.Generator:
+    """Create a numpy Generator seeded from ``derive_seed(root_seed, *names)``."""
+    return np.random.default_rng(derive_seed(root_seed, *names))
+
+
+class RngStream:
+    """A hierarchical factory of independent random generators.
+
+    >>> stream = RngStream(42)
+    >>> rng = stream.rng("cache", "l1d")
+    >>> child = stream.child("profiling")
+    >>> child.rng("branches") is not None
+    True
+    """
+
+    def __init__(self, root_seed: int, *path: str) -> None:
+        self._root_seed = int(root_seed)
+        self._path = tuple(path)
+
+    @property
+    def seed(self) -> int:
+        """The effective seed of this stream node."""
+        return derive_seed(self._root_seed, *self._path)
+
+    def child(self, *names: str) -> "RngStream":
+        """Return a sub-stream rooted at ``names`` below this node."""
+        return RngStream(self._root_seed, *self._path, *names)
+
+    def rng(self, *names: str) -> np.random.Generator:
+        """Return a numpy Generator for the stream at ``names``."""
+        return make_rng(self._root_seed, *self._path, *names)
+
+    def __repr__(self) -> str:
+        return f"RngStream(seed={self._root_seed}, path={'/'.join(self._path)!r})"

@@ -1,0 +1,89 @@
+"""Hand-built ServiceFeatures for fast generator tests (no profiling)."""
+
+from repro.app.skeleton import ClientNetworkModel, ServerNetworkModel
+from repro.core.features import ServiceFeatures
+from repro.profiling.branches import BranchProfile
+from repro.profiling.deps import DependencyDistanceProfile
+from repro.profiling.instmix import InstructionMixProfile
+from repro.profiling.netmodel import NetworkModelProfile
+from repro.profiling.syscalls import SyscallProfile, SyscallTemplateEntry
+from repro.profiling.threads import (
+    ReconstructedThreadClass,
+    ThreadModelProfile,
+)
+from repro.util.stats import Histogram, OnlineStats
+
+
+def make_features(
+    service: str = "svc",
+    instructions_per_request: float = 8000.0,
+    chase_ratio_large: float = 0.1,
+    regular_ratio: float = 0.6,
+    shared_ratio: float = 0.05,
+) -> ServiceFeatures:
+    """A plausible, fully-populated feature set."""
+    mix = InstructionMixProfile()
+    mix.mix = Histogram({
+        "MOV_r64_m64": 20.0, "ADD_r64_r64": 25.0, "CMP_r64_imm": 15.0,
+        "JNZ_rel": 10.0, "MOV_m64_r64": 8.0, "MOV_r64_r64": 12.0,
+        "XOR_r64_r64": 10.0,
+    })
+    mix.instructions_per_request = instructions_per_request
+    mix.instructions_per_request_by_handler = {
+        "op": instructions_per_request}
+    mix.clusters = [sorted(str(k) for k in mix.mix.counts)]
+    branches = BranchProfile()
+    branches.rate_distribution.add((5, 5, True), 0.8)
+    branches.rate_distribution.add((1, 2, True), 0.2)
+    branches.static_sites = 200
+    branches.mean_taken_rate = 0.9
+    branches.mean_transition_rate = 0.08
+    deps = DependencyDistanceProfile(
+        raw={16: 0.6, 64: 0.4}, war={32: 1.0}, waw={64: 1.0},
+        pointer_chase_frac=0.08,
+    )
+    syscalls = SyscallProfile()
+    syscalls.templates["op"] = [
+        SyscallTemplateEntry("recv", 1.0, 128.0, mean_position=0.0),
+        SyscallTemplateEntry("send", 1.0, 1024.0, mean_position=2.0),
+    ]
+    syscalls.counts_per_request = {"recv": 1.0, "send": 1.0}
+    threads = ThreadModelProfile(classes=[
+        ReconstructedThreadClass("acceptor", "acceptor", 1, False,
+                                 "socket", False),
+        ReconstructedThreadClass("worker", "worker", 4, False, "socket",
+                                 False),
+    ])
+    network = NetworkModelProfile(
+        server_model=ServerNetworkModel.IO_MULTIPLEXING,
+        client_model=ClientNetworkModel.SYNCHRONOUS,
+        rx_bytes=OnlineStats(count=10, mean=128.0),
+        tx_bytes=OnlineStats(count=10, mean=1024.0),
+        waits_per_request=1.0, rx_per_request=1.0, tx_per_request=1.0,
+    )
+    return ServiceFeatures(
+        service=service,
+        mix=mix,
+        branches=branches,
+        deps=deps,
+        syscalls=syscalls,
+        threads=threads,
+        network=network,
+        data_wsets={4096: 200.0, 65536: 80.0, 4 * 1024 * 1024: 20.0,
+                    64 * 1024 * 1024: 30.0},
+        instr_wsets={64: instructions_per_request * 0.7,
+                     16384: instructions_per_request * 0.3},
+        regular_ratio=regular_ratio,
+        regular_ratio_large=regular_ratio * 0.6,
+        chase_ratio_large=chase_ratio_large,
+        shared_ratio=shared_ratio,
+        write_frac=0.25,
+        handler_mix={"op": 1.0},
+        rpc_calls={},
+        resident_bytes=64 * 1024 * 1024,
+        hot_code_bytes=96 * 1024,
+        file_sizes={},
+        target_counters=None,
+        observed_qps=10000.0,
+        observed_connections=16,
+    )

@@ -1,0 +1,282 @@
+"""Tests for Ditto's generators: features, regalloc, body, skeleton."""
+
+import numpy as np
+import pytest
+
+from repro.app.program import ComputeOp, RpcOp, SyscallOp
+from repro.app.service import Deployment
+from repro.app.skeleton import ServerNetworkModel
+from repro.app.workloads import build_memcached, build_mongodb
+from repro.core import (
+    GeneratorConfig,
+    TuningKnobs,
+    emit_assembly,
+    extract_service_features,
+    generate_program,
+    generate_skeleton,
+)
+from repro.core.body_gen import build_blocks
+from repro.core.regalloc import assign_registers
+from repro.hw import PLATFORM_A
+from repro.hw.ir import DependencyProfile, MemPattern
+from repro.loadgen import LoadSpec
+from repro.profiling import profile_deployment
+from repro.profiling.deps import DependencyDistanceProfile
+from repro.runtime import ExperimentConfig
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def memcached_features():
+    deployment = Deployment.single(build_memcached())
+    config = ExperimentConfig(platform=PLATFORM_A, duration_s=0.02, seed=5)
+    profile = profile_deployment(deployment, LoadSpec.open_loop(100000),
+                                 config)
+    return extract_service_features(profile.artifacts("memcached"))
+
+
+class TestFeatures:
+    def test_instructions_per_request_positive(self, memcached_features):
+        assert memcached_features.instructions_per_request() > 1000
+
+    def test_per_handler_targets(self, memcached_features):
+        get = memcached_features.instructions_per_request("get")
+        fallback = memcached_features.instructions_per_request("unknown-op")
+        assert get > 0 and fallback > 0
+
+    def test_wset_histograms_populated(self, memcached_features):
+        assert memcached_features.data_wsets
+        assert memcached_features.instr_wsets
+
+    def test_ratios_in_unit_interval(self, memcached_features):
+        for value in (memcached_features.regular_ratio,
+                      memcached_features.regular_ratio_large,
+                      memcached_features.shared_ratio,
+                      memcached_features.write_frac):
+            assert 0.0 <= value <= 1.0
+
+    def test_hot_code_observed(self, memcached_features):
+        assert memcached_features.hot_code_bytes == pytest.approx(96 * 1024)
+
+
+class TestRegisterAllocation:
+    def _profile(self, raw_bin):
+        return DependencyDistanceProfile(raw={raw_bin: 1.0},
+                                         war={32: 1.0}, waw={64: 1.0},
+                                         pointer_chase_frac=0.1)
+
+    def test_assignment_count(self):
+        rng = np.random.default_rng(0)
+        result = assign_registers(64, self._profile(8), rng)
+        assert len(result.assignments) == 64
+
+    def test_never_uses_reserved_registers(self):
+        rng = np.random.default_rng(1)
+        result = assign_registers(128, self._profile(4), rng)
+        reserved = {"r8", "r9", "r10", "r11", "rsp", "rbp"}
+        for assignment in result.assignments:
+            assert assignment.dest not in reserved
+            assert assignment.source not in reserved
+
+    def test_dest_never_equals_source(self):
+        rng = np.random.default_rng(2)
+        result = assign_registers(128, self._profile(4), rng)
+        for assignment in result.assignments:
+            assert assignment.dest != assignment.source
+
+    def test_realized_distances_track_targets(self):
+        # Short target distances produce shorter realized RAW distances
+        # than long targets.
+        rng = np.random.default_rng(3)
+        short = assign_registers(256, self._profile(2), rng)
+        rng = np.random.default_rng(3)
+        long = assign_registers(256, self._profile(512), rng)
+        assert (short.realized.mean_raw_distance()
+                < long.realized.mean_raw_distance())
+
+    def test_chase_fraction_propagated(self):
+        rng = np.random.default_rng(4)
+        result = assign_registers(32, self._profile(8), rng)
+        assert result.realized.pointer_chase_frac == pytest.approx(0.1)
+
+    def test_invalid_slots_rejected(self):
+        with pytest.raises(ConfigurationError):
+            assign_registers(0, self._profile(8), np.random.default_rng(0))
+
+
+class TestGeneratorConfigStages:
+    def test_stage_ordering_cumulative(self):
+        skeleton = GeneratorConfig.stage("skeleton")
+        assert not skeleton.syscalls and not skeleton.instruction_count
+        syscall = GeneratorConfig.stage("syscall")
+        assert syscall.syscalls and not syscall.instruction_count
+        datadep = GeneratorConfig.stage("datadep")
+        assert datadep.data_dependencies and datadep.data_memory
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig.stage("warpdrive")
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TuningKnobs(imem_scale=0.0)
+
+
+class TestBuildBlocks:
+    def test_instruction_target_met(self, memcached_features):
+        rng = np.random.default_rng(0)
+        blocks = build_blocks(memcached_features, GeneratorConfig(), "get",
+                              rng)
+        total = sum(b.instructions_per_request for b in blocks)
+        target = memcached_features.instructions_per_request("get")
+        assert total == pytest.approx(target, rel=0.05)
+
+    def test_block_count_bounded(self, memcached_features):
+        config = GeneratorConfig(max_blocks=6)
+        rng = np.random.default_rng(0)
+        blocks = build_blocks(memcached_features, config, "get", rng)
+        # max_blocks bounds the i-wset bins; REP and narrow-port iforms
+        # add a handful of dedicated single-iform blocks on top.
+        dedicated = [b for b in blocks
+                     if "_rep_" in b.name or "_port_" in b.name]
+        assert 1 <= len(blocks) - len(dedicated) <= 6
+        assert len(dedicated) <= 6
+
+    def test_stage_c_uses_plain_adds(self, memcached_features):
+        config = GeneratorConfig.stage("inst_count")
+        rng = np.random.default_rng(0)
+        blocks = build_blocks(memcached_features, config, "get", rng)
+        for block in blocks:
+            assert set(block.iform_counts) == {"ADD_r64_r64"}
+
+    def test_stage_a_emits_empty_body(self, memcached_features):
+        config = GeneratorConfig.stage("skeleton")
+        rng = np.random.default_rng(0)
+        blocks = build_blocks(memcached_features, config, "get", rng)
+        assert len(blocks) == 1
+        assert blocks[0].instructions_per_request <= 16
+
+    def test_dmem_realises_profile(self, memcached_features):
+        rng = np.random.default_rng(0)
+        blocks = build_blocks(memcached_features, GeneratorConfig(), "get",
+                              rng)
+        realized = 0.0
+        for block in blocks:
+            for spec in block.mem:
+                realized += spec.accesses * block.iterations
+        profiled = sum(memcached_features.data_wsets.values())
+        assert realized == pytest.approx(profiled, rel=0.2)
+
+    def test_no_dmem_stage_uses_smallest_wset(self, memcached_features):
+        config = GeneratorConfig.stage("imem")
+        rng = np.random.default_rng(0)
+        blocks = build_blocks(memcached_features, config, "get", rng)
+        for block in blocks:
+            for spec in block.mem:
+                assert spec.wset_bytes == 64
+
+    def test_knobs_scale_working_sets(self, memcached_features):
+        rng = np.random.default_rng(0)
+        base = build_blocks(memcached_features, GeneratorConfig(), "get", rng)
+        rng = np.random.default_rng(0)
+        scaled_config = GeneratorConfig(
+            knobs=TuningKnobs(dmem_scale=2.0, big_wset_scale=2.0))
+        scaled = build_blocks(memcached_features, scaled_config, "get", rng)
+        max_base = max(s.wset_bytes for b in base for s in b.mem)
+        max_scaled = max(s.wset_bytes for b in scaled for s in b.mem)
+        assert max_scaled == pytest.approx(2 * max_base, rel=0.01)
+
+    def test_branch_specs_from_profile(self, memcached_features):
+        rng = np.random.default_rng(0)
+        blocks = build_blocks(memcached_features, GeneratorConfig(), "get",
+                              rng)
+        assert any(block.branches for block in blocks)
+        for block in blocks:
+            for branch in block.branches:
+                assert 0.0 <= branch.taken_rate <= 1.0
+
+
+class TestGenerateProgram:
+    def test_handlers_match_observed_mix(self, memcached_features):
+        program, _files = generate_program(memcached_features)
+        assert set(program.handlers) == set(memcached_features.handler_mix)
+
+    def test_syscall_order_rx_before_tx(self, memcached_features):
+        program, _files = generate_program(memcached_features)
+        handler = program.handler("get")
+        names = [op.invocation.name for op in handler.ops
+                 if isinstance(op, SyscallOp)]
+        assert names.index("recv") < names.index("sendmsg")
+
+    def test_files_anonymised_with_sizes_kept(self):
+        deployment = Deployment.single(build_mongodb())
+        config = ExperimentConfig(platform=PLATFORM_A, duration_s=0.02,
+                                  seed=5, page_cache_bytes=4 * 1024**3)
+        profile = profile_deployment(deployment, LoadSpec.closed_loop(4),
+                                     config)
+        features = extract_service_features(profile.artifacts("mongodb"))
+        program, files = generate_program(features)
+        assert all(name.startswith("synthetic_file_") for name in files)
+        assert pytest.approx(40 * 1024**3) in list(files.values())
+        # The disk syscalls reference the anonymised file.
+        preads = [op.invocation for op in program.handler("find").ops
+                  if isinstance(op, SyscallOp)
+                  and op.invocation.name == "pread"]
+        assert preads and preads[0].file in files
+
+    def test_hot_code_matches_observed(self, memcached_features):
+        program, _files = generate_program(memcached_features)
+        assert program.hot_code_bytes == pytest.approx(
+            memcached_features.hot_code_bytes)
+
+    def test_stage_b_keeps_syscalls_drops_compute(self, memcached_features):
+        program, _files = generate_program(
+            memcached_features, GeneratorConfig.stage("syscall"))
+        handler = program.handler("get")
+        syscalls = [op for op in handler.ops if isinstance(op, SyscallOp)]
+        blocks = [op.block for op in handler.ops
+                  if isinstance(op, ComputeOp)]
+        assert syscalls
+        assert sum(b.instructions_per_request for b in blocks) <= 16
+
+
+class TestGenerateSkeleton:
+    def test_memcached_skeleton_recovered(self, memcached_features):
+        skeleton = generate_skeleton(memcached_features.threads,
+                                     memcached_features.network)
+        assert skeleton.server_model is ServerNetworkModel.IO_MULTIPLEXING
+        assert skeleton.worker_threads() == 4
+
+    def test_fallback_worker_added(self):
+        from repro.profiling.threads import ThreadModelProfile, \
+            ReconstructedThreadClass
+        from repro.profiling.netmodel import NetworkModelProfile
+        from repro.app.skeleton import ClientNetworkModel
+        from repro.util.stats import OnlineStats
+        threads = ThreadModelProfile(classes=[ReconstructedThreadClass(
+            "c0", "acceptor", 1, False, "socket", False)])
+        network = NetworkModelProfile(
+            server_model=ServerNetworkModel.IO_MULTIPLEXING,
+            client_model=ClientNetworkModel.SYNCHRONOUS,
+            rx_bytes=OnlineStats(), tx_bytes=OnlineStats(),
+            waits_per_request=1.0, rx_per_request=1.0, tx_per_request=1.0)
+        skeleton = generate_skeleton(threads, network)
+        assert skeleton.worker_threads() >= 1
+
+
+class TestCodegen:
+    def test_listing_contains_fig3_constructs(self, memcached_features):
+        program, _files = generate_program(memcached_features)
+        listing = emit_assembly(program)
+        assert "epoll_wait" in listing
+        assert "test r8d" in listing          # branch bitmask
+        assert "QWORD PTR [r10" in listing    # working-set offsets
+        assert ".BLOCK_" in listing           # looping blocks
+        assert "jl .BLOCK_" in listing
+
+    def test_listing_conceals_original_names(self, memcached_features):
+        program, _files = generate_program(memcached_features)
+        listing = emit_assembly(program)
+        assert "mc_lookup" not in listing
+        assert "memcached" not in listing.lower().replace(
+            "synthetic", "")

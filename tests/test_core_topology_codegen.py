@@ -1,0 +1,129 @@
+"""Tests for the topology analyser and the assembly emitter."""
+
+import pytest
+
+from repro.core import analyze_topology, emit_assembly, generate_program
+from repro.core.codegen import _bitmask_comment
+from repro.hw import PLATFORM_A
+from repro.loadgen import LoadSpec
+from repro.runtime import ExperimentConfig, run_experiment
+from repro.tracing import Tracer
+from repro.util.errors import ProfilingError
+
+from tests._feature_factory import make_features
+
+
+@pytest.fixture(scope="module")
+def socialnet_spans():
+    from repro.app.workloads.socialnet import social_network_deployment
+    tracer = Tracer(sample_rate=1.0)
+    config = ExperimentConfig(platform=PLATFORM_A, duration_s=0.03, seed=2,
+                              tracer=tracer)
+    run_experiment(social_network_deployment(), LoadSpec.open_loop(700),
+                   config)
+    return tracer.finished_spans()
+
+
+class TestAnalyzeTopology:
+    def test_entry_identified(self, socialnet_spans):
+        summary = analyze_topology(socialnet_spans)
+        assert summary.entry_service == "frontend"
+
+    def test_all_tiers_discovered(self, socialnet_spans):
+        summary = analyze_topology(socialnet_spans)
+        # Every tier that saw traffic appears; the backbone tiers must.
+        for tier in ("frontend", "home-timeline-service",
+                     "social-graph-service", "post-storage-service"):
+            assert tier in summary.tiers
+
+    def test_edges_carry_call_counts(self, socialnet_spans):
+        summary = analyze_topology(socialnet_spans)
+        for src, dst, calls in summary.edges:
+            assert calls > 0
+            assert src != dst
+
+    def test_fan_out(self, socialnet_spans):
+        summary = analyze_topology(socialnet_spans)
+        assert summary.fan_out("frontend") == 3
+        assert summary.fan_out("socialgraph-redis") == 0
+
+    def test_empty_spans_rejected(self):
+        with pytest.raises(ProfilingError):
+            analyze_topology([])
+
+
+class TestAssemblyEmitter:
+    @pytest.fixture(scope="class")
+    def listing(self):
+        program, _files = generate_program(make_features())
+        return emit_assembly(program)
+
+    def test_skeleton_loop_present(self, listing):
+        assert "void main_loop()" in listing
+        assert "epoll_wait(listen_fd" in listing
+
+    def test_handlers_emitted(self, listing):
+        assert "void handler_op(" in listing
+
+    def test_syscall_replay_lines(self, listing):
+        assert "recv(fd, buffer," in listing
+        assert "send(fd, buffer," in listing
+
+    def test_loop_structure(self, listing):
+        assert '"xor r9, r9\\n"' in listing
+        assert "cmp r9," in listing
+
+    def test_branch_bitmask_encoding(self):
+        comment = _bitmask_comment(taken_rate=0.875, transition_rate=0.25)
+        # taken 0.875 folds to 0.125 = 2^-3 -> three leading one bits.
+        assert "0xe0000000" in comment
+        assert "2^-3" in comment
+        assert "2^-2" in comment
+
+    def test_no_branch_register_operands(self, listing):
+        for line in listing.splitlines():
+            stripped = line.strip().strip('"')
+            for mnemonic in ("jz ", "jnz ", "jl "):
+                if stripped.startswith(mnemonic):
+                    target = stripped[len(mnemonic):]
+                    assert target.startswith(".") or target.startswith(
+                        "0x"), line
+
+    def test_deterministic(self):
+        program, _files = generate_program(make_features())
+        assert emit_assembly(program, seed=4) == emit_assembly(program,
+                                                               seed=4)
+
+
+class TestWsetHelpers:
+    def test_region_chase_ratio_weighted(self):
+        import numpy as np
+        from repro.profiling.artifacts import RegionTrace
+        from repro.profiling.wset import region_chase_ratio
+        chasing = RegionTrace(
+            addresses=np.arange(10, dtype=np.int64) * 64,
+            weights=np.full(10, 3.0), region_bytes=1 << 21, chase_frac=1.0)
+        plain = RegionTrace(
+            addresses=np.arange(10, dtype=np.int64) * 64,
+            weights=np.full(10, 1.0), region_bytes=1 << 21, chase_frac=0.0)
+        assert region_chase_ratio([chasing, plain]) == pytest.approx(0.75)
+
+    def test_region_chase_ratio_band_filter(self):
+        import numpy as np
+        from repro.profiling.artifacts import RegionTrace
+        from repro.profiling.wset import region_chase_ratio
+        small = RegionTrace(
+            addresses=np.arange(4, dtype=np.int64) * 64,
+            weights=np.full(4, 1.0), region_bytes=4096, chase_frac=1.0)
+        assert region_chase_ratio([small],
+                                  min_region_bytes=1 << 20) == 0.0
+
+    def test_empty_regions_zero(self):
+        from repro.profiling.wset import (
+            region_chase_ratio,
+            region_regularity_ratio,
+            region_shared_ratio,
+        )
+        assert region_chase_ratio([]) == 0.0
+        assert region_regularity_ratio([]) == 0.0
+        assert region_shared_ratio([]) == 0.0

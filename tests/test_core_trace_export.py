@@ -1,0 +1,88 @@
+"""Tests for trace export (§5's trace-driven simulator path)."""
+
+import pytest
+
+from repro.core import generate_program
+from repro.core.trace_export import (
+    export_instruction_trace,
+    export_memory_trace,
+    iter_memory_accesses,
+)
+from repro.isa.instructions import iform
+from repro.util.errors import ConfigurationError
+
+from tests._feature_factory import make_features
+
+
+@pytest.fixture(scope="module")
+def synthetic_program():
+    program, _files = generate_program(make_features())
+    return program
+
+
+class TestMemoryTrace:
+    def test_iterator_yields_addresses(self, synthetic_program):
+        records = list(iter_memory_accesses(synthetic_program, handler="op",
+                                            requests=1))
+        assert len(records) > 50
+        for address, is_write in records[:100]:
+            assert address >= 0x10_0000
+            assert isinstance(is_write, bool)
+
+    def test_write_fraction_roughly_respected(self, synthetic_program):
+        records = list(iter_memory_accesses(synthetic_program, handler="op",
+                                            requests=2))
+        writes = sum(1 for _, w in records if w)
+        # Feature factory sets write_frac=0.25.
+        assert 0.1 < writes / len(records) < 0.45
+
+    def test_ramulator_format(self, synthetic_program, tmp_path):
+        path = tmp_path / "mem.trace"
+        lines = export_memory_trace(synthetic_program, path, handler="op")
+        assert lines > 0
+        content = path.read_text().splitlines()
+        assert len(content) == lines
+        for line in content[:50]:
+            parts = line.split()
+            assert len(parts) in (2, 3)
+            assert parts[0].isdigit()
+            assert int(parts[1]) >= 0
+
+    def test_deterministic_per_seed(self, synthetic_program, tmp_path):
+        a = tmp_path / "a.trace"
+        b = tmp_path / "b.trace"
+        export_memory_trace(synthetic_program, a, handler="op", seed=9)
+        export_memory_trace(synthetic_program, b, handler="op", seed=9)
+        assert a.read_text() == b.read_text()
+
+    def test_invalid_requests_rejected(self, synthetic_program):
+        with pytest.raises(ConfigurationError):
+            list(iter_memory_accesses(synthetic_program, requests=0))
+
+
+class TestInstructionTrace:
+    def test_format_and_validity(self, synthetic_program, tmp_path):
+        path = tmp_path / "inst.trace"
+        lines = export_instruction_trace(synthetic_program, path,
+                                         handler="op")
+        assert lines > 100
+        for line in path.read_text().splitlines()[:200]:
+            pc, name = line.split()
+            assert pc.startswith("0x")
+            iform(name)  # every emitted iform exists in the catalogue
+
+    def test_budget_respected(self, synthetic_program, tmp_path):
+        path = tmp_path / "inst_small.trace"
+        lines = export_instruction_trace(synthetic_program, path,
+                                         handler="op",
+                                         max_instructions=500)
+        assert lines <= 500
+
+    def test_mix_tracks_program(self, synthetic_program, tmp_path):
+        path = tmp_path / "inst_mix.trace"
+        export_instruction_trace(synthetic_program, path, handler="op",
+                                 requests=2)
+        names = [line.split()[1] for line in path.read_text().splitlines()]
+        # ADD_r64_r64 dominates the factory mix.
+        add_fraction = names.count("ADD_r64_r64") / len(names)
+        assert add_fraction > 0.15

@@ -1,0 +1,107 @@
+"""Unit tests for the multi-tenancy contention model."""
+
+import pytest
+
+from repro.hw import PLATFORM_A
+from repro.hw.contention import (
+    CoRunner,
+    ContentionFactors,
+    NodeOccupancy,
+    apply_contention,
+    contention_factors,
+)
+from repro.kernelsim.node import Node
+from repro.sim import Environment
+from repro.util.errors import ConfigurationError
+
+
+class TestCoRunner:
+    def test_valid_levels(self):
+        for level in ("ht", "l1d", "l2", "llc", "net", "disk"):
+            CoRunner(level)
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoRunner("gpu")
+
+    def test_invalid_intensity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoRunner("llc", intensity=1.5)
+
+
+class TestContentionFactors:
+    def test_no_corunners_is_identity(self):
+        factors = contention_factors(1e6, [])
+        assert factors == ContentionFactors()
+
+    def test_ht_spinner_raises_smt_contention(self):
+        factors = contention_factors(
+            1e6, [CoRunner("ht", same_physical_core=True)])
+        assert factors.smt_contention == 2.0
+        assert factors.llc_factor == 1.0
+
+    def test_ht_off_core_has_no_effect(self):
+        factors = contention_factors(
+            1e6, [CoRunner("ht", same_physical_core=False)])
+        assert factors.smt_contention == 1.0
+
+    def test_l1d_thrasher_halves_l1(self):
+        factors = contention_factors(
+            1e6, [CoRunner("l1d", footprint_bytes=64 * 1024,
+                           same_physical_core=True)])
+        assert factors.l1d_factor < 1.0
+
+    def test_llc_antagonist_capacity_proportional(self):
+        small_victim = contention_factors(
+            4e6, [CoRunner("llc", footprint_bytes=64e6)])
+        big_victim = contention_factors(
+            64e6, [CoRunner("llc", footprint_bytes=64e6)])
+        assert small_victim.llc_factor < big_victim.llc_factor
+
+    def test_net_hog_halves_bandwidth(self):
+        factors = contention_factors(1e6, [CoRunner("net")])
+        assert factors.net_share == pytest.approx(0.5)
+
+    def test_multiple_corunners_compose(self):
+        factors = contention_factors(1e6, [
+            CoRunner("ht", same_physical_core=True),
+            CoRunner("llc", footprint_bytes=64e6),
+            CoRunner("net"),
+        ])
+        assert factors.smt_contention == 2.0
+        assert factors.llc_factor < 1.0
+        assert factors.net_share < 1.0
+
+
+class TestApplyContention:
+    def test_cache_capacities_scale(self):
+        ctx = PLATFORM_A.context()
+        factors = ContentionFactors(llc_factor=0.5, smt_contention=1.5)
+        degraded = apply_contention(ctx, factors)
+        assert degraded.caches.llc.size_bytes < ctx.caches.llc.size_bytes
+        assert degraded.smt_contention == 1.5
+
+    def test_identity_factors_keep_sizes(self):
+        ctx = PLATFORM_A.context()
+        degraded = apply_contention(ctx, ContentionFactors())
+        assert degraded.caches.llc.size_bytes == ctx.caches.llc.size_bytes
+
+
+class TestNodeOccupancy:
+    def _occupancy(self, handlers):
+        env = Environment()
+        node = Node(env, PLATFORM_A)
+        return NodeOccupancy(platform=PLATFORM_A, active_handlers=handlers)
+
+    def test_single_handler_keeps_full_share(self):
+        assert self._occupancy(1.0).shared_cache_factor(1e6) == 1.0
+
+    def test_fits_within_llc_no_penalty(self):
+        # 4 handlers x 1MB << 30MB LLC.
+        assert self._occupancy(4.0).shared_cache_factor(1e6) == 1.0
+
+    def test_overflow_shrinks_share(self):
+        # 64 handlers x 4MB >> 30MB LLC.
+        factor = self._occupancy(64.0).shared_cache_factor(4e6)
+        assert factor < 1.0
+        assert factor >= 0.2

@@ -1,0 +1,124 @@
+"""Unit tests for the syscall cost models."""
+
+import pytest
+
+from repro.hw import PLATFORM_A, CoreModel
+from repro.kernelsim import (
+    SYSCALL_TABLE,
+    SyscallInvocation,
+    kernel_block_for,
+    kernel_code_footprint,
+)
+from repro.kernelsim.syscalls import DeviceOp, context_switch_block
+from repro.util.errors import ConfigurationError
+
+
+class TestSyscallTable:
+    def test_core_io_syscalls_present(self):
+        for name in ("read", "write", "pread", "recv", "send", "sendmsg",
+                     "epoll_wait", "accept", "futex", "clone"):
+            assert name in SYSCALL_TABLE
+
+    def test_network_syscalls_marked(self):
+        assert SYSCALL_TABLE["sendmsg"].device == "net_tx"
+        assert SYSCALL_TABLE["recv"].device == "net_rx"
+
+    def test_disk_syscalls_marked(self):
+        assert SYSCALL_TABLE["pread"].device == "disk"
+
+    def test_clone_is_expensive(self):
+        assert (SYSCALL_TABLE["clone"].base_instructions
+                > 3 * SYSCALL_TABLE["read"].base_instructions)
+
+    def test_network_stack_heavier_than_vfs(self):
+        # TCP traversal costs more instructions than a cached file read.
+        assert (SYSCALL_TABLE["sendmsg"].base_instructions
+                > SYSCALL_TABLE["read"].base_instructions)
+
+
+class TestSyscallInvocation:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyscallInvocation("frobnicate")
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyscallInvocation("read", nbytes=-1)
+
+    def test_spec_lookup(self):
+        assert SyscallInvocation("read").spec.name == "read"
+
+
+class TestKernelBlocks:
+    def test_block_instruction_count_tracks_table(self):
+        invocation = SyscallInvocation("epoll_wait")
+        block = kernel_block_for(invocation)
+        expected = SYSCALL_TABLE["epoll_wait"].base_instructions
+        assert block.instructions_per_iteration == pytest.approx(
+            expected, rel=0.2)
+
+    def test_payload_copy_adds_rep_move(self):
+        small = kernel_block_for(SyscallInvocation("read", nbytes=0))
+        big = kernel_block_for(SyscallInvocation("read", nbytes=64 * 1024))
+        assert "REP_MOVSB" not in small.iform_counts
+        assert big.iform_counts["REP_MOVSB"] == 1.0
+        assert big.rep_elements == 64 * 1024
+
+    def test_bigger_payload_costs_more_cycles(self):
+        core = CoreModel(PLATFORM_A.context())
+        t_small = core.time_block(kernel_block_for(
+            SyscallInvocation("send", nbytes=128)))
+        t_big = core.time_block(kernel_block_for(
+            SyscallInvocation("send", nbytes=256 * 1024)))
+        assert t_big.cycles > t_small.cycles * 1.5
+
+    def test_kernel_block_priced_by_core_model(self):
+        core = CoreModel(PLATFORM_A.context())
+        timing = core.time_block(kernel_block_for(SyscallInvocation("read")))
+        assert timing.cycles > 0
+        assert timing.instructions > 1000
+
+    def test_kernel_blocks_have_branches(self):
+        block = kernel_block_for(SyscallInvocation("accept"))
+        assert block.branches
+        assert block.branches[0].static_count > 1
+
+
+class TestKernelCodeFootprint:
+    def test_distinct_syscalls_accumulate(self):
+        footprint = kernel_code_footprint(
+            [SyscallInvocation("read"), SyscallInvocation("sendmsg")])
+        expected = (SYSCALL_TABLE["read"].code_bytes
+                    + SYSCALL_TABLE["sendmsg"].code_bytes)
+        assert footprint == expected
+
+    def test_repeats_counted_once(self):
+        once = kernel_code_footprint([SyscallInvocation("read")])
+        thrice = kernel_code_footprint([SyscallInvocation("read")] * 3)
+        assert once == thrice
+
+    def test_accepts_plain_names(self):
+        assert kernel_code_footprint(["read"]) == SYSCALL_TABLE["read"].code_bytes
+
+
+class TestDeviceOp:
+    def test_valid_device_kinds(self):
+        DeviceOp("disk", 100)
+        DeviceOp("net_tx", 100)
+        DeviceOp("net_rx", 0)
+
+    def test_invalid_device_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceOp("gpu", 1)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceOp("disk", -1)
+
+
+class TestContextSwitch:
+    def test_block_has_kernel_shape(self):
+        block = context_switch_block()
+        assert block.instructions_per_iteration > 1000
+        assert block.code_bytes > 0
+        assert block.mem

@@ -1,0 +1,176 @@
+"""Unit tests for load generators and distributions."""
+
+import numpy as np
+import pytest
+
+from repro.loadgen import (
+    ClosedLoopGenerator,
+    ConstantInterarrival,
+    ExponentialInterarrival,
+    LoadSpec,
+    OpenLoopGenerator,
+    UniformKeys,
+    ZipfKeys,
+)
+from repro.sim import Environment
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+from repro.util.stats import Histogram
+
+
+def _echo_submit(env, service_time=0.001):
+    """A trivial backend that responds after a fixed service time."""
+    def submit(handler):
+        response = env.event()
+
+        def responder():
+            yield env.timeout(service_time)
+            response.succeed(env.now)
+
+        env.process(responder())
+        return response
+
+    return submit
+
+
+class TestDistributions:
+    def test_exponential_mean_rate(self):
+        rng = np.random.default_rng(0)
+        gen = ExponentialInterarrival(1000.0, rng)
+        gaps = [gen.next_gap() for _ in range(5000)]
+        assert np.mean(gaps) == pytest.approx(1e-3, rel=0.1)
+
+    def test_constant_gap(self):
+        gen = ConstantInterarrival(100.0)
+        assert gen.next_gap() == pytest.approx(0.01)
+
+    def test_uniform_keys_cover_space(self):
+        rng = np.random.default_rng(1)
+        gen = UniformKeys(10, rng)
+        seen = {gen.next_key() for _ in range(500)}
+        assert seen == set(range(10))
+
+    def test_zipf_head_heavier_than_tail(self):
+        rng = np.random.default_rng(2)
+        gen = ZipfKeys(1000, rng, s=0.99)
+        draws = [gen.next_key() for _ in range(5000)]
+        head = sum(1 for key in draws if key < 10)
+        tail = sum(1 for key in draws if key >= 990)
+        assert head > 10 * max(1, tail)
+
+    def test_invalid_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            ExponentialInterarrival(0.0, rng)
+        with pytest.raises(ConfigurationError):
+            UniformKeys(0, rng)
+        with pytest.raises(ConfigurationError):
+            ZipfKeys(10, rng, s=0.0)
+
+
+class TestLoadSpec:
+    def test_open_loop_factory(self):
+        spec = LoadSpec.open_loop(5000)
+        assert spec.kind == "open" and spec.qps == 5000
+
+    def test_closed_loop_factory(self):
+        spec = LoadSpec.closed_loop(8, think_time_s=0.01)
+        assert spec.kind == "closed" and spec.connections == 8
+
+    def test_invalid_specs(self):
+        with pytest.raises(ConfigurationError):
+            LoadSpec(kind="open", qps=0)
+        with pytest.raises(ConfigurationError):
+            LoadSpec(kind="closed", connections=0)
+        with pytest.raises(ConfigurationError):
+            LoadSpec(kind="banana")
+
+
+class TestOpenLoopGenerator:
+    def test_injects_at_target_rate(self):
+        env = Environment()
+        gen = OpenLoopGenerator(
+            env, _echo_submit(env), Histogram({"get": 1.0}),
+            qps=10000, duration_s=0.1, rng_stream=RngStream(1),
+        )
+        gen.start()
+        env.run()
+        assert gen.recorder.issued == pytest.approx(1000, rel=0.15)
+        assert gen.recorder.completed == gen.recorder.issued
+
+    def test_open_loop_does_not_wait_for_responses(self):
+        # Slow backend: issued count unaffected by service time.
+        env = Environment()
+        gen = OpenLoopGenerator(
+            env, _echo_submit(env, service_time=10.0),
+            Histogram({"get": 1.0}), qps=1000, duration_s=0.05,
+            rng_stream=RngStream(2),
+        )
+        gen.start()
+        env.run()
+        assert gen.recorder.issued > 20
+
+    def test_mix_respected(self):
+        env = Environment()
+        gen = OpenLoopGenerator(
+            env, _echo_submit(env), Histogram({"get": 0.9, "set": 0.1}),
+            qps=20000, duration_s=0.1, rng_stream=RngStream(3),
+        )
+        gen.start()
+        env.run()
+        gets = len(gen.recorder.by_handler.get("get", []))
+        sets = len(gen.recorder.by_handler.get("set", []))
+        assert gets > 5 * max(1, sets)
+
+    def test_latency_recorded(self):
+        env = Environment()
+        gen = OpenLoopGenerator(
+            env, _echo_submit(env, service_time=0.002),
+            Histogram({"get": 1.0}), qps=5000, duration_s=0.05,
+            rng_stream=RngStream(4),
+        )
+        gen.start()
+        env.run()
+        assert gen.recorder.mean == pytest.approx(0.002, rel=0.05)
+        assert gen.recorder.percentile(99) >= gen.recorder.percentile(50)
+
+    def test_deterministic_mode(self):
+        env = Environment()
+        gen = OpenLoopGenerator(
+            env, _echo_submit(env), Histogram({"get": 1.0}),
+            qps=1000, duration_s=0.05, rng_stream=RngStream(5),
+            deterministic=True,
+        )
+        gen.start()
+        env.run()
+        assert gen.recorder.issued in (49, 50)
+
+
+class TestClosedLoopGenerator:
+    def test_one_outstanding_per_connection(self):
+        env = Environment()
+        gen = ClosedLoopGenerator(
+            env, _echo_submit(env, service_time=0.01),
+            Histogram({"get": 1.0}), connections=2, duration_s=0.1,
+            rng_stream=RngStream(6),
+        )
+        gen.start()
+        env.run()
+        # 2 connections * (0.1s / 0.01s) = ~20 requests.
+        assert gen.recorder.completed == pytest.approx(20, abs=4)
+
+    def test_think_time_throttles(self):
+        env = Environment()
+        gen = ClosedLoopGenerator(
+            env, _echo_submit(env, service_time=0.001),
+            Histogram({"get": 1.0}), connections=1, duration_s=0.1,
+            rng_stream=RngStream(7), think_time_s=0.01,
+        )
+        gen.start()
+        env.run()
+        assert gen.recorder.completed <= 11
+
+    def test_empty_recorder_mean_rejected(self):
+        from repro.loadgen import LatencyRecorder
+        with pytest.raises(ConfigurationError):
+            LatencyRecorder().mean

@@ -1,0 +1,120 @@
+"""Tests for the experiment driver: config plumbing and invariants."""
+
+import pytest
+
+from repro.app.service import Deployment
+from repro.app.workloads import build_memcached, build_nginx
+from repro.app.workloads.socialnet import social_network_deployment
+from repro.hw import PLATFORM_A
+from repro.loadgen import LoadSpec
+from repro.runtime import ExperimentConfig, run_experiment
+from repro.runtime.experiment import sweep_load
+from repro.tracing import Tracer
+from repro.util.errors import ConfigurationError
+
+
+class TestExperimentConfig:
+    def test_duration_validated(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(platform=PLATFORM_A, duration_s=0.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        deployment = Deployment.single(build_memcached())
+        load = LoadSpec.open_loop(40000)
+        config = ExperimentConfig(platform=PLATFORM_A, duration_s=0.02,
+                                  seed=7)
+        first = run_experiment(deployment, load, config)
+        second = run_experiment(deployment, load, config)
+        assert first.latency.completed == second.latency.completed
+        assert first.latency_ms(99) == pytest.approx(second.latency_ms(99))
+        assert first.service("memcached").timing.cycles == pytest.approx(
+            second.service("memcached").timing.cycles)
+
+    def test_different_seed_different_arrivals(self):
+        deployment = Deployment.single(build_memcached())
+        load = LoadSpec.open_loop(40000)
+        a = run_experiment(deployment, load, ExperimentConfig(
+            platform=PLATFORM_A, duration_s=0.02, seed=1))
+        b = run_experiment(deployment, load, ExperimentConfig(
+            platform=PLATFORM_A, duration_s=0.02, seed=2))
+        assert a.latency.completed != b.latency.completed
+
+
+class TestAccountingInvariants:
+    def test_all_issued_requests_complete(self):
+        deployment = Deployment.single(build_nginx())
+        result = run_experiment(
+            deployment, LoadSpec.open_loop(15000),
+            ExperimentConfig(platform=PLATFORM_A, duration_s=0.02, seed=3))
+        assert result.latency.completed == result.latency.issued
+
+    def test_entry_requests_match_recorder(self):
+        deployment = Deployment.single(build_nginx())
+        result = run_experiment(
+            deployment, LoadSpec.open_loop(15000),
+            ExperimentConfig(platform=PLATFORM_A, duration_s=0.02, seed=3))
+        assert (result.service("nginx").requests
+                == result.latency.completed)
+
+    def test_downstream_requests_at_least_fanout(self):
+        deployment = social_network_deployment()
+        result = run_experiment(
+            deployment, LoadSpec.open_loop(600),
+            ExperimentConfig(platform=PLATFORM_A, duration_s=0.03, seed=3))
+        frontend = result.service("frontend").requests
+        # Every home-timeline read fans into the social graph; composes
+        # add more via write-home-timeline.
+        assert result.service("social-graph-service").requests > 0
+        assert result.service("frontend").requests >= frontend
+
+    def test_latency_percentiles_ordered(self):
+        deployment = Deployment.single(build_memcached())
+        result = run_experiment(
+            deployment, LoadSpec.open_loop(120000),
+            ExperimentConfig(platform=PLATFORM_A, duration_s=0.03, seed=3))
+        assert (result.latency_ms(50) <= result.latency_ms(95)
+                <= result.latency_ms(99))
+
+    def test_utilisation_bounded(self):
+        deployment = Deployment.single(build_memcached())
+        result = run_experiment(
+            deployment, LoadSpec.open_loop(400000),
+            ExperimentConfig(platform=PLATFORM_A, duration_s=0.02, seed=3))
+        for value in result.node_utilisation.values():
+            assert 0.0 <= value <= 1.0
+
+
+class TestTracerPlumbing:
+    def test_supplied_tracer_collects_spans(self):
+        tracer = Tracer(sample_rate=1.0)
+        deployment = social_network_deployment()
+        run_experiment(
+            deployment, LoadSpec.open_loop(400),
+            ExperimentConfig(platform=PLATFORM_A, duration_s=0.02, seed=3,
+                             tracer=tracer))
+        assert tracer.finished_spans()
+        services = {span.service for span in tracer.finished_spans()}
+        assert "frontend" in services
+
+    def test_default_sampling_keeps_memory_bounded(self):
+        deployment = Deployment.single(build_memcached())
+        tracer = Tracer(sample_rate=0.05)
+        result = run_experiment(
+            deployment, LoadSpec.open_loop(100000),
+            ExperimentConfig(platform=PLATFORM_A, duration_s=0.02, seed=3,
+                             tracer=tracer))
+        assert len(tracer.spans) < result.latency.completed
+
+
+class TestSweepLoad:
+    def test_returns_one_result_per_point(self):
+        deployment = Deployment.single(build_nginx())
+        config = ExperimentConfig(platform=PLATFORM_A, duration_s=0.015,
+                                  seed=3)
+        loads = [LoadSpec.open_loop(q) for q in (4000, 12000, 24000)]
+        results = sweep_load(deployment, loads, config)
+        assert len(results) == 3
+        throughputs = [r.throughput for r in results]
+        assert throughputs[0] < throughputs[-1]

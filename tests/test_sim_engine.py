@@ -1,0 +1,247 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+from repro.util.errors import SimulationError
+
+
+class TestTimeouts:
+    def test_clock_advances_to_timeout(self):
+        env = Environment()
+        done = {}
+
+        def proc():
+            yield env.timeout(5.0)
+            done["at"] = env.now
+
+        env.process(proc())
+        env.run()
+        assert done["at"] == 5.0
+
+    def test_timeouts_fire_in_order(self):
+        env = Environment()
+        order = []
+
+        def proc(delay, tag):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        env.process(proc(3, "c"))
+        env.process(proc(1, "a"))
+        env.process(proc(2, "b"))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_delay_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_run_until_time_stops_clock(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(100.0)
+
+        env.process(proc())
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+    def test_simultaneous_events_fifo(self):
+        env = Environment()
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("x", "y", "z"):
+            env.process(proc(tag))
+        env.run()
+        assert order == ["x", "y", "z"]
+
+
+class TestEvents:
+    def test_event_value_delivered(self):
+        env = Environment()
+        evt = env.event()
+        got = {}
+
+        def waiter():
+            got["value"] = yield evt
+
+        def trigger():
+            yield env.timeout(1.0)
+            evt.succeed("payload")
+
+        env.process(waiter())
+        env.process(trigger())
+        env.run()
+        assert got["value"] == "payload"
+
+    def test_failed_event_raises_in_waiter(self):
+        env = Environment()
+        evt = env.event()
+        caught = {}
+
+        def waiter():
+            try:
+                yield evt
+            except ValueError as exc:
+                caught["exc"] = exc
+
+        def trigger():
+            yield env.timeout(1.0)
+            evt.fail(ValueError("boom"))
+
+        env.process(waiter())
+        env.process(trigger())
+        env.run()
+        assert str(caught["exc"]) == "boom"
+
+    def test_double_trigger_raises(self):
+        env = Environment()
+        evt = env.event()
+        evt.succeed()
+        with pytest.raises(SimulationError):
+            evt.succeed()
+
+    def test_yield_already_triggered_event(self):
+        env = Environment()
+        evt = env.event()
+        evt.succeed(42)
+        got = {}
+
+        def waiter():
+            got["value"] = yield evt
+
+        env.process(waiter())
+        env.run()
+        assert got["value"] == 42
+
+
+class TestProcesses:
+    def test_process_return_value_via_join(self):
+        env = Environment()
+        got = {}
+
+        def child():
+            yield env.timeout(2.0)
+            return "done"
+
+        def parent():
+            result = yield env.process(child())
+            got["result"] = result
+            got["time"] = env.now
+
+        env.process(parent())
+        env.run()
+        assert got["result"] == "done"
+        assert got["time"] == 2.0
+
+    def test_interrupt_wakes_sleeping_process(self):
+        env = Environment()
+        log = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100.0)
+                log.append("slept")
+            except Interrupt as intr:
+                log.append(f"interrupted:{intr.cause}")
+
+        def interrupter(target):
+            yield env.timeout(1.0)
+            target.interrupt("wakeup")
+
+        target = env.process(sleeper())
+        env.process(interrupter(target))
+        env.run()
+        assert log == ["interrupted:wakeup"]
+
+    def test_uncaught_interrupt_terminates_quietly(self):
+        env = Environment()
+
+        def sleeper():
+            yield env.timeout(100.0)
+
+        def interrupter(target):
+            yield env.timeout(1.0)
+            target.interrupt()
+
+        target = env.process(sleeper())
+        env.process(interrupter(target))
+        env.run()
+        assert not target.is_alive
+
+    def test_yielding_non_event_raises(self):
+        env = Environment()
+
+        def bad():
+            yield 42
+
+        env.process(bad())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_run_until_process(self):
+        env = Environment()
+
+        def worker():
+            yield env.timeout(7.0)
+            return "w"
+
+        proc = env.process(worker())
+        value = env.run(until=proc)
+        assert value == "w"
+        assert env.now == 7.0
+
+
+class TestCombinators:
+    def test_all_of_collects_values_in_order(self):
+        env = Environment()
+        got = {}
+
+        def child(delay, value):
+            yield env.timeout(delay)
+            return value
+
+        def parent():
+            procs = [env.process(child(3, "a")), env.process(child(1, "b"))]
+            got["values"] = yield env.all_of(procs)
+            got["time"] = env.now
+
+        env.process(parent())
+        env.run()
+        assert got["values"] == ["a", "b"]
+        assert got["time"] == 3.0
+
+    def test_any_of_returns_first(self):
+        env = Environment()
+        got = {}
+
+        def child(delay, value):
+            yield env.timeout(delay)
+            return value
+
+        def parent():
+            procs = [env.process(child(5, "slow")), env.process(child(1, "fast"))]
+            got["value"] = yield env.any_of(procs)
+            got["time"] = env.now
+
+        env.process(parent())
+        env.run()
+        assert got["value"] == "fast"
+        assert got["time"] == 1.0
+
+    def test_all_of_empty_succeeds_immediately(self):
+        env = Environment()
+        got = {}
+
+        def parent():
+            got["values"] = yield env.all_of([])
+
+        env.process(parent())
+        env.run()
+        assert got["values"] == []

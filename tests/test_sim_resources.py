@@ -1,0 +1,194 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Environment, Resource, Store
+from repro.util.errors import SimulationError
+
+
+class TestResource:
+    def test_serialises_beyond_capacity(self):
+        env = Environment()
+        cpu = Resource(env, capacity=1)
+        finish_times = []
+
+        def job():
+            grant = cpu.request()
+            yield grant
+            yield env.timeout(10.0)
+            cpu.release()
+            finish_times.append(env.now)
+
+        env.process(job())
+        env.process(job())
+        env.run()
+        assert finish_times == [10.0, 20.0]
+
+    def test_parallelism_up_to_capacity(self):
+        env = Environment()
+        cpu = Resource(env, capacity=2)
+        finish_times = []
+
+        def job():
+            yield cpu.request()
+            yield env.timeout(10.0)
+            cpu.release()
+            finish_times.append(env.now)
+
+        for _ in range(2):
+            env.process(job())
+        env.run()
+        assert finish_times == [10.0, 10.0]
+
+    def test_wait_time_accounting(self):
+        env = Environment()
+        cpu = Resource(env, capacity=1)
+
+        def job():
+            yield cpu.request()
+            yield env.timeout(4.0)
+            cpu.release()
+
+        env.process(job())
+        env.process(job())
+        env.run()
+        # Second job waited 4 time units; two grants total.
+        assert cpu.total_wait_time == pytest.approx(4.0)
+        assert cpu.mean_wait_time == pytest.approx(2.0)
+
+    def test_release_when_idle_raises(self):
+        env = Environment()
+        cpu = Resource(env, capacity=1)
+        with pytest.raises(SimulationError):
+            cpu.release()
+
+    def test_zero_capacity_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_use_helper(self):
+        env = Environment()
+        cpu = Resource(env, capacity=1)
+        done = []
+
+        def job():
+            yield env.process(cpu.use(3.0))
+            done.append(env.now)
+
+        env.process(job())
+        env.process(job())
+        env.run()
+        assert done == [3.0, 6.0]
+
+    def test_fifo_grant_order(self):
+        env = Environment()
+        cpu = Resource(env, capacity=1)
+        order = []
+
+        def job(tag, arrive):
+            yield env.timeout(arrive)
+            yield cpu.request()
+            order.append(tag)
+            yield env.timeout(5.0)
+            cpu.release()
+
+        env.process(job("first", 0.0))
+        env.process(job("second", 1.0))
+        env.process(job("third", 2.0))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        got = {}
+
+        def consumer():
+            got["item"] = yield store.get()
+
+        def producer():
+            yield env.timeout(1.0)
+            yield store.put("msg")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert got["item"] == "msg"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = {}
+
+        def consumer():
+            got["item"] = yield store.get()
+            got["time"] = env.now
+
+        def producer():
+            yield env.timeout(5.0)
+            yield store.put(1)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert got["time"] == 5.0
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert got == [0, 1, 2]
+
+    def test_bounded_put_blocks(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer():
+            yield store.put("a")
+            times.append(env.now)
+            yield store.put("b")
+            times.append(env.now)
+
+        def consumer():
+            yield env.timeout(10.0)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert times == [0.0, 10.0]
+
+    def test_len_and_items(self):
+        env = Environment()
+        store = Store(env)
+
+        def producer():
+            yield store.put("x")
+            yield store.put("y")
+
+        env.process(producer())
+        env.run()
+        assert len(store) == 2
+        assert store.items == ["x", "y"]
+
+    def test_zero_capacity_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)

@@ -1,0 +1,49 @@
+"""Unit tests for repro.util.rng."""
+
+from repro.util import RngStream, derive_seed, make_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", "b") == derive_seed(7, "a", "b")
+
+    def test_distinct_names_distinct_seeds(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+
+    def test_distinct_roots_distinct_seeds(self):
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_path_is_not_concatenation(self):
+        # ("ab",) must differ from ("a", "b")
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+    def test_seed_fits_in_63_bits(self):
+        for i in range(32):
+            assert 0 <= derive_seed(i, "x") < 2**63
+
+
+class TestRngStream:
+    def test_same_path_same_sequence(self):
+        a = RngStream(3).rng("cache").random(5)
+        b = RngStream(3).rng("cache").random(5)
+        assert (a == b).all()
+
+    def test_child_streams_independent(self):
+        stream = RngStream(3)
+        a = stream.child("x").rng("r").random(5)
+        b = stream.child("y").rng("r").random(5)
+        assert not (a == b).all()
+
+    def test_child_path_equivalent_to_flat_path(self):
+        stream = RngStream(3)
+        a = stream.child("x").rng("r").random(3)
+        b = stream.rng("x", "r").random(3)
+        assert (a == b).all()
+
+    def test_make_rng_matches_stream(self):
+        a = make_rng(11, "p", "q").random(4)
+        b = RngStream(11).rng("p", "q").random(4)
+        assert (a == b).all()
+
+    def test_repr_mentions_seed(self):
+        assert "seed=5" in repr(RngStream(5, "a"))
