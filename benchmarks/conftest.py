@@ -27,9 +27,21 @@ from repro.core import DittoCloner
 from repro.hw import PLATFORM_A
 from repro.loadgen import LoadSpec
 from repro.profiling import ProfilingBudget
-from repro.runtime import ExperimentConfig
+from repro.runtime import ExperimentCache, ExperimentConfig
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: session-wide experiment memoization — figures revisit the same
+#: (deployment, load, config) points (e.g. the medium-load validation
+#: runs appear in Fig. 5, Fig. 7 and the §6.2.1 summary), and
+#: run_experiment is deterministic, so cross-figure repeats are served
+#: from memory. Route measurement runs through :func:`measure`.
+MEASURE_CACHE = ExperimentCache(max_entries=512)
+
+
+def measure(deployment, load, config):
+    """``run_experiment`` through the shared session cache."""
+    return MEASURE_CACHE.run(deployment, load, config)
 
 #: duration of every measurement run (simulated seconds)
 RUN_SECONDS = 0.04

@@ -8,10 +8,9 @@ within a tolerance band of the paper's — our substrate is a simulator,
 so the *ordering and magnitude class* is the claim, not the exact figure.
 """
 
-from conftest import APPS, write_result
+from conftest import APPS, measure, write_result
 
 from repro.analysis import compare_metrics
-from repro.runtime import run_experiment
 
 PAPER_MEANS = {
     "ipc": 0.041, "branch": 0.099, "l1i": 0.071, "l1d": 0.051,
@@ -31,8 +30,8 @@ def test_accuracy_summary(benchmark, single_tier_clones):
             original, synthetic, _report = single_tier_clones[name]
             load = setup.loads["medium"]
             config = setup.config(seed=11)
-            actual = run_experiment(original, load, config)
-            synth = run_experiment(synthetic, load, config)
+            actual = measure(original, load, config)
+            synth = measure(synthetic, load, config)
             report = compare_metrics(actual.service(name),
                                      synth.service(name))
             for metric in ("ipc", "branch", "l1i", "l1d", "l2", "llc"):

@@ -11,11 +11,11 @@ paper's neighbourhood.
 """
 
 import pytest
-from conftest import APPS, RUN_SECONDS, SOCIALNET_LOADS, write_result
+from conftest import APPS, RUN_SECONDS, SOCIALNET_LOADS, measure, write_result
 
 from repro.analysis import compare_metrics
 from repro.hw import PLATFORM_A
-from repro.runtime import ExperimentConfig, run_experiment
+from repro.runtime import ExperimentConfig
 
 METRICS = ("ipc", "branch", "l1i", "l1d", "l2", "llc")
 
@@ -42,9 +42,9 @@ def test_fig5_single_tier_apps(benchmark, single_tier_clones):
             for level, load in setup.loads.items():
                 config = setup.config(seed=11)
                 data[(name, level, "actual")] = (
-                    run_experiment(original, load, config))
+                    measure(original, load, config))
                 data[(name, level, "synthetic")] = (
-                    run_experiment(synthetic, load, config))
+                    measure(synthetic, load, config))
         return data
 
     data = benchmark.pedantic(run_all, rounds=1, iterations=1)
@@ -116,8 +116,8 @@ def test_fig5_socialnet_tiers(benchmark, socialnet_clone):
         for level, load in SOCIALNET_LOADS.items():
             config = ExperimentConfig(platform=PLATFORM_A,
                                       duration_s=RUN_SECONDS, seed=11)
-            data[(level, "actual")] = run_experiment(original, load, config)
-            data[(level, "synthetic")] = run_experiment(synthetic, load,
+            data[(level, "actual")] = measure(original, load, config)
+            data[(level, "synthetic")] = measure(synthetic, load,
                                                         config)
         return data
 

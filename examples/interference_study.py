@@ -23,9 +23,9 @@ def main() -> None:
     load = LoadSpec.open_loop(15_000)
     profiling_config = ExperimentConfig(platform=PLATFORM_A,
                                         duration_s=0.02, seed=5)
-    synthetic, _report = DittoCloner(
+    synthetic = DittoCloner(
         fine_tune_tiers=True, max_tune_iterations=4,
-    ).clone(original, load, profiling_config)
+    ).clone(original, load, profiling_config).synthetic
 
     scenarios = [("none", ())] + [
         (name, (stressor(name),)) for name in interference_suite()

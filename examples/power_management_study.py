@@ -52,9 +52,9 @@ def main() -> None:
     original = Deployment.single(build_memcached(worker_threads=16))
     profiling_config = ExperimentConfig(platform=PLATFORM_A,
                                         duration_s=0.02, seed=5)
-    synthetic, _report = DittoCloner(
+    synthetic = DittoCloner(
         fine_tune_tiers=True, max_tune_iterations=4,
-    ).clone(original, LoadSpec.open_loop(100_000), profiling_config)
+    ).clone(original, LoadSpec.open_loop(100_000), profiling_config).synthetic
     actual_cells = heatmap(original)
     synth_cells = heatmap(synthetic)
     render("actual Memcached", actual_cells)

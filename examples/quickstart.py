@@ -29,12 +29,15 @@ def main() -> None:
     profiling_config = ExperimentConfig(platform=PLATFORM_A,
                                         duration_s=0.02, seed=5)
     cloner = DittoCloner(fine_tune_tiers=True, max_tune_iterations=6)
-    synthetic, report = cloner.clone(original, profiling_load,
-                                     profiling_config)
+    result = cloner.clone(original, profiling_load, profiling_config)
+    synthetic, report = result.synthetic, result.report
     tuning = report.tuning["memcached"]
     print(f"fine-tuning: {tuning.iterations} iterations, "
           f"final mean error {tuning.mean_error:.1%} "
           f"(converged={tuning.converged})")
+    print(f"pipeline: executor={report.executor}, "
+          f"cache hits/misses={report.cache_stats.hits}"
+          f"/{report.cache_stats.misses}")
 
     # 3. Validate: run both at the same load and compare counters.
     validation = ExperimentConfig(platform=PLATFORM_A, duration_s=0.05,

@@ -30,12 +30,16 @@ def main() -> None:
         budget=ProfilingBudget(sampled_requests=8,
                                profile_duration_s=0.05),
     )
-    synthetic, report = cloner.clone(original, profiling_load,
-                                     profiling_config)
+    result = cloner.clone(original, profiling_load, profiling_config)
+    synthetic, report = result.synthetic, result.report
 
     topology = report.topology
     print(f"reconstructed topology: {topology.tier_count} tiers, "
           f"entry = {topology.entry_service}")
+    slowest = max(report.tier_seconds.items(), key=lambda kv: kv[1])
+    print(f"pipeline: executor={report.executor}; slowest tier "
+          f"{slowest[0]} ({slowest[1]:.2f}s of "
+          f"{sum(report.tier_seconds.values()):.2f}s total tier work)")
     for src, dst, calls in sorted(topology.edges):
         print(f"  {src} -> {dst} ({calls} calls observed)")
 

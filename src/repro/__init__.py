@@ -41,16 +41,23 @@ from repro.app.workloads import (
     build_social_network,
     social_network_deployment,
 )
-from repro.core import DittoCloner, GeneratorConfig, emit_assembly
+from repro.core import CloneResult, DittoCloner, GeneratorConfig, emit_assembly
 from repro.hw import PLATFORM_A, PLATFORM_B, PLATFORM_C, platform_by_name
 from repro.loadgen import LoadSpec
-from repro.runtime import ExperimentConfig, RunResult, run_experiment
+from repro.runtime import (
+    ExperimentCache,
+    ExperimentConfig,
+    RunResult,
+    run_experiment,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CloneResult",
     "Deployment",
     "DittoCloner",
+    "ExperimentCache",
     "ExperimentConfig",
     "GeneratorConfig",
     "LoadSpec",

@@ -22,8 +22,19 @@ from repro.core.features import ServiceFeatures, extract_service_features
 from repro.core.body_gen import GeneratorConfig, TuningKnobs, generate_program
 from repro.core.skeleton_gen import generate_skeleton
 from repro.core.topology import analyze_topology
-from repro.core.finetune import FineTuneResult, fine_tune
-from repro.core.cloner import CloneReport, DittoCloner
+from repro.core.finetune import (
+    DEFAULT_MAX_TUNE_ITERATIONS,
+    FineTuneResult,
+    fine_tune,
+)
+from repro.core.cloner import CloneReport, CloneResult, DittoCloner
+from repro.core.pipeline import (
+    TierOutcome,
+    TierTask,
+    clone_tier,
+    derive_tier_seed,
+    run_tier_pipeline,
+)
 from repro.core.codegen import emit_assembly
 from repro.core.bundle import (
     audit_bundle_confidentiality,
@@ -34,6 +45,8 @@ from repro.core.bundle import (
 
 __all__ = [
     "CloneReport",
+    "CloneResult",
+    "DEFAULT_MAX_TUNE_ITERATIONS",
     "audit_bundle_confidentiality",
     "deployment_from_bundle",
     "load_bundle",
@@ -42,11 +55,16 @@ __all__ = [
     "FineTuneResult",
     "GeneratorConfig",
     "ServiceFeatures",
+    "TierOutcome",
+    "TierTask",
     "TuningKnobs",
     "analyze_topology",
+    "clone_tier",
+    "derive_tier_seed",
     "emit_assembly",
     "extract_service_features",
     "fine_tune",
     "generate_program",
     "generate_skeleton",
+    "run_tier_pipeline",
 ]

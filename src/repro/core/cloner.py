@@ -7,22 +7,34 @@ optionally fine-tunes each tier's knobs. The result is a drop-in
 synthetic :class:`~repro.app.service.Deployment` with the same service
 names, placements and entry point — runnable anywhere the original runs,
 without reprofiling (§4.1 Portability).
+
+The per-tier stage runs through :mod:`repro.core.pipeline`: tiers fan
+out across a process pool (or thread pool / serial loop — see
+``executor``), each with deterministically derived seeds and a private
+:class:`~repro.runtime.expcache.ExperimentCache` memoizing its tuning
+measurements, so parallel and serial clones are bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, NamedTuple, Optional
 
 from repro.app.service import Deployment, Placement, ServiceSpec
-from repro.core.body_gen import GeneratorConfig, generate_program
-from repro.core.features import ServiceFeatures, extract_service_features
-from repro.core.finetune import FineTuneResult, fine_tune
-from repro.core.skeleton_gen import generate_skeleton
+from repro.core.body_gen import GeneratorConfig
+from repro.core.features import ServiceFeatures
+from repro.core.finetune import DEFAULT_MAX_TUNE_ITERATIONS, FineTuneResult
+from repro.core.pipeline import (
+    EXECUTOR_MODES,
+    TierTask,
+    derive_tier_seed,
+    run_tier_pipeline,
+)
 from repro.core.topology import TopologySummary, analyze_topology
 from repro.loadgen.generator import LoadSpec
 from repro.profiling.artifacts import ProfilingBudget
 from repro.profiling.collector import ApplicationProfile, profile_deployment
+from repro.runtime.expcache import CacheStats
 from repro.runtime.experiment import ExperimentConfig
 from repro.util.errors import ConfigurationError
 
@@ -35,37 +47,83 @@ class CloneReport:
     topology: Optional[TopologySummary]
     tuning: Dict[str, FineTuneResult] = field(default_factory=dict)
     profile: Optional[ApplicationProfile] = None
+    #: resolved executor mode the per-tier pipeline ran under
+    executor: str = "serial"
+    #: per-tier pipeline-stage wall-clock, seconds
+    tier_seconds: Dict[str, float] = field(default_factory=dict)
+    #: experiment-memoization counters aggregated across tiers
+    cache_stats: CacheStats = field(default_factory=CacheStats)
 
     def tier_names(self) -> List[str]:
         """Cloned tiers."""
         return sorted(self.features)
 
 
+class CloneResult(NamedTuple):
+    """A finished clone: unpacks as ``(synthetic, report)``.
+
+    Named access (``result.synthetic``, ``result.report``) is preferred;
+    tuple unpacking keeps pre-``CloneResult`` call sites working.
+    """
+
+    synthetic: Deployment
+    report: CloneReport
+
+
 class DittoCloner:
-    """The automated cloning framework."""
+    """The automated cloning framework.
+
+    All parameters are keyword-only and validated here, so a bad knob
+    fails at construction instead of minutes later inside a tuning loop.
+
+    ``executor`` selects how the per-tier stage fans out: ``"process"``
+    (pool of worker processes), ``"thread"``, ``"serial"``, or
+    ``"auto"`` (the default: a process pool whenever there is more than
+    one tier and more than one CPU, else serial).
+    """
 
     def __init__(
         self,
+        *,
         generator_config: Optional[GeneratorConfig] = None,
         budget: Optional[ProfilingBudget] = None,
         fine_tune_tiers: bool = True,
-        max_tune_iterations: int = 6,
+        max_tune_iterations: int = DEFAULT_MAX_TUNE_ITERATIONS,
         seed: int = 17,
+        executor: str = "auto",
+        max_workers: Optional[int] = None,
     ) -> None:
+        if not isinstance(max_tune_iterations, int) \
+                or isinstance(max_tune_iterations, bool) \
+                or max_tune_iterations < 1:
+            raise ConfigurationError(
+                f"max_tune_iterations must be an int >= 1, "
+                f"got {max_tune_iterations!r}")
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ConfigurationError(f"seed must be an int, got {seed!r}")
+        if executor not in EXECUTOR_MODES:
+            raise ConfigurationError(
+                f"unknown executor {executor!r}; "
+                f"expected one of {EXECUTOR_MODES}")
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers!r}")
         self.generator_config = (generator_config if generator_config
                                  is not None else GeneratorConfig())
         self.budget = budget if budget is not None else ProfilingBudget()
         self.fine_tune_tiers = fine_tune_tiers
         self.max_tune_iterations = max_tune_iterations
         self.seed = seed
+        self.executor = executor
+        self.max_workers = max_workers
 
     def clone(
         self,
         deployment: Deployment,
         profiling_load: LoadSpec,
         profiling_config: ExperimentConfig,
-    ) -> tuple:
-        """Clone a deployment; returns (synthetic deployment, report).
+    ) -> CloneResult:
+        """Clone a deployment; returns a :class:`CloneResult`.
 
         Profiling happens once, at ``profiling_load`` on
         ``profiling_config.platform`` — the synthetic deployment then
@@ -75,34 +133,44 @@ class DittoCloner:
             deployment, profiling_load, profiling_config,
             budget=self.budget, seed=self.seed,
         )
+        return self.clone_from_profile(
+            profile,
+            deployment=deployment,
+            profiling_config=profiling_config,
+        )
+
+    def clone_from_profile(
+        self,
+        profile: ApplicationProfile,
+        *,
+        deployment: Deployment,
+        profiling_config: ExperimentConfig,
+    ) -> CloneResult:
+        """Run the per-tier pipeline over an existing profiling session.
+
+        Splitting this from :meth:`clone` lets callers re-generate (e.g.
+        with different generator configs, tuning budgets or executors)
+        without paying for profiling again.
+        """
         topology: Optional[TopologySummary] = None
         if len(deployment.services) > 1:
             topology = analyze_topology(profile.spans)
-        report = CloneReport(features={}, topology=topology, profile=profile)
+        tasks = [
+            self._tier_task(profile, name, profiling_config)
+            for name in deployment.services
+        ]
+        outcomes, mode = run_tier_pipeline(
+            tasks, executor=self.executor, max_workers=self.max_workers)
+        report = CloneReport(features={}, topology=topology, profile=profile,
+                             executor=mode)
         synthetic_services: Dict[str, ServiceSpec] = {}
-        for name in deployment.services:
-            artifacts = profile.artifacts(name)
-            features = extract_service_features(artifacts)
-            report.features[name] = features
-            config = self.generator_config
-            if self.fine_tune_tiers:
-                tuning = fine_tune(
-                    features,
-                    platform_config=replace(profiling_config, tracer=None),
-                    base_config=config,
-                    max_iterations=self.max_tune_iterations,
-                )
-                report.tuning[name] = tuning
-                config = replace(config, knobs=tuning.knobs)
-            program, files = generate_program(features, config)
-            skeleton = generate_skeleton(features.threads, features.network)
-            synthetic_services[name] = ServiceSpec(
-                name=name,
-                skeleton=skeleton,
-                program=program,
-                request_mix=dict(features.handler_mix) or None,
-                files=files,
-            )
+        for outcome in outcomes:
+            report.features[outcome.service] = outcome.features
+            if outcome.tuning is not None:
+                report.tuning[outcome.service] = outcome.tuning
+            report.tier_seconds[outcome.service] = outcome.wall_clock_s
+            report.cache_stats.merge(outcome.cache_stats)
+            synthetic_services[outcome.service] = outcome.spec
         synthetic = Deployment(
             services=synthetic_services,
             placements=[Placement(p.service, p.node)
@@ -110,7 +178,31 @@ class DittoCloner:
             entry_service=deployment.entry_service,
         )
         self._validate_interfaces(synthetic)
-        return synthetic, report
+        return CloneResult(synthetic=synthetic, report=report)
+
+    def _tier_task(
+        self,
+        profile: ApplicationProfile,
+        name: str,
+        profiling_config: ExperimentConfig,
+    ) -> TierTask:
+        """Build one tier's pipeline payload with derived seeds."""
+        generator_config = replace(
+            self.generator_config,
+            seed=derive_tier_seed(self.seed, name, "bodygen"),
+        )
+        tune_config: Optional[ExperimentConfig] = None
+        if self.fine_tune_tiers:
+            tune_config = replace(
+                profiling_config, tracer=None,
+                seed=derive_tier_seed(self.seed, name, "finetune"),
+            )
+        return TierTask(
+            artifacts=profile.artifacts(name),
+            generator_config=generator_config,
+            tune_config=tune_config,
+            max_tune_iterations=self.max_tune_iterations,
+        )
 
     @staticmethod
     def _validate_interfaces(deployment: Deployment) -> None:

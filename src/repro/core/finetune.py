@@ -28,6 +28,7 @@ from repro.core.features import ServiceFeatures
 from repro.core.skeleton_gen import generate_skeleton
 from repro.app.program import ComputeOp, Handler, Program, RpcOp, SyscallOp
 from repro.loadgen.generator import LoadSpec
+from repro.runtime.expcache import ExperimentCache
 from repro.runtime.experiment import ExperimentConfig, run_experiment
 from repro.runtime.metrics import ServiceMetrics
 from repro.util.errors import ConfigurationError
@@ -44,6 +45,11 @@ KNOB_FOR_METRIC = {
 DAMPING = 0.6
 #: knob clamp range
 KNOB_RANGE = (0.1, 10.0)
+#: default tuning budget, shared by :func:`fine_tune` and
+#: :class:`~repro.core.cloner.DittoCloner`. The paper reports the loop
+#: "converges within ten iterations to reach over 95% accuracy" (§4.5),
+#: so ten is the budget; convergence under ``tolerance`` exits earlier.
+DEFAULT_MAX_TUNE_ITERATIONS = 10
 
 
 @dataclass
@@ -85,6 +91,7 @@ def _measure(
     config: GeneratorConfig,
     platform_config: ExperimentConfig,
     load: LoadSpec,
+    cache: Optional[ExperimentCache] = None,
 ) -> Tuple[ServiceMetrics, ServiceSpec]:
     program, files = generate_program(features, config)
     skeleton = generate_skeleton(features.threads, features.network)
@@ -95,7 +102,11 @@ def _measure(
         request_mix=dict(features.handler_mix) or None,
         files=files,
     )
-    result = run_experiment(Deployment.single(spec), load, platform_config)
+    deployment = Deployment.single(spec)
+    if cache is not None:
+        result = cache.run(deployment, load, platform_config)
+    else:
+        result = run_experiment(deployment, load, platform_config)
     return result.service(features.service), spec
 
 
@@ -116,11 +127,20 @@ def fine_tune(
     platform_config: ExperimentConfig,
     load: Optional[LoadSpec] = None,
     base_config: Optional[GeneratorConfig] = None,
-    max_iterations: int = 10,
+    max_iterations: int = DEFAULT_MAX_TUNE_ITERATIONS,
     tolerance: float = 0.05,
     metrics: Tuple[str, ...] = ("ipc", "branch", "l1i", "l1d", "llc"),
+    cache: Optional[ExperimentCache] = None,
 ) -> FineTuneResult:
-    """Calibrate generator knobs against the profiled target counters."""
+    """Calibrate generator knobs against the profiled target counters.
+
+    ``max_iterations`` defaults to :data:`DEFAULT_MAX_TUNE_ITERATIONS`
+    (the paper's "within ten iterations" guidance). Pass an
+    :class:`~repro.runtime.expcache.ExperimentCache` as ``cache`` to
+    memoize the per-iteration measurement runs: iterations whose knob
+    vector repeats an earlier candidate (convergence plateaus, damped
+    oscillation) are then served without re-simulating.
+    """
     if features.target_counters is None:
         raise ConfigurationError(
             f"{features.service}: no target counters to tune against")
@@ -145,7 +165,8 @@ def fine_tune(
     for iteration in range(max_iterations):
         iterations_used = iteration + 1
         config = replace(config, knobs=knobs)
-        measured, _ = _measure(features, config, platform_config, load)
+        measured, _ = _measure(features, config, platform_config, load,
+                               cache=cache)
         errors = _errors(target, measured, metrics)
         finite = [e for e in errors.values() if e != math.inf]
         mean_error = sum(finite) / len(finite) if finite else math.inf

@@ -1,0 +1,189 @@
+"""Parallel per-tier cloning pipeline.
+
+Once profiling has produced per-service artifacts and RPCs have been
+stripped for stand-alone tuning, Ditto's Fig. 3 pipeline is
+embarrassingly parallel across tiers (§4.5: each tier's knobs calibrate
+independently). This module fans the per-tier stage — feature
+extraction → fine-tune → body/skeleton generation — out across a
+:mod:`concurrent.futures` executor.
+
+Determinism: a tier's outcome is a pure function of its
+:class:`TierTask` payload. Every random stream a tier consumes is
+derived from the task's own seeds via the named-stream discipline in
+:mod:`repro.util.rng` (see :func:`derive_tier_seed`), never from shared
+mutable state, so serial, threaded and process-pool runs produce
+bit-identical clones and execution order cannot leak between tiers.
+
+Executor selection: ``"process"`` (a :class:`ProcessPoolExecutor`, the
+default on multi-core hosts), ``"thread"`` (in-process, useful when task
+payloads are large relative to tier compute), ``"serial"`` (plain loop,
+also the single-core/single-tier fallback), or ``"auto"`` (process pool
+whenever it can actually help: more than one tier and more than one
+CPU).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.app.service import ServiceSpec
+from repro.core.body_gen import GeneratorConfig, generate_program
+from repro.core.features import ServiceFeatures, extract_service_features
+from repro.core.finetune import (
+    DEFAULT_MAX_TUNE_ITERATIONS,
+    FineTuneResult,
+    fine_tune,
+)
+from repro.core.skeleton_gen import generate_skeleton
+from repro.profiling.artifacts import ServiceArtifacts
+from repro.runtime.expcache import (
+    DEFAULT_CACHE_ENTRIES,
+    CacheStats,
+    ExperimentCache,
+)
+from repro.runtime.experiment import ExperimentConfig
+from repro.util.errors import ConfigurationError
+from repro.util.rng import derive_seed
+
+__all__ = [
+    "EXECUTOR_MODES",
+    "TierOutcome",
+    "TierTask",
+    "clone_tier",
+    "derive_tier_seed",
+    "resolve_executor",
+    "run_tier_pipeline",
+]
+
+EXECUTOR_MODES = ("auto", "process", "thread", "serial")
+
+
+def derive_tier_seed(root_seed: int, tier: str, stage: str) -> int:
+    """The seed one tier's ``stage`` uses, derived from the clone seed.
+
+    Stable across runs/platforms and independent per (tier, stage), so a
+    tier draws the same streams no matter which worker runs it, in which
+    order, or alongside which siblings.
+    """
+    return derive_seed(root_seed, "pipeline", tier, stage)
+
+
+@dataclass(frozen=True)
+class TierTask:
+    """Everything one tier's pipeline stage needs (picklable payload)."""
+
+    artifacts: ServiceArtifacts
+    generator_config: GeneratorConfig
+    #: stand-alone tuning platform; ``None`` skips fine-tuning
+    tune_config: Optional[ExperimentConfig] = None
+    max_tune_iterations: int = DEFAULT_MAX_TUNE_ITERATIONS
+    cache_max_entries: int = DEFAULT_CACHE_ENTRIES
+
+
+@dataclass
+class TierOutcome:
+    """What one tier's pipeline stage produced."""
+
+    service: str
+    features: ServiceFeatures
+    spec: ServiceSpec
+    tuning: Optional[FineTuneResult]
+    wall_clock_s: float
+    cache_stats: CacheStats
+
+
+def clone_tier(task: TierTask) -> TierOutcome:
+    """Run one tier through feature extraction → fine-tune → generation.
+
+    Pure function of ``task``; safe to run in any executor worker.
+    """
+    started = time.perf_counter()
+    features = extract_service_features(task.artifacts)
+    config = task.generator_config
+    cache = ExperimentCache(max_entries=task.cache_max_entries)
+    tuning: Optional[FineTuneResult] = None
+    if task.tune_config is not None:
+        tuning = fine_tune(
+            features,
+            platform_config=task.tune_config,
+            base_config=config,
+            max_iterations=task.max_tune_iterations,
+            cache=cache,
+        )
+        config = replace(config, knobs=tuning.knobs)
+    program, files = generate_program(features, config)
+    skeleton = generate_skeleton(features.threads, features.network)
+    spec = ServiceSpec(
+        name=features.service,
+        skeleton=skeleton,
+        program=program,
+        request_mix=dict(features.handler_mix) or None,
+        files=files,
+    )
+    return TierOutcome(
+        service=features.service,
+        features=features,
+        spec=spec,
+        tuning=tuning,
+        wall_clock_s=time.perf_counter() - started,
+        cache_stats=cache.stats,
+    )
+
+
+def resolve_executor(
+    executor: str = "auto",
+    *,
+    n_tasks: int,
+    max_workers: Optional[int] = None,
+) -> str:
+    """Map an executor request to the concrete mode that will run.
+
+    ``"auto"`` picks ``"process"`` when fan-out can help (more than one
+    task, more than one CPU, more than one worker allowed) and
+    ``"serial"`` otherwise. Explicit modes are honoured as-is.
+    """
+    if executor not in EXECUTOR_MODES:
+        raise ConfigurationError(
+            f"unknown executor {executor!r}; expected one of {EXECUTOR_MODES}")
+    if executor != "auto":
+        return executor
+    cpus = os.cpu_count() or 1
+    workers = max_workers if max_workers is not None else cpus
+    if n_tasks > 1 and cpus > 1 and workers > 1:
+        return "process"
+    return "serial"
+
+
+def _make_pool(mode: str, max_workers: int) -> Executor:
+    if mode == "process":
+        return ProcessPoolExecutor(max_workers=max_workers)
+    return ThreadPoolExecutor(max_workers=max_workers)
+
+
+def run_tier_pipeline(
+    tasks: Sequence[TierTask],
+    *,
+    executor: str = "auto",
+    max_workers: Optional[int] = None,
+) -> Tuple[List[TierOutcome], str]:
+    """Fan ``tasks`` out across the chosen executor.
+
+    Returns ``(outcomes, resolved_mode)`` with outcomes in task order
+    regardless of completion order, so downstream assembly (and the
+    clones themselves) cannot depend on scheduling.
+    """
+    if max_workers is not None and max_workers < 1:
+        raise ConfigurationError("max_workers must be >= 1")
+    mode = resolve_executor(executor, n_tasks=len(tasks),
+                            max_workers=max_workers)
+    if mode == "serial" or not tasks:
+        return [clone_tier(task) for task in tasks], "serial"
+    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    workers = max(1, min(workers, len(tasks)))
+    with _make_pool(mode, workers) as pool:
+        outcomes = list(pool.map(clone_tier, tasks))
+    return outcomes, mode

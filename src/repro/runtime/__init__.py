@@ -14,13 +14,17 @@ the clone's program reconstructs the original's characteristics.
 
 from repro.runtime.metrics import RunResult, ServiceMetrics
 from repro.runtime.pricing import BlockPricer, PricingKey
-from repro.runtime.experiment import ExperimentConfig, run_experiment
+from repro.runtime.experiment import ExperimentConfig, run_experiment, sweep_load
+from repro.runtime.expcache import CacheStats, ExperimentCache
 
 __all__ = [
     "BlockPricer",
+    "CacheStats",
+    "ExperimentCache",
     "ExperimentConfig",
     "PricingKey",
     "RunResult",
     "ServiceMetrics",
     "run_experiment",
+    "sweep_load",
 ]

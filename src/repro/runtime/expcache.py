@@ -1,0 +1,142 @@
+"""Experiment memoization (the measurement cache behind fine-tuning).
+
+Cloning is dominated by repeated measurement: every fine-tune iteration
+re-simulates a candidate clone, and validation sweeps re-run the same
+(deployment, load, platform) points across figures. Because
+:func:`~repro.runtime.experiment.run_experiment` is a deterministic
+function of its inputs (all randomness flows from the config seed
+through named :class:`~repro.util.rng.RngStream` children), its results
+can be memoized by a stable digest of those inputs —
+:func:`~repro.util.spec_hash.stable_digest` over ``(deployment, load,
+config)``. A knob vector nudged by the tuner regenerates the program,
+which changes the deployment spec and therefore the key; converged
+knobs, repeated iterations, and cross-figure re-measurement all hit.
+
+Runs that carry a live :class:`~repro.tracing.tracer.Tracer` are *not*
+cached: tracing is a side effect the caller wants, so those runs bypass
+the cache (counted separately as ``bypasses``).
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from repro.app.service import Deployment
+from repro.loadgen.generator import LoadSpec
+from repro.runtime.experiment import ExperimentConfig, run_experiment
+from repro.runtime.metrics import RunResult
+from repro.util.errors import ConfigurationError
+from repro.util.spec_hash import stable_digest
+
+__all__ = ["CacheStats", "ExperimentCache"]
+
+#: default number of memoized runs an :class:`ExperimentCache` retains
+DEFAULT_CACHE_ENTRIES = 256
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ExperimentCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    #: runs that skipped the cache (e.g. a live tracer was attached)
+    bypasses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Cacheable lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cacheable lookups served from memory."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Fold another stats block in (for cross-worker aggregation)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.bypasses += other.bypasses
+        self.evictions += other.evictions
+        return self
+
+
+class ExperimentCache:
+    """LRU memoization of :func:`run_experiment` results.
+
+    >>> cache = ExperimentCache()
+    >>> # result = cache.run(deployment, load, config)  # miss: simulates
+    >>> # again = cache.run(deployment, load, config)   # hit: no sim
+    """
+
+    def __init__(self, *, max_entries: int = DEFAULT_CACHE_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ConfigurationError("cache needs max_entries >= 1")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, RunResult]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key(
+        deployment: Deployment,
+        load: LoadSpec,
+        config: ExperimentConfig,
+    ) -> str:
+        """The memoization key: a stable digest of the full request.
+
+        The tracer is excluded — it does not change measured results
+        (``run_experiment`` only *writes* spans into it), and live-traced
+        runs bypass the cache anyway.
+        """
+        return stable_digest(deployment, load, replace(config, tracer=None))
+
+    def run(
+        self,
+        deployment: Deployment,
+        load: LoadSpec,
+        config: ExperimentConfig,
+    ) -> RunResult:
+        """``run_experiment`` with memoization.
+
+        Returns a deep copy of the cached result on a hit so callers can
+        mutate their view without corrupting the cache.
+        """
+        if config.tracer is not None:
+            self.stats.bypasses += 1
+            return run_experiment(deployment, load, config)
+        key = self.key(deployment, load, config)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return copy.deepcopy(cached)
+        self.stats.misses += 1
+        result = run_experiment(deployment, load, config)
+        self._entries[key] = copy.deepcopy(result)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return result
+
+    def sweep(
+        self,
+        deployment: Deployment,
+        loads: List[LoadSpec],
+        config: ExperimentConfig,
+    ) -> List[RunResult]:
+        """Memoized equivalent of :func:`~repro.runtime.experiment.sweep_load`."""
+        return [self.run(deployment, load, config) for load in loads]
+
+    def clear(self) -> None:
+        """Drop all cached results (stats are retained)."""
+        self._entries.clear()

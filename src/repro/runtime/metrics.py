@@ -107,6 +107,29 @@ class ServiceMetrics:
             raise ConfigurationError(f"unknown metric {name!r}")
         return table[name]
 
+    def snapshot(self) -> Dict[str, float]:
+        """All derived metrics plus raw volumes, as a plain dict.
+
+        A comparison-friendly view: two runs measured the same thing iff
+        their snapshots are equal (used by the experiment cache and the
+        serial-vs-parallel determinism tests).
+        """
+        out = {name: self.metric(name)
+               for name in ("ipc", "cpi", "branch", "l1i", "l1d", "l2",
+                            "llc")}
+        out.update(
+            requests=float(self.requests),
+            instructions=float(self.timing.instructions),
+            cycles=float(self.timing.cycles),
+            cold_wakeups=float(self.cold_wakeups),
+            context_switches=float(self.context_switches),
+            net_tx_bytes=self.net_tx_bytes,
+            net_rx_bytes=self.net_rx_bytes,
+            disk_read_bytes=self.disk_read_bytes,
+            disk_write_bytes=self.disk_write_bytes,
+        )
+        return out
+
 
 @dataclass
 class RunResult:

@@ -19,6 +19,7 @@ from repro.util.quantize import (
     quantize_pow2,
 )
 from repro.util.rng import RngStream, derive_seed, make_rng
+from repro.util.spec_hash import canonical_bytes, stable_digest
 from repro.util.stats import (
     Histogram,
     OnlineStats,
@@ -31,6 +32,8 @@ from repro.util.stats import (
 __all__ = [
     "ConfigurationError",
     "Histogram",
+    "canonical_bytes",
+    "stable_digest",
     "LogScaleQuantizer",
     "OnlineStats",
     "ProfilingError",

@@ -1,0 +1,96 @@
+"""Stable structural hashing: the cache-key foundation."""
+
+import dataclasses
+import enum
+
+import numpy as np
+import pytest
+
+from repro.app.service import Deployment
+from repro.app.workloads import build_memcached
+from repro.hw import PLATFORM_A, PLATFORM_B
+from repro.loadgen import LoadSpec
+from repro.runtime import ExperimentConfig
+from repro.util import ConfigurationError, stable_digest
+from repro.util.spec_hash import canonical_bytes
+
+
+class Color(enum.Enum):
+    RED = 1
+    BLUE = 2
+
+
+@dataclasses.dataclass
+class Point:
+    x: float
+    y: float
+
+
+class TestPrimitives:
+    def test_stability(self):
+        assert stable_digest(1, "a", 2.5) == stable_digest(1, "a", 2.5)
+
+    def test_type_tags_prevent_collisions(self):
+        assert stable_digest(1) != stable_digest("1")
+        assert stable_digest(1) != stable_digest(1.0)
+        assert stable_digest(True) != stable_digest(1)
+        assert stable_digest(None) != stable_digest("")
+        assert stable_digest((1, 2)) != stable_digest([1, 2])
+
+    def test_nesting_boundaries(self):
+        assert stable_digest([[1], [2]]) != stable_digest([[1, 2]])
+        assert stable_digest(("a", "bc")) != stable_digest(("ab", "c"))
+
+    def test_dict_order_independent(self):
+        assert (stable_digest({"a": 1, "b": 2})
+                == stable_digest({"b": 2, "a": 1}))
+
+    def test_dict_sensitive_to_values(self):
+        assert stable_digest({"a": 1}) != stable_digest({"a": 2})
+
+    def test_set_order_independent(self):
+        assert stable_digest({3, 1, 2}) == stable_digest({1, 2, 3})
+
+    def test_numpy_arrays(self):
+        a = np.arange(6, dtype=np.float64)
+        assert stable_digest(a) == stable_digest(a.copy())
+        assert stable_digest(a) != stable_digest(a.reshape(2, 3))
+        assert stable_digest(a) != stable_digest(a.astype(np.float32))
+
+    def test_numpy_scalars_match_python(self):
+        assert stable_digest(np.int64(7)) == stable_digest(7)
+        assert stable_digest(np.float64(1.5)) == stable_digest(1.5)
+
+    def test_enum(self):
+        assert stable_digest(Color.RED) == stable_digest(Color.RED)
+        assert stable_digest(Color.RED) != stable_digest(Color.BLUE)
+
+    def test_dataclass_fields_matter(self):
+        assert stable_digest(Point(1.0, 2.0)) == stable_digest(Point(1.0, 2.0))
+        assert stable_digest(Point(1.0, 2.0)) != stable_digest(Point(2.0, 1.0))
+
+    def test_unsupported_type_is_loud(self):
+        with pytest.raises(ConfigurationError):
+            stable_digest(object())
+
+    def test_canonical_bytes_deterministic(self):
+        payload = {"k": [Point(0.5, -0.5), Color.BLUE, np.ones(3)]}
+        assert canonical_bytes(payload) == canonical_bytes(payload)
+
+
+class TestDomainObjects:
+    def test_deployment_digest_stable(self):
+        a = Deployment.single(build_memcached())
+        b = Deployment.single(build_memcached())
+        assert stable_digest(a) == stable_digest(b)
+
+    def test_load_and_config_sensitivity(self):
+        config = ExperimentConfig(platform=PLATFORM_A, duration_s=0.02,
+                                  seed=5)
+        assert (stable_digest(LoadSpec.open_loop(1000))
+                != stable_digest(LoadSpec.open_loop(2000)))
+        assert (stable_digest(config)
+                != stable_digest(dataclasses.replace(config, seed=6)))
+        assert (stable_digest(config)
+                != stable_digest(dataclasses.replace(config,
+                                                     platform=PLATFORM_B)))
