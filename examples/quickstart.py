@@ -4,12 +4,15 @@
 The one-screen tour of the public API:
 
 1. build the original application model (the paper's Memcached config);
-2. run Ditto: profile at a representative load -> generate -> fine-tune;
+2. run Ditto with telemetry on: profile -> generate -> fine-tune;
 3. run original and clone side by side and compare the paper's metrics;
-4. peek at the shareable synthetic assembly listing.
+4. peek at the shareable synthetic assembly listing;
+5. print the telemetry report and save the run + Chrome trace.
 
 Run:  python examples/quickstart.py
 """
+
+import os
 
 from repro.analysis import compare_metrics
 from repro.app.service import Deployment
@@ -18,17 +21,22 @@ from repro.core import DittoCloner, emit_assembly
 from repro.hw import PLATFORM_A
 from repro.loadgen import LoadSpec
 from repro.runtime import ExperimentConfig, run_experiment
+from repro.telemetry import Telemetry
 
 
 def main() -> None:
     # 1. The original service (we could never share its internals).
     original = Deployment.single(build_memcached())
 
-    # 2. Clone it: profile once at medium load on platform A.
+    # 2. Clone it: profile once at medium load on platform A. The
+    #    telemetry session observes every pipeline stage (and, below,
+    #    the validation runs) without perturbing the clone.
     profiling_load = LoadSpec.open_loop(qps=100_000)
     profiling_config = ExperimentConfig(platform=PLATFORM_A,
                                         duration_s=0.02, seed=5)
-    cloner = DittoCloner(fine_tune_tiers=True, max_tune_iterations=6)
+    telemetry = Telemetry(label="quickstart: memcached clone")
+    cloner = DittoCloner(fine_tune_tiers=True, max_tune_iterations=6,
+                         telemetry=telemetry)
     result = cloner.clone(original, profiling_load, profiling_config)
     synthetic, report = result.synthetic, result.report
     tuning = report.tuning["memcached"]
@@ -39,11 +47,14 @@ def main() -> None:
           f"cache hits/misses={report.cache_stats.hits}"
           f"/{report.cache_stats.misses}")
 
-    # 3. Validate: run both at the same load and compare counters.
+    # 3. Validate: run both at the same load and compare counters (the
+    #    `with telemetry:` block records these runs on the sim timeline
+    #    alongside the profiling run).
     validation = ExperimentConfig(platform=PLATFORM_A, duration_s=0.05,
                                   seed=11)
-    actual = run_experiment(original, profiling_load, validation)
-    synth = run_experiment(synthetic, profiling_load, validation)
+    with telemetry:
+        actual = run_experiment(original, profiling_load, validation)
+        synth = run_experiment(synthetic, profiling_load, validation)
     comparison = compare_metrics(actual.service("memcached"),
                                  synth.service("memcached"))
     print()
@@ -62,6 +73,19 @@ def main() -> None:
     listing = emit_assembly(synthetic.services["memcached"].program)
     print("\n--- synthetic assembly listing (first 40 lines) ---")
     print("\n".join(listing.splitlines()[:40]))
+
+    # 5. Where did the time go? The telemetry session summarizes the
+    #    pipeline stages, cache effectiveness, and the sim timeline,
+    #    and exports a Perfetto-loadable Chrome trace.
+    print("\n--- telemetry ---")
+    print(telemetry.report_table())
+    out_dir = os.environ.get("DITTO_TELEMETRY_DIR", ".")
+    run_path = telemetry.save(os.path.join(out_dir, "quickstart_run.json"))
+    trace_path = telemetry.write_chrome_trace(
+        os.path.join(out_dir, "quickstart_trace.json"))
+    print(f"\nsaved run -> {run_path} "
+          f"(summarize: python -m repro.telemetry.report {run_path})")
+    print(f"chrome trace -> {trace_path} (open in ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

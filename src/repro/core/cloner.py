@@ -17,8 +17,9 @@ measurements, so parallel and serial clones are bit-identical.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, NamedTuple, Optional
+from typing import Dict, Iterator, List, NamedTuple, Optional, Union
 
 from repro.app.service import Deployment, Placement, ServiceSpec
 from repro.core.body_gen import GeneratorConfig
@@ -36,6 +37,8 @@ from repro.profiling.artifacts import ProfilingBudget
 from repro.profiling.collector import ApplicationProfile, profile_deployment
 from repro.runtime.expcache import CacheStats
 from repro.runtime.experiment import ExperimentConfig
+from repro.telemetry.session import Telemetry
+from repro.telemetry.spans import span
 from repro.util.errors import ConfigurationError
 
 
@@ -53,6 +56,10 @@ class CloneReport:
     tier_seconds: Dict[str, float] = field(default_factory=dict)
     #: experiment-memoization counters aggregated across tiers
     cache_stats: CacheStats = field(default_factory=CacheStats)
+    #: the observability session the clone ran under (spans, metrics,
+    #: sim timeline, Chrome-trace/report export); None when telemetry
+    #: was not enabled on the cloner
+    telemetry: Optional[Telemetry] = None
 
     def tier_names(self) -> List[str]:
         """Cloned tiers."""
@@ -80,6 +87,16 @@ class DittoCloner:
     (pool of worker processes), ``"thread"``, ``"serial"``, or
     ``"auto"`` (the default: a process pool whenever there is more than
     one tier and more than one CPU, else serial).
+
+    ``telemetry`` opts the session into observability: pass ``True``
+    (fresh :class:`~repro.telemetry.session.Telemetry`) or an existing
+    session to share one registry/trace across clones. Every stage is
+    then spanned, cache counters land in the session registry (workers
+    included — their payloads merge back in), profiling records a
+    simulated-time timeline, and the finished
+    :class:`CloneReport.telemetry` exports the Chrome trace / saved-run
+    JSON. Telemetry never touches a random stream: clone output is
+    bit-identical with it on or off.
     """
 
     def __init__(
@@ -92,6 +109,7 @@ class DittoCloner:
         seed: int = 17,
         executor: str = "auto",
         max_workers: Optional[int] = None,
+        telemetry: Union[bool, Telemetry, None] = None,
     ) -> None:
         if not isinstance(max_tune_iterations, int) \
                 or isinstance(max_tune_iterations, bool) \
@@ -116,6 +134,15 @@ class DittoCloner:
         self.seed = seed
         self.executor = executor
         self.max_workers = max_workers
+        if telemetry is True:
+            telemetry = Telemetry()
+        elif telemetry is False:
+            telemetry = None
+        if telemetry is not None and not isinstance(telemetry, Telemetry):
+            raise ConfigurationError(
+                f"telemetry must be a Telemetry session or a bool, "
+                f"got {telemetry!r}")
+        self.telemetry = telemetry
 
     def clone(
         self,
@@ -129,15 +156,18 @@ class DittoCloner:
         ``profiling_config.platform`` — the synthetic deployment then
         runs on any platform or load without reprofiling.
         """
-        profile = profile_deployment(
-            deployment, profiling_load, profiling_config,
-            budget=self.budget, seed=self.seed,
-        )
-        return self.clone_from_profile(
-            profile,
-            deployment=deployment,
-            profiling_config=profiling_config,
-        )
+        with self._observed():
+            with span("profiling", service=deployment.entry_service,
+                      tiers=len(deployment.services)):
+                profile = profile_deployment(
+                    deployment, profiling_load, profiling_config,
+                    budget=self.budget, seed=self.seed,
+                )
+            return self.clone_from_profile(
+                profile,
+                deployment=deployment,
+                profiling_config=profiling_config,
+            )
 
     def clone_from_profile(
         self,
@@ -152,33 +182,71 @@ class DittoCloner:
         with different generator configs, tuning budgets or executors)
         without paying for profiling again.
         """
-        topology: Optional[TopologySummary] = None
-        if len(deployment.services) > 1:
-            topology = analyze_topology(profile.spans)
-        tasks = [
-            self._tier_task(profile, name, profiling_config)
-            for name in deployment.services
-        ]
-        outcomes, mode = run_tier_pipeline(
-            tasks, executor=self.executor, max_workers=self.max_workers)
-        report = CloneReport(features={}, topology=topology, profile=profile,
-                             executor=mode)
-        synthetic_services: Dict[str, ServiceSpec] = {}
-        for outcome in outcomes:
-            report.features[outcome.service] = outcome.features
-            if outcome.tuning is not None:
-                report.tuning[outcome.service] = outcome.tuning
-            report.tier_seconds[outcome.service] = outcome.wall_clock_s
-            report.cache_stats.merge(outcome.cache_stats)
-            synthetic_services[outcome.service] = outcome.spec
-        synthetic = Deployment(
-            services=synthetic_services,
-            placements=[Placement(p.service, p.node)
-                        for p in deployment.placements],
-            entry_service=deployment.entry_service,
-        )
-        self._validate_interfaces(synthetic)
-        return CloneResult(synthetic=synthetic, report=report)
+        with self._observed():
+            topology: Optional[TopologySummary] = None
+            if len(deployment.services) > 1:
+                with span("topology_analysis",
+                          spans=len(profile.spans)):
+                    topology = analyze_topology(profile.spans)
+            tasks = [
+                self._tier_task(profile, name, profiling_config)
+                for name in deployment.services
+            ]
+            outcomes, mode = run_tier_pipeline(
+                tasks, executor=self.executor, max_workers=self.max_workers)
+            report = CloneReport(features={}, topology=topology,
+                                 profile=profile, executor=mode,
+                                 telemetry=self.telemetry)
+            synthetic_services: Dict[str, ServiceSpec] = {}
+            for outcome in outcomes:
+                report.features[outcome.service] = outcome.features
+                if outcome.tuning is not None:
+                    report.tuning[outcome.service] = outcome.tuning
+                report.tier_seconds[outcome.service] = outcome.wall_clock_s
+                report.cache_stats.merge(outcome.cache_stats)
+                synthetic_services[outcome.service] = outcome.spec
+                if self.telemetry is not None:
+                    self.telemetry.absorb(outcome.telemetry)
+            self._record_report(report)
+            synthetic = Deployment(
+                services=synthetic_services,
+                placements=[Placement(p.service, p.node)
+                            for p in deployment.placements],
+                entry_service=deployment.entry_service,
+            )
+            with span("interface_validation"):
+                self._validate_interfaces(synthetic)
+            return CloneResult(synthetic=synthetic, report=report)
+
+    @contextlib.contextmanager
+    def _observed(self) -> Iterator[Optional[Telemetry]]:
+        """Activate the cloner's telemetry session, if any (re-entrant)."""
+        if self.telemetry is None:
+            yield None
+            return
+        self.telemetry.activate()
+        try:
+            yield self.telemetry
+        finally:
+            self.telemetry.deactivate()
+
+    def _record_report(self, report: CloneReport) -> None:
+        """Back the report's ad-hoc fields with registry metrics."""
+        if self.telemetry is None:
+            return
+        registry = self.telemetry.registry
+        tier_seconds = registry.gauge(
+            "ditto_pipeline_tier_seconds",
+            "per-tier pipeline-stage wall clock", ("tier",))
+        tier_histogram = registry.histogram(
+            "ditto_tier_clone_seconds",
+            "distribution of per-tier clone durations")
+        for tier, seconds in report.tier_seconds.items():
+            tier_seconds.set(seconds, tier=tier)
+            tier_histogram.observe(seconds)
+        registry.counter(
+            "ditto_clones_total", "clone sessions finished",
+            ("executor",)).inc(1, executor=report.executor)
 
     def _tier_task(
         self,
@@ -202,6 +270,7 @@ class DittoCloner:
             generator_config=generator_config,
             tune_config=tune_config,
             max_tune_iterations=self.max_tune_iterations,
+            collect_telemetry=self.telemetry is not None,
         )
 
     @staticmethod

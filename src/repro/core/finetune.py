@@ -31,6 +31,8 @@ from repro.loadgen.generator import LoadSpec
 from repro.runtime.expcache import ExperimentCache
 from repro.runtime.experiment import ExperimentConfig, run_experiment
 from repro.runtime.metrics import ServiceMetrics
+from repro.telemetry.context import current_session
+from repro.telemetry.spans import span
 from repro.util.errors import ConfigurationError
 from repro.util.stats import relative_error
 
@@ -110,6 +112,21 @@ def _measure(
     return result.service(features.service), spec
 
 
+def _record_tuning(service: str, iterations: int, converged: bool) -> None:
+    """Account a finished tuning session in the ambient registry."""
+    session = current_session()
+    if session is None:
+        return
+    session.registry.counter(
+        "ditto_tune_iterations_total",
+        "fine-tune iterations executed", ("service",),
+    ).inc(iterations, service=service)
+    session.registry.counter(
+        "ditto_tune_sessions_total",
+        "fine-tune sessions finished", ("service", "converged"),
+    ).inc(1, service=service, converged=str(converged).lower())
+
+
 def _errors(
     target: ServiceMetrics,
     measured: ServiceMetrics,
@@ -165,17 +182,23 @@ def fine_tune(
     for iteration in range(max_iterations):
         iterations_used = iteration + 1
         config = replace(config, knobs=knobs)
-        measured, _ = _measure(features, config, platform_config, load,
-                               cache=cache)
-        errors = _errors(target, measured, metrics)
-        finite = [e for e in errors.values() if e != math.inf]
-        mean_error = sum(finite) / len(finite) if finite else math.inf
+        with span("tune_iteration", category="finetune",
+                  service=features.service, iteration=iteration) as tick:
+            measured, _ = _measure(features, config, platform_config, load,
+                                   cache=cache)
+            errors = _errors(target, measured, metrics)
+            finite = [e for e in errors.values() if e != math.inf]
+            mean_error = sum(finite) / len(finite) if finite else math.inf
+            tick.set(mean_error=(mean_error if mean_error != math.inf
+                                 else None))
         history.append(mean_error)
         final_errors = errors
         if mean_error < best_error:
             best_error = mean_error
             best_knobs = knobs
         if mean_error <= tolerance:
+            _record_tuning(features.service, iterations_used,
+                           converged=True)
             return FineTuneResult(
                 knobs=knobs, iterations=iterations_used,
                 final_errors=errors, error_history=history, converged=True,
@@ -205,6 +228,7 @@ def fine_tune(
                 KNOB_RANGE[1],
                 max(KNOB_RANGE[0], knobs.ilp_scale * ratio)))
         knobs = knobs.with_(**updates)
+    _record_tuning(features.service, iterations_used, converged=False)
     return FineTuneResult(
         knobs=best_knobs, iterations=iterations_used,
         final_errors=final_errors, error_history=history, converged=False,

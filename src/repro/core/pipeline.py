@@ -46,6 +46,9 @@ from repro.runtime.expcache import (
     ExperimentCache,
 )
 from repro.runtime.experiment import ExperimentConfig
+from repro.telemetry.context import current_session
+from repro.telemetry.session import Telemetry, WorkerTelemetry
+from repro.telemetry.spans import span
 from repro.util.errors import ConfigurationError
 from repro.util.rng import derive_seed
 
@@ -82,6 +85,11 @@ class TierTask:
     tune_config: Optional[ExperimentConfig] = None
     max_tune_iterations: int = DEFAULT_MAX_TUNE_ITERATIONS
     cache_max_entries: int = DEFAULT_CACHE_ENTRIES
+    #: record spans/metrics for this tier (set when the clone session
+    #: carries a :class:`~repro.telemetry.session.Telemetry`); workers
+    #: cannot see the parent's session, so the request must travel in
+    #: the task payload
+    collect_telemetry: bool = False
 
 
 @dataclass
@@ -94,36 +102,72 @@ class TierOutcome:
     tuning: Optional[FineTuneResult]
     wall_clock_s: float
     cache_stats: CacheStats
+    #: spans + metrics recorded by a worker-local session, for the
+    #: parent to absorb; None when telemetry was off or the tier ran
+    #: under the parent's own session (serial mode)
+    telemetry: Optional[WorkerTelemetry] = None
 
 
 def clone_tier(task: TierTask) -> TierOutcome:
     """Run one tier through feature extraction → fine-tune → generation.
 
     Pure function of ``task``; safe to run in any executor worker.
+    Telemetry observes but never steers: every random stream is derived
+    from the task's seeds, so outcomes are bit-identical with
+    ``collect_telemetry`` on or off.
     """
+    worker_session: Optional[Telemetry] = None
+    ambient = current_session()
+    foreign = ambient is None or ambient.pid != os.getpid()
+    if task.collect_telemetry and foreign:
+        # Running in an executor worker process: collect into a local
+        # session and ship it back with the outcome. The pid check
+        # matters on fork-start pools, where the child inherits the
+        # parent's ambient session but anything recorded into that copy
+        # would be lost. Serial and thread modes see the parent's own
+        # session and record straight into it.
+        worker_session = Telemetry.for_worker()
+        worker_session.activate()
+    try:
+        outcome = _clone_tier(task)
+    finally:
+        if worker_session is not None:
+            worker_session.deactivate()
+    if worker_session is not None:
+        outcome.telemetry = worker_session.payload()
+    return outcome
+
+
+def _clone_tier(task: TierTask) -> TierOutcome:
+    service = task.artifacts.service
     started = time.perf_counter()
-    features = extract_service_features(task.artifacts)
-    config = task.generator_config
-    cache = ExperimentCache(max_entries=task.cache_max_entries)
-    tuning: Optional[FineTuneResult] = None
-    if task.tune_config is not None:
-        tuning = fine_tune(
-            features,
-            platform_config=task.tune_config,
-            base_config=config,
-            max_iterations=task.max_tune_iterations,
-            cache=cache,
+    with span(f"tier:{service}", category="tier"):
+        with span("feature_extraction", category="tier", service=service):
+            features = extract_service_features(task.artifacts)
+        config = task.generator_config
+        cache = ExperimentCache(max_entries=task.cache_max_entries,
+                                name=service)
+        tuning: Optional[FineTuneResult] = None
+        if task.tune_config is not None:
+            with span("fine_tune", category="tier", service=service):
+                tuning = fine_tune(
+                    features,
+                    platform_config=task.tune_config,
+                    base_config=config,
+                    max_iterations=task.max_tune_iterations,
+                    cache=cache,
+                )
+            config = replace(config, knobs=tuning.knobs)
+        with span("generation", category="tier", service=service):
+            program, files = generate_program(features, config)
+            skeleton = generate_skeleton(features.threads, features.network)
+        spec = ServiceSpec(
+            name=features.service,
+            skeleton=skeleton,
+            program=program,
+            request_mix=dict(features.handler_mix) or None,
+            files=files,
         )
-        config = replace(config, knobs=tuning.knobs)
-    program, files = generate_program(features, config)
-    skeleton = generate_skeleton(features.threads, features.network)
-    spec = ServiceSpec(
-        name=features.service,
-        skeleton=skeleton,
-        program=program,
-        request_mix=dict(features.handler_mix) or None,
-        files=files,
-    )
     return TierOutcome(
         service=features.service,
         features=features,
@@ -180,10 +224,12 @@ def run_tier_pipeline(
         raise ConfigurationError("max_workers must be >= 1")
     mode = resolve_executor(executor, n_tasks=len(tasks),
                             max_workers=max_workers)
-    if mode == "serial" or not tasks:
-        return [clone_tier(task) for task in tasks], "serial"
-    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
-    workers = max(1, min(workers, len(tasks)))
-    with _make_pool(mode, workers) as pool:
-        outcomes = list(pool.map(clone_tier, tasks))
-    return outcomes, mode
+    with span("tier_pipeline", executor=mode, tiers=len(tasks)):
+        if mode == "serial" or not tasks:
+            return [clone_tier(task) for task in tasks], "serial"
+        workers = (max_workers if max_workers is not None
+                   else (os.cpu_count() or 1))
+        workers = max(1, min(workers, len(tasks)))
+        with _make_pool(mode, workers) as pool:
+            outcomes = list(pool.map(clone_tier, tasks))
+        return outcomes, mode

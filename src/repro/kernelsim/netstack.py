@@ -50,6 +50,7 @@ class NicDevice:
         """DES process body: serialise ``nbytes`` onto the wire."""
         if nbytes < 0:
             raise ConfigurationError("nbytes must be non-negative")
+        issued = self.env.now
         grant = self._wire.request()
         yield grant
         try:
@@ -57,6 +58,10 @@ class NicDevice:
         finally:
             self._wire.release()
         self.tx_bytes += nbytes
+        timeline = self.env.timeline
+        if timeline is not None:
+            timeline.complete(self.name, "tx", issued,
+                              self.env.now - issued, nbytes=nbytes)
 
     def account_rx(self, nbytes: float) -> None:
         """Count received bytes (ingress is not a serialising bottleneck

@@ -39,6 +39,7 @@ class DiskDevice:
         """DES process body: one device I/O of ``nbytes``."""
         if nbytes < 0:
             raise ConfigurationError("nbytes must be non-negative")
+        issued = self.env.now
         grant = self._queue.request()
         yield grant
         try:
@@ -60,6 +61,11 @@ class DiskDevice:
             self.write_bytes += nbytes
         else:
             self.read_bytes += nbytes
+        timeline = self.env.timeline
+        if timeline is not None:
+            timeline.complete(self.name, "write" if write else "read",
+                              issued, self.env.now - issued,
+                              nbytes=nbytes)
 
 
 class Node:

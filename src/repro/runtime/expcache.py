@@ -15,6 +15,15 @@ knobs, repeated iterations, and cross-figure re-measurement all hit.
 Runs that carry a live :class:`~repro.tracing.tracer.Tracer` are *not*
 cached: tracing is a side effect the caller wants, so those runs bypass
 the cache (counted separately as ``bypasses``).
+
+Accounting lives in real telemetry counters
+(``ditto_expcache_*_total{cache=...}`` in a
+:class:`~repro.telemetry.registry.MetricsRegistry`) — the ambient
+telemetry session's registry when one is active at construction, else a
+private one. :attr:`ExperimentCache.stats` is a derived view over those
+counters, so the pre-telemetry :class:`CacheStats` API (and the
+:class:`~repro.core.cloner.CloneReport` fields built from it) is
+unchanged.
 """
 
 from __future__ import annotations
@@ -28,6 +37,8 @@ from repro.app.service import Deployment
 from repro.loadgen.generator import LoadSpec
 from repro.runtime.experiment import ExperimentConfig, run_experiment
 from repro.runtime.metrics import RunResult
+from repro.telemetry.context import current_session
+from repro.telemetry.registry import MetricsRegistry
 from repro.util.errors import ConfigurationError
 from repro.util.spec_hash import stable_digest
 
@@ -35,6 +46,15 @@ __all__ = ["CacheStats", "ExperimentCache"]
 
 #: default number of memoized runs an :class:`ExperimentCache` retains
 DEFAULT_CACHE_ENTRIES = 256
+
+#: registry metric names the cache accounts through (``cache`` label =
+#: the cache's ``name``)
+CACHE_METRICS = {
+    "hits": "ditto_expcache_hits_total",
+    "misses": "ditto_expcache_misses_total",
+    "bypasses": "ditto_expcache_bypasses_total",
+    "evictions": "ditto_expcache_evictions_total",
+}
 
 
 @dataclass
@@ -67,24 +87,65 @@ class CacheStats:
         self.evictions += other.evictions
         return self
 
+    @classmethod
+    def from_registry(cls, registry: MetricsRegistry) -> "CacheStats":
+        """Aggregate view over every cache accounted in ``registry``."""
+        def total(metric_name: str) -> int:
+            metric = registry.get(metric_name)
+            return int(metric.total()) if metric is not None else 0
+
+        return cls(**{field: total(name)
+                      for field, name in CACHE_METRICS.items()})
+
 
 class ExperimentCache:
     """LRU memoization of :func:`run_experiment` results.
+
+    ``registry``/``name`` select where hit/miss/bypass/eviction counters
+    live: by default the ambient telemetry session's registry (when a
+    session is active at construction) so pipeline accounting merges
+    into the run's telemetry, else a private registry. Caches sharing a
+    registry must use distinct ``name``\\ s to keep their counter series
+    apart.
 
     >>> cache = ExperimentCache()
     >>> # result = cache.run(deployment, load, config)  # miss: simulates
     >>> # again = cache.run(deployment, load, config)   # hit: no sim
     """
 
-    def __init__(self, *, max_entries: int = DEFAULT_CACHE_ENTRIES) -> None:
+    def __init__(self, *, max_entries: int = DEFAULT_CACHE_ENTRIES,
+                 registry: Optional[MetricsRegistry] = None,
+                 name: str = "expcache") -> None:
         if max_entries < 1:
             raise ConfigurationError("cache needs max_entries >= 1")
         self.max_entries = max_entries
-        self.stats = CacheStats()
+        self.name = name
+        if registry is None:
+            session = current_session()
+            registry = (session.registry if session is not None
+                        else MetricsRegistry())
+        self.registry = registry
+        self._counters = {
+            field: registry.counter(
+                metric_name,
+                f"experiment cache {field}", ("cache",))
+            for field, metric_name in CACHE_METRICS.items()
+        }
         self._entries: "OrderedDict[str, RunResult]" = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def _count(self, event: str, amount: int = 1) -> None:
+        self._counters[event].inc(amount, cache=self.name)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Derived view over this cache's registry counters."""
+        return CacheStats(**{
+            field: int(counter.value(cache=self.name))
+            for field, counter in self._counters.items()
+        })
 
     @staticmethod
     def key(
@@ -112,20 +173,20 @@ class ExperimentCache:
         mutate their view without corrupting the cache.
         """
         if config.tracer is not None:
-            self.stats.bypasses += 1
+            self._count("bypasses")
             return run_experiment(deployment, load, config)
         key = self.key(deployment, load, config)
         cached = self._entries.get(key)
         if cached is not None:
             self._entries.move_to_end(key)
-            self.stats.hits += 1
+            self._count("hits")
             return copy.deepcopy(cached)
-        self.stats.misses += 1
+        self._count("misses")
         result = run_experiment(deployment, load, config)
         self._entries[key] = copy.deepcopy(result)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
-            self.stats.evictions += 1
+            self._count("evictions")
         return result
 
     def sweep(

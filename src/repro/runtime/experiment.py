@@ -14,6 +14,8 @@ from repro.runtime.metrics import RunResult
 from repro.runtime.pricing import BlockPricer
 from repro.runtime.service import NodeState, ServiceRuntime
 from repro.sim import Environment
+from repro.telemetry.context import current_session
+from repro.telemetry.spans import span
 from repro.tracing.tracer import Tracer
 from repro.util.errors import ConfigurationError
 from repro.util.rng import RngStream
@@ -47,8 +49,46 @@ def run_experiment(
     load: LoadSpec,
     config: ExperimentConfig,
 ) -> RunResult:
-    """Run one load point of a deployment and collect measurements."""
-    env = Environment()
+    """Run one load point of a deployment and collect measurements.
+
+    Telemetry (when a session is active): the run is wrapped in a
+    wall-clock span, counted in ``ditto_experiments_total``, and — if
+    the session records simulated time — services and kernel devices
+    emit their per-request/per-IO events onto a fresh timeline run.
+    All of it is observation-only: measured results are identical with
+    telemetry on, off, or absent.
+    """
+    session = current_session()
+    timeline_run = None
+    if session is not None and session.timeline is not None:
+        load_text = (f"open {load.qps:g} qps" if load.kind == "open"
+                     else f"closed {load.connections} conns")
+        timeline_run = session.timeline.begin_run(
+            f"{deployment.entry_service} ({load_text})")
+    with span("run_experiment", category="experiment",
+              service=deployment.entry_service,
+              duration_s=config.duration_s):
+        result = _run_experiment(deployment, load, config, timeline_run)
+    if session is not None:
+        session.registry.counter(
+            "ditto_experiments_total",
+            "simulated experiment runs executed").inc()
+        requests = session.registry.counter(
+            "ditto_sim_requests_total",
+            "requests completed inside simulated runs", ("service",))
+        for name, metrics in result.services.items():
+            if metrics.requests:
+                requests.inc(metrics.requests, service=name)
+    return result
+
+
+def _run_experiment(
+    deployment: Deployment,
+    load: LoadSpec,
+    config: ExperimentConfig,
+    timeline_run=None,
+) -> RunResult:
+    env = Environment(timeline=timeline_run)
     stream = RngStream(config.seed, "experiment")
     tracer = config.tracer if config.tracer is not None else Tracer(
         sample_rate=config.trace_sample_rate, seed=config.seed)
@@ -116,7 +156,13 @@ def run_experiment(
 
     def submit(handler: str):
         trace_id = tracer.start_trace()
-        return entry.submit(handler, src_node="client", trace_id=trace_id)
+        response = entry.submit(handler, src_node="client",
+                                trace_id=trace_id)
+        # Evict the sampling verdict once the request tree completes —
+        # every span below the root has been opened by then, and without
+        # this the tracer's verdict map grows one entry per request.
+        response.callbacks.append(lambda _evt: tracer.end_trace(trace_id))
+        return response
 
     generator = build_generator(
         env=env,

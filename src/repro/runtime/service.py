@@ -280,6 +280,7 @@ class ServiceRuntime:
                worker_release=None):
         self.active += 1
         self.node_state.active_threads += 1
+        serve_start = self.env.now
         handler = self.spec.program.handler(request.handler)
         span = self.tracer.start_span(
             request.trace_id, self.spec.name, request.handler,
@@ -346,6 +347,12 @@ class ServiceRuntime:
         self.metrics.requests += 1
         self.active -= 1
         self.node_state.active_threads -= 1
+        timeline = self.env.timeline
+        if timeline is not None:
+            timeline.complete(
+                self.spec.name, request.handler, serve_start,
+                self.env.now - serve_start,
+                queued=serve_start - request.arrival, cold=cold)
         if span is not None:
             span.finish(self.env.now)
         if request.src_node != self.node.name:

@@ -171,12 +171,21 @@ class Process(Event):
 
 
 class Environment:
-    """The simulation environment: clock plus event queue."""
+    """The simulation environment: clock plus event queue.
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    ``timeline`` is the telemetry hook point: an optional
+    :class:`~repro.telemetry.timeline.TimelineRun` that instrumented
+    components (service runtimes, kernel devices) emit simulated-time
+    events through. It is observation-only — the engine itself never
+    consults it, so a timed and an untimed run schedule identically.
+    """
+
+    def __init__(self, initial_time: float = 0.0,
+                 timeline: Optional[Any] = None) -> None:
         self._now = float(initial_time)
         self._queue: List[tuple[float, int, Event]] = []
         self._counter = 0
+        self.timeline = timeline
 
     @property
     def now(self) -> float:

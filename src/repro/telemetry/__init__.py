@@ -1,0 +1,68 @@
+"""Telemetry: instrumentation of the reproduction itself.
+
+Not to be confused with :mod:`repro.tracing` — that package models the
+*paper's* distributed RPC tracer, a profiling **input** Ditto learns the
+topology from. This package observes the **reproduction pipeline**: how
+long each clone stage took, how effective experiment memoization was,
+and what the simulator did on its own clock.
+
+Three coordinated pieces, one handle:
+
+- a **metrics registry** (:mod:`repro.telemetry.registry`) —
+  counters/gauges/histograms with labels, Prometheus text exposition
+  and JSON snapshots that merge across process boundaries;
+- **pipeline spans** (:mod:`repro.telemetry.spans`) — nestable
+  wall-clock spans (``with span("fine_tune"):``) that no-op when no
+  session is active;
+- **simulated-time timelines** (:mod:`repro.telemetry.timeline`) —
+  per-service/per-request events stamped with the discrete-event clock.
+
+A :class:`~repro.telemetry.session.Telemetry` session bundles all three
+and exports a Perfetto-loadable Chrome trace
+(:mod:`repro.telemetry.chrometrace`) plus a saved-run JSON that
+``python -m repro.telemetry.report`` summarizes as a text table.
+
+>>> from repro.telemetry import Telemetry
+>>> telemetry = Telemetry(label="demo")
+>>> cloner = DittoCloner(telemetry=telemetry)     # doctest: +SKIP
+>>> result = cloner.clone(...)                    # doctest: +SKIP
+>>> result.report.telemetry.write_chrome_trace("trace.json")  # doctest: +SKIP
+
+Telemetry observes and never steers: it consumes no random streams and
+adds no simulation events, so a telemetry-enabled clone is bit-identical
+to a disabled one.
+"""
+
+from repro.telemetry.chrometrace import chrome_trace, write_chrome_trace
+from repro.telemetry.context import current_session
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+from repro.telemetry.session import Telemetry, WorkerTelemetry
+from repro.telemetry.spans import SpanCollector, SpanRecord, span
+from repro.telemetry.timeline import SimEvent, SimTimeline, TimelineRun
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SimEvent",
+    "SimTimeline",
+    "SpanCollector",
+    "SpanRecord",
+    "Telemetry",
+    "TimelineRun",
+    "WorkerTelemetry",
+    "chrome_trace",
+    "current_session",
+    "default_registry",
+    "set_default_registry",
+    "span",
+    "write_chrome_trace",
+]

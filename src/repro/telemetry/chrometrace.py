@@ -1,0 +1,135 @@
+"""Chrome trace-event JSON export (Perfetto / ``chrome://tracing``).
+
+Renders a telemetry session as the Trace Event Format's "JSON object"
+flavour: ``{"traceEvents": [...]}``. Two track groups:
+
+- **wall-clock pipeline spans** — one process row per OS process that
+  recorded spans (so a process-pool clone shows its workers side by
+  side), one thread row per recording thread, spans as complete ("X")
+  events;
+- **simulated time** — one synthetic process row per recorded
+  simulation run (every run starts at sim time zero, so runs must not
+  share a clock axis), one thread row per service/device track, events
+  as duration ("B"/"E") and instant ("i") phases.
+
+Timestamps are microseconds, as the format requires; wall-clock spans
+are rebased to the earliest span so traces open near t=0.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.telemetry.spans import SpanRecord
+from repro.telemetry.timeline import SimTimeline
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+#: synthetic pid namespace for simulated-time tracks (real pids are
+#: comfortably below this)
+SIM_PID_BASE = 1 << 22
+
+
+def _metadata(name: str, pid: int, tid: int, value: str) -> dict:
+    return {"name": name, "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": value}}
+
+
+def _span_events(records: Sequence[SpanRecord],
+                 main_pid: Optional[int]) -> List[dict]:
+    if not records:
+        return []
+    base_us = min(record.ts_us for record in records)
+    events: List[dict] = []
+    named_pids: Dict[int, None] = {}
+    named_tids: Dict[tuple, None] = {}
+    for record in records:
+        if record.pid not in named_pids:
+            named_pids[record.pid] = None
+            role = ("pipeline" if main_pid is None or record.pid == main_pid
+                    else "pipeline worker")
+            events.append(_metadata("process_name", record.pid, 0,
+                                    f"ditto {role} (pid {record.pid})"))
+        if (record.pid, record.tid) not in named_tids:
+            named_tids[(record.pid, record.tid)] = None
+            events.append(_metadata("thread_name", record.pid, record.tid,
+                                    record.thread_name))
+        events.append({
+            "name": record.name,
+            "cat": record.category,
+            "ph": "X",
+            "ts": record.ts_us - base_us,
+            "dur": record.dur_us,
+            "pid": record.pid,
+            "tid": record.tid,
+            "args": dict(record.args),
+        })
+    return events
+
+
+def _sim_events(timeline: SimTimeline) -> List[dict]:
+    events: List[dict] = []
+    track_tids: Dict[tuple, int] = {}
+    named_runs: Dict[int, None] = {}
+    for event in timeline.events:
+        pid = SIM_PID_BASE + event.run
+        if event.run not in named_runs:
+            named_runs[event.run] = None
+            label = (timeline.run_labels[event.run]
+                     if event.run < len(timeline.run_labels)
+                     else f"run {event.run}")
+            events.append(_metadata("process_name", pid, 0,
+                                    f"simulated time: {label}"))
+        key = (event.run, event.track)
+        tid = track_tids.get(key)
+        if tid is None:
+            tid = len(track_tids) + 1
+            track_tids[key] = tid
+            events.append(_metadata("thread_name", pid, tid, event.track))
+        entry: Dict[str, Any] = {
+            "name": event.name,
+            "cat": "sim",
+            "ph": event.ph,
+            "ts": event.ts * 1e6,
+            "pid": pid,
+            "tid": tid,
+        }
+        if event.ph == "X":
+            entry["dur"] = (event.dur or 0.0) * 1e6
+        if event.ph == "i":
+            entry["s"] = "t"    # thread-scoped instant
+        if event.args:
+            entry["args"] = dict(event.args)
+        events.append(entry)
+    return events
+
+
+def chrome_trace(
+    spans: Sequence[SpanRecord] = (),
+    timeline: Optional[SimTimeline] = None,
+    *,
+    main_pid: Optional[int] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> dict:
+    """Build the trace-event document for spans and/or a sim timeline."""
+    events = _span_events(list(spans), main_pid)
+    if timeline is not None:
+        events.extend(_sim_events(timeline))
+    doc: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        doc["otherData"] = dict(metadata)
+    return doc
+
+
+def write_chrome_trace(path: str, spans: Sequence[SpanRecord] = (),
+                       timeline: Optional[SimTimeline] = None,
+                       **kwargs: Any) -> str:
+    """Write :func:`chrome_trace` output to ``path``; returns ``path``."""
+    doc = chrome_trace(spans, timeline, **kwargs)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle)
+    return path

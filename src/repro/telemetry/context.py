@@ -1,0 +1,41 @@
+"""Ambient telemetry session lookup.
+
+Instrumentation sites (:func:`repro.telemetry.spans.span`, the runtime's
+sim-timeline hooks, :class:`~repro.runtime.expcache.ExperimentCache`)
+look up the *current* :class:`~repro.telemetry.session.Telemetry`
+session here instead of taking it as a parameter, so code that is not
+being observed pays one context-variable read and nothing else.
+
+A :class:`~contextvars.ContextVar` rather than a module global: worker
+threads of a thread-pool pipeline each activate their own session
+without clobbering each other (context variables are effectively
+thread-local unless a context is explicitly propagated).
+"""
+
+from __future__ import annotations
+
+from contextvars import ContextVar, Token
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.session import Telemetry
+
+__all__ = ["activate", "current_session", "deactivate"]
+
+_session: "ContextVar[Optional[Telemetry]]" = ContextVar(
+    "ditto_telemetry_session", default=None)
+
+
+def current_session() -> "Optional[Telemetry]":
+    """The active telemetry session, or None when telemetry is off."""
+    return _session.get()
+
+
+def activate(session: "Telemetry") -> Token:
+    """Install ``session`` as current; returns the restore token."""
+    return _session.set(session)
+
+
+def deactivate(token: Token) -> None:
+    """Restore the session that was current before :func:`activate`."""
+    _session.reset(token)

@@ -1,0 +1,186 @@
+"""Text summary of a saved telemetry run.
+
+``python -m repro.telemetry.report run.json`` prints where a clone run
+spent its time (wall-clock stages aggregated from pipeline spans),
+experiment-cache effectiveness, the leading metrics, and what the
+simulated-time timeline recorded. ``--prometheus`` additionally dumps
+the raw registry in text exposition format.
+
+The input is the document produced by
+:meth:`repro.telemetry.session.Telemetry.save`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Dict, List, Optional
+
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.spans import SpanRecord
+
+__all__ = ["load_run", "main", "render_report"]
+
+#: how many metric series the "top metrics" section shows
+TOP_METRICS = 15
+
+
+def load_run(path: str) -> dict:
+    """Read a saved telemetry run document from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _stage_table(spans: List[SpanRecord]) -> List[str]:
+    lines = [f"{'stage':<32}{'count':>7}{'total s':>12}{'mean s':>12}"
+             f"{'max s':>12}"]
+    grouped: Dict[str, List[SpanRecord]] = {}
+    for record in spans:
+        grouped.setdefault(record.name, []).append(record)
+    ordered = sorted(grouped.items(),
+                     key=lambda item: -sum(r.dur_us for r in item[1]))
+    for name, records in ordered:
+        durations = [r.duration_s for r in records]
+        total = sum(durations)
+        lines.append(f"{name:<32}{len(records):>7}{total:>12.4f}"
+                     f"{total / len(durations):>12.4f}"
+                     f"{max(durations):>12.4f}")
+    return lines
+
+
+def _cache_table(metrics: dict) -> Optional[List[str]]:
+    def series(metric_name: str) -> Dict[str, float]:
+        entry = metrics.get(metric_name)
+        if entry is None:
+            return {}
+        return {s["labels"].get("cache", ""): s["value"]
+                for s in entry["series"]}
+
+    hits = series("ditto_expcache_hits_total")
+    misses = series("ditto_expcache_misses_total")
+    bypasses = series("ditto_expcache_bypasses_total")
+    evictions = series("ditto_expcache_evictions_total")
+    caches = sorted(set(hits) | set(misses) | set(bypasses)
+                    | set(evictions))
+    if not caches:
+        return None
+    lines = [f"{'cache':<24}{'hits':>8}{'misses':>8}{'bypass':>8}"
+             f"{'evict':>8}{'hit rate':>10}"]
+    totals = [0.0, 0.0, 0.0, 0.0]
+    for cache in caches:
+        row = (hits.get(cache, 0.0), misses.get(cache, 0.0),
+               bypasses.get(cache, 0.0), evictions.get(cache, 0.0))
+        totals = [t + v for t, v in zip(totals, row)]
+        lookups = row[0] + row[1]
+        rate = row[0] / lookups if lookups else 0.0
+        lines.append(f"{cache:<24}{row[0]:>8.0f}{row[1]:>8.0f}"
+                     f"{row[2]:>8.0f}{row[3]:>8.0f}{rate:>10.1%}")
+    if len(caches) > 1:
+        lookups = totals[0] + totals[1]
+        rate = totals[0] / lookups if lookups else 0.0
+        lines.append(f"{'(all)':<24}{totals[0]:>8.0f}{totals[1]:>8.0f}"
+                     f"{totals[2]:>8.0f}{totals[3]:>8.0f}{rate:>10.1%}")
+    return lines
+
+
+def _top_metrics(metrics: dict) -> List[str]:
+    rows = []
+    for name in sorted(metrics):
+        entry = metrics[name]
+        if entry["type"] == "histogram":
+            for s in entry["series"]:
+                labels = _label_text(s["labels"])
+                rows.append((s["count"],
+                             f"{name}{labels} count={s['count']} "
+                             f"sum={s['sum']:.4g}"))
+        else:
+            for s in entry["series"]:
+                labels = _label_text(s["labels"])
+                rows.append((abs(s["value"]),
+                             f"{name}{labels} = {s['value']:g}"))
+    rows.sort(key=lambda row: -row[0])
+    return [text for _, text in rows[:TOP_METRICS]]
+
+
+def _label_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) \
+        + "}"
+
+
+def _timeline_lines(doc: Optional[dict]) -> List[str]:
+    if not doc or not doc.get("events"):
+        return ["(no simulated-time events recorded)"]
+    events = doc["events"]
+    labels = doc.get("run_labels", [])
+    lines = []
+    per_run: Dict[int, List[dict]] = {}
+    for event in events:
+        per_run.setdefault(event["run"], []).append(event)
+    for run in sorted(per_run):
+        run_events = per_run[run]
+        tracks = sorted({e["track"] for e in run_events})
+        extent = max(e["ts"] for e in run_events)
+        label = labels[run] if run < len(labels) else f"run {run}"
+        lines.append(f"run {run} ({label}): {len(run_events)} events, "
+                     f"{len(tracks)} tracks, {extent * 1e3:.2f} ms sim "
+                     f"time")
+        lines.append("  tracks: " + ", ".join(tracks[:8])
+                     + (" ..." if len(tracks) > 8 else ""))
+    if doc.get("dropped"):
+        lines.append(f"(capped: {doc['dropped']} events dropped beyond "
+                     f"max_events={doc.get('max_events')})")
+    return lines
+
+
+def render_report(doc: dict) -> str:
+    """Render the saved-run document as the summary table."""
+    sections: List[str] = []
+    label = doc.get("label") or "(unlabelled run)"
+    sections.append(f"telemetry report — {label}")
+    spans = [SpanRecord.from_dict(entry)
+             for entry in doc.get("spans", [])]
+    sections.append("\n== pipeline stages (wall clock) ==")
+    if spans:
+        pids = sorted({record.pid for record in spans})
+        sections.extend(_stage_table(spans))
+        sections.append(f"({len(spans)} spans from {len(pids)} "
+                        f"process{'es' if len(pids) != 1 else ''})")
+    else:
+        sections.append("(no spans recorded)")
+    metrics = doc.get("metrics", {})
+    cache_lines = _cache_table(metrics)
+    if cache_lines:
+        sections.append("\n== experiment cache ==")
+        sections.extend(cache_lines)
+    sections.append("\n== top metrics ==")
+    top = _top_metrics(metrics)
+    sections.extend(top if top else ["(registry is empty)"])
+    sections.append("\n== simulated timeline ==")
+    sections.extend(_timeline_lines(doc.get("sim_timeline")))
+    return "\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: summarize a saved telemetry run."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report",
+        description="Summarize a saved Ditto telemetry run.")
+    parser.add_argument("run", help="path to a telemetry run JSON "
+                        "(Telemetry.save output)")
+    parser.add_argument("--prometheus", action="store_true",
+                        help="also dump the metrics registry in "
+                        "Prometheus text exposition format")
+    args = parser.parse_args(argv)
+    doc = load_run(args.run)
+    print(render_report(doc))
+    if args.prometheus:
+        registry = MetricsRegistry().merge(doc.get("metrics", {}))
+        print("\n== prometheus exposition ==")
+        print(registry.to_prometheus_text(), end="")
+    return 0
+
+
+if __name__ == "__main__":    # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

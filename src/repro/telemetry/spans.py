@@ -1,0 +1,172 @@
+"""Wall-clock pipeline spans.
+
+A :class:`SpanCollector` records :class:`SpanRecord`\\ s — named
+wall-clock intervals tagged with the recording process and thread, so a
+process-pool clone's per-tier stages land on separate tracks when the
+collection is exported as a Chrome trace. Spans are opened with the
+module-level :func:`span` context manager, which consults the ambient
+telemetry session (:mod:`repro.telemetry.context`): with no session
+active it returns a shared no-op object, so instrumented code costs one
+context-variable read when telemetry is off.
+
+Spans nest naturally (the exporter reconstructs nesting from interval
+containment within a thread) and are exception-safe: a span whose body
+raises is still recorded, tagged with the error, and the exception
+propagates.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.context import current_session
+
+__all__ = ["SpanCollector", "SpanRecord", "span"]
+
+
+@dataclass
+class SpanRecord:
+    """One recorded wall-clock interval (picklable)."""
+
+    name: str
+    category: str
+    #: wall-clock start, microseconds since the epoch
+    ts_us: int
+    #: duration in microseconds (perf_counter precision)
+    dur_us: float
+    pid: int
+    tid: int
+    thread_name: str
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """Span duration in seconds."""
+        return self.dur_us / 1e6
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (the saved-run format)."""
+        return {
+            "name": self.name, "category": self.category,
+            "ts_us": self.ts_us, "dur_us": self.dur_us,
+            "pid": self.pid, "tid": self.tid,
+            "thread_name": self.thread_name, "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SpanRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(name=doc["name"], category=doc["category"],
+                   ts_us=doc["ts_us"], dur_us=doc["dur_us"],
+                   pid=doc["pid"], tid=doc["tid"],
+                   thread_name=doc.get("thread_name", ""),
+                   args=dict(doc.get("args", {})))
+
+
+class SpanCollector:
+    """Accumulates finished spans (thread-safe append)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.records: List[SpanRecord] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def add(self, record: SpanRecord) -> None:
+        """Record one finished span."""
+        with self._lock:
+            self.records.append(record)
+
+    def extend(self, records: List[SpanRecord]) -> None:
+        """Fold another collector's records in (cross-worker merge)."""
+        with self._lock:
+            self.records.extend(records)
+
+    def by_name(self) -> Dict[str, List[SpanRecord]]:
+        """Records grouped by span name."""
+        grouped: Dict[str, List[SpanRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.name, []).append(record)
+        return grouped
+
+
+class _ActiveSpan:
+    """Context manager recording one interval into a collector."""
+
+    __slots__ = ("_collector", "_name", "_category", "_args", "_t0",
+                 "_ts_us")
+
+    def __init__(self, collector: SpanCollector, name: str, category: str,
+                 args: Dict[str, Any]) -> None:
+        self._collector = collector
+        self._name = name
+        self._category = category
+        self._args = args
+        self._t0 = 0.0
+        self._ts_us = 0
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._ts_us = time.time_ns() // 1000
+        self._t0 = time.perf_counter()
+        return self
+
+    def set(self, **args: Any) -> None:
+        """Attach arguments to the span after it was opened."""
+        self._args.update(args)
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        dur_us = (time.perf_counter() - self._t0) * 1e6
+        if exc is not None:
+            self._args["error"] = repr(exc)
+        thread = threading.current_thread()
+        self._collector.add(SpanRecord(
+            name=self._name,
+            category=self._category,
+            ts_us=self._ts_us,
+            dur_us=dur_us,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            thread_name=thread.name,
+            args=self._args,
+        ))
+        return False    # propagate exceptions
+
+
+class _NoopSpan:
+    """Shared do-nothing span for disabled telemetry."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def set(self, **args: Any) -> None:
+        pass
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str, category: str = "pipeline", *,
+         collector: Optional[SpanCollector] = None, **args: Any):
+    """Open a wall-clock span named ``name``.
+
+    Records into ``collector`` when given, else into the ambient
+    telemetry session's collector; a shared no-op when neither exists.
+    Usable both as ``with span("stage"):`` and
+    ``with span("stage") as s: s.set(items=n)``.
+    """
+    if collector is None:
+        session = current_session()
+        if session is None:
+            return _NOOP
+        collector = session.spans
+    return _ActiveSpan(collector, name, category, dict(args))

@@ -38,6 +38,34 @@ class Tracer:
         )
         return trace_id
 
+    def end_trace(self, trace_id: int) -> None:
+        """Close a trace, evicting its sampling verdict.
+
+        The verdict is only consulted while spans are still being
+        opened, so it is kept only while the trace is open; without this
+        eviction ``_sampled_traces`` grows by one entry per request for
+        the life of the tracer. Recorded spans are unaffected. Unknown
+        (or already-ended) trace ids are tolerated.
+        """
+        self._sampled_traces.pop(trace_id, None)
+
+    @property
+    def open_traces(self) -> int:
+        """Traces started but not yet ended."""
+        return len(self._sampled_traces)
+
+    def reset(self) -> None:
+        """Drop every collected span and open-trace verdict.
+
+        Id counters restart too, so a reset tracer behaves like a fresh
+        one (the sampling RNG keeps its state: the decision stream stays
+        one draw per ``start_trace`` with no replays).
+        """
+        self._sampled_traces.clear()
+        self.spans.clear()
+        self._next_trace_id = 1
+        self._next_span_id = 1
+
     def is_sampled(self, trace_id: int) -> bool:
         """Whether a trace's spans are being recorded."""
         return self._sampled_traces.get(trace_id, False)

@@ -78,6 +78,58 @@ class TestTracer:
         assert len(spans) == 3  # server a, client, server b
 
 
+class TestTracerMemory:
+    """Regression: the per-trace verdict map must not grow unboundedly."""
+
+    def test_end_trace_evicts_verdict(self):
+        tracer = Tracer(sample_rate=1.0)
+        trace = tracer.start_trace()
+        assert tracer.open_traces == 1
+        assert tracer.is_sampled(trace)
+        tracer.end_trace(trace)
+        assert tracer.open_traces == 0
+        # Ended traces read as unsampled; spans already recorded remain.
+        assert not tracer.is_sampled(trace)
+
+    def test_end_trace_tolerates_unknown_ids(self):
+        tracer = Tracer()
+        tracer.end_trace(12345)
+        trace = tracer.start_trace()
+        tracer.end_trace(trace)
+        tracer.end_trace(trace)     # double-end is fine
+        assert tracer.open_traces == 0
+
+    def test_experiment_run_leaves_no_open_traces(self):
+        # Regression: before end_trace the verdict map kept one entry
+        # per injected request for the life of the tracer.
+        from repro.app.service import Deployment
+        from repro.app.workloads import build_redis
+        from repro.hw import PLATFORM_A
+        from repro.loadgen import LoadSpec
+        from repro.runtime import ExperimentConfig, run_experiment
+        tracer = Tracer(sample_rate=0.5, seed=11)
+        config = ExperimentConfig(platform=PLATFORM_A, duration_s=0.05,
+                                  seed=3, tracer=tracer)
+        result = run_experiment(Deployment.single(build_redis()),
+                                LoadSpec.open_loop(2000), config)
+        assert result.service("redis").requests > 10
+        assert tracer.open_traces == 0
+
+    def test_reset_restores_fresh_state(self):
+        tracer = Tracer(sample_rate=1.0)
+        _make_trace(tracer, [("a", "op"), ("b", "op2")])
+        tracer.start_trace()    # left open on purpose
+        assert tracer.spans and tracer.open_traces > 0
+        tracer.reset()
+        assert tracer.spans == []
+        assert tracer.open_traces == 0
+        # Id counters restart like a fresh tracer's.
+        trace = tracer.start_trace()
+        assert trace == 1
+        span = tracer.start_span(trace, "svc", "op", SpanKind.SERVER, 0.0)
+        assert span.span_id == 1
+
+
 class TestDependencyGraph:
     def test_two_tier_chain(self):
         tracer = Tracer()
