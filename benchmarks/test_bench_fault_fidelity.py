@@ -1,0 +1,133 @@
+"""Fidelity under faults: does the clone degrade like the original?
+
+Ditto's claim is that a clone is a stand-in for the original in studies
+the original's owners would never allow — and resilience studies are the
+canonical example. Here the same scripted :class:`FaultPlan` (packet
+loss, latency spikes, a mid-run node crash) plus the same resilience
+policy runs against the original memcached and its tuned clone, and we
+compare how the two *degrade*: tail inflation and error-rate under
+faults should move together, not just the clean-run averages.
+
+Shape assertions: faults hurt both deployments' tails, error rates
+appear in both and agree in magnitude, and both fault timelines draw
+from identical schedules (same seed ⇒ same crash window).
+"""
+
+import pytest
+from conftest import APPS, RUN_SECONDS, measure, write_result
+
+from repro.faults import (
+    FaultPlan,
+    FaultWindow,
+    LatencySpikeFault,
+    NodeCrashFault,
+    PacketLossFault,
+)
+from repro.runtime import ResilienceConfig, RetryPolicy
+
+#: the scripted outage: steady 5% packet loss, a latency-spike burst in
+#: the middle third, and a node crash covering 15% of the run
+FAULT_PLAN = FaultPlan((
+    PacketLossFault(rate=0.05, retransmit_delay_s=200e-6),
+    LatencySpikeFault(extra_s=150e-6, probability=0.3,
+                      window=FaultWindow(RUN_SECONDS / 3,
+                                         2 * RUN_SECONDS / 3)),
+    NodeCrashFault(node="node0", at_s=0.7 * RUN_SECONDS,
+                   downtime_s=0.15 * RUN_SECONDS),
+))
+
+RESILIENCE = ResilienceConfig(
+    rpc_timeout_s=5e-3,
+    retry=RetryPolicy(max_attempts=2),
+    max_queue_depth=256,
+)
+
+
+def _summary(result, service):
+    return {
+        "p50_ms": result.latency_ms(50),
+        "p99_ms": result.latency_ms(99),
+        "error_rate": result.error_rate,
+        "ok": result.outcome_counts()["ok"],
+        "errors": result.outcome_counts()["error"],
+        "shed": result.outcome_counts()["shed"],
+        "faults": dict(result.faults.counts()) if result.faults else {},
+    }
+
+
+def _row(tag, s):
+    return (f"{tag:>22}{s['p50_ms']:>9.3f}{s['p99_ms']:>9.3f}"
+            f"{s['error_rate']:>8.1%}{s['ok']:>7}{s['errors']:>7}"
+            f"{s['shed']:>6}")
+
+
+def test_fault_fidelity(benchmark, single_tier_clones):
+    original, synthetic, _report = single_tier_clones["memcached"]
+    setup = APPS["memcached"]
+    load = setup.loads["medium"]
+
+    def run_all():
+        clean = setup.config(seed=11)
+        faulted = setup.config(seed=11, fault_plan=FAULT_PLAN,
+                               resilience=RESILIENCE)
+        return {
+            ("clean", "actual"): measure(original, load, clean),
+            ("clean", "synthetic"): measure(synthetic, load, clean),
+            ("faulted", "actual"): measure(original, load, faulted),
+            ("faulted", "synthetic"): measure(synthetic, load, faulted),
+        }
+
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    summaries = {key: _summary(result, "memcached")
+                 for key, result in data.items()}
+
+    header = (f"{'':>22}{'p50 ms':>9}{'p99 ms':>9}{'err':>8}"
+              f"{'ok':>7}{'errors':>7}{'shed':>6}")
+    lines = ["same FaultPlan + resilience policy on original and clone",
+             header]
+    for scenario in ("clean", "faulted"):
+        for who in ("actual", "synthetic"):
+            lines.append(_row(f"{scenario}/{who}",
+                              summaries[(scenario, who)]))
+
+    act, syn = summaries[("faulted", "actual")], summaries[
+        ("faulted", "synthetic")]
+    act_clean = summaries[("clean", "actual")]
+    syn_clean = summaries[("clean", "synthetic")]
+
+    act_p99_inflation = act["p99_ms"] / act_clean["p99_ms"]
+    syn_p99_inflation = syn["p99_ms"] / syn_clean["p99_ms"]
+    err_divergence = abs(act["error_rate"] - syn["error_rate"])
+    lines += [
+        "",
+        f"p99 inflation under faults: actual {act_p99_inflation:.2f}x, "
+        f"synthetic {syn_p99_inflation:.2f}x",
+        f"error-rate divergence |actual - synthetic|: "
+        f"{err_divergence:.1%}",
+        f"fault events actual={act['faults']} synthetic={syn['faults']}",
+    ]
+    write_result("fault_fidelity", "\n".join(lines))
+    benchmark.extra_info.update(
+        actual_p99_inflation=act_p99_inflation,
+        synthetic_p99_inflation=syn_p99_inflation,
+        error_rate_divergence=err_divergence,
+    )
+
+    # Clean runs see no failures at all; resilience is dormant.
+    assert act_clean["error_rate"] == 0.0
+    assert syn_clean["error_rate"] == 0.0
+    # The crash window fails requests on both deployments, in
+    # comparable proportion (same arrival process, same outage).
+    assert act["error_rate"] > 0.0
+    assert syn["error_rate"] > 0.0
+    assert err_divergence < 0.10
+    # Loss/spike penalties inflate both tails; the clone's tail moves
+    # in the same direction and a comparable magnitude.
+    assert act_p99_inflation > 1.02
+    assert syn_p99_inflation > 1.02
+    assert (abs(act_p99_inflation - syn_p99_inflation)
+            / act_p99_inflation) < 0.5
+    # Both runs executed the same scripted outage.
+    assert act["faults"]["node_crash"] == syn["faults"]["node_crash"] == 1
+    assert act["faults"]["packet_loss"] > 0
+    assert syn["faults"]["packet_loss"] > 0

@@ -42,11 +42,23 @@ from repro.app.workloads import (
     social_network_deployment,
 )
 from repro.core import CloneResult, DittoCloner, GeneratorConfig, emit_assembly
+from repro.faults import (
+    CpuStealFault,
+    DiskErrorFault,
+    DiskSlowdownFault,
+    FaultPlan,
+    FaultWindow,
+    LatencySpikeFault,
+    NodeCrashFault,
+    PacketLossFault,
+)
 from repro.hw import PLATFORM_A, PLATFORM_B, PLATFORM_C, platform_by_name
 from repro.loadgen import LoadSpec
 from repro.runtime import (
     ExperimentCache,
     ExperimentConfig,
+    ResilienceConfig,
+    RetryPolicy,
     RunResult,
     run_experiment,
 )
@@ -55,15 +67,25 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CloneResult",
+    "CpuStealFault",
     "Deployment",
+    "DiskErrorFault",
+    "DiskSlowdownFault",
     "DittoCloner",
     "ExperimentCache",
     "ExperimentConfig",
+    "FaultPlan",
+    "FaultWindow",
     "GeneratorConfig",
+    "LatencySpikeFault",
     "LoadSpec",
+    "NodeCrashFault",
     "PLATFORM_A",
     "PLATFORM_B",
     "PLATFORM_C",
+    "PacketLossFault",
+    "ResilienceConfig",
+    "RetryPolicy",
     "RunResult",
     "build_memcached",
     "build_mongodb",

@@ -88,6 +88,15 @@ class DittoCloner:
     ``"auto"`` (the default: a process pool whenever there is more than
     one tier and more than one CPU, else serial).
 
+    ``tier_retries`` re-runs a failed tier that many extra times before
+    the pipeline gives up with a
+    :class:`~repro.util.errors.TierExecutionError` (which still carries
+    the sibling tiers' finished outcomes); a broken worker pool
+    degrades process → thread → serial automatically.
+    ``checkpoint_dir`` persists each finished tier outcome to disk so a
+    killed clone resumes from where it stopped instead of re-running
+    completed tiers.
+
     ``telemetry`` opts the session into observability: pass ``True``
     (fresh :class:`~repro.telemetry.session.Telemetry`) or an existing
     session to share one registry/trace across clones. Every stage is
@@ -109,6 +118,8 @@ class DittoCloner:
         seed: int = 17,
         executor: str = "auto",
         max_workers: Optional[int] = None,
+        tier_retries: int = 1,
+        checkpoint_dir: Optional[str] = None,
         telemetry: Union[bool, Telemetry, None] = None,
     ) -> None:
         if not isinstance(max_tune_iterations, int) \
@@ -126,6 +137,14 @@ class DittoCloner:
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError(
                 f"max_workers must be >= 1, got {max_workers!r}")
+        if not isinstance(tier_retries, int) \
+                or isinstance(tier_retries, bool) or tier_retries < 0:
+            raise ConfigurationError(
+                f"tier_retries must be an int >= 0, got {tier_retries!r}")
+        if checkpoint_dir is not None and not isinstance(checkpoint_dir, str):
+            raise ConfigurationError(
+                f"checkpoint_dir must be a path string, "
+                f"got {checkpoint_dir!r}")
         self.generator_config = (generator_config if generator_config
                                  is not None else GeneratorConfig())
         self.budget = budget if budget is not None else ProfilingBudget()
@@ -134,6 +153,8 @@ class DittoCloner:
         self.seed = seed
         self.executor = executor
         self.max_workers = max_workers
+        self.tier_retries = tier_retries
+        self.checkpoint_dir = checkpoint_dir
         if telemetry is True:
             telemetry = Telemetry()
         elif telemetry is False:
@@ -193,7 +214,9 @@ class DittoCloner:
                 for name in deployment.services
             ]
             outcomes, mode = run_tier_pipeline(
-                tasks, executor=self.executor, max_workers=self.max_workers)
+                tasks, executor=self.executor, max_workers=self.max_workers,
+                tier_retries=self.tier_retries,
+                checkpoint_dir=self.checkpoint_dir)
             report = CloneReport(features={}, topology=topology,
                                  profile=profile, executor=mode,
                                  telemetry=self.telemetry)
@@ -261,8 +284,12 @@ class DittoCloner:
         )
         tune_config: Optional[ExperimentConfig] = None
         if self.fine_tune_tiers:
+            # Tuning must measure the tier's clean behaviour: carrying
+            # the profiling run's fault plan or resilience policy into
+            # the calibration loop would fit knobs to injected noise.
             tune_config = replace(
                 profiling_config, tracer=None,
+                fault_plan=None, resilience=None,
                 seed=derive_tier_seed(self.seed, name, "finetune"),
             )
         return TierTask(

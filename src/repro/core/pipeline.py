@@ -20,15 +20,34 @@ payloads are large relative to tier compute), ``"serial"`` (plain loop,
 also the single-core/single-tier fallback), or ``"auto"`` (process pool
 whenever it can actually help: more than one tier and more than one
 CPU).
+
+Robustness: a tier that raises is retried up to ``tier_retries`` times
+before the pipeline gives up with a
+:class:`~repro.util.errors.TierExecutionError` naming the tier and
+carrying every sibling outcome completed so far. A broken worker pool
+(a worker killed mid-task) degrades the executor — process → thread →
+serial — and re-runs only the unfinished tiers. With ``checkpoint_dir``
+set, each finished :class:`TierOutcome` is pickled under a key derived
+from the task's :func:`~repro.util.spec_hash.stable_digest`, so a
+killed pipeline resumes without re-running completed tiers (and a
+*changed* task never matches a stale checkpoint).
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+    FIRST_COMPLETED,
+)
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.app.service import ServiceSpec
 from repro.core.body_gen import GeneratorConfig, generate_program
@@ -49,11 +68,13 @@ from repro.runtime.experiment import ExperimentConfig
 from repro.telemetry.context import current_session
 from repro.telemetry.session import Telemetry, WorkerTelemetry
 from repro.telemetry.spans import span
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, TierExecutionError
 from repro.util.rng import derive_seed
+from repro.util.spec_hash import stable_digest
 
 __all__ = [
     "EXECUTOR_MODES",
+    "TierCheckpoint",
     "TierOutcome",
     "TierTask",
     "clone_tier",
@@ -63,6 +84,15 @@ __all__ = [
 ]
 
 EXECUTOR_MODES = ("auto", "process", "thread", "serial")
+
+#: fallback order when a pool breaks mid-run: each mode degrades to the
+#: next-safer one (threads share the parent process; serial needs no
+#: pool at all, so it can never break)
+_DEGRADATION = {
+    "process": ("process", "thread", "serial"),
+    "thread": ("thread", "serial"),
+    "serial": ("serial",),
+}
 
 
 def derive_tier_seed(root_seed: int, tier: str, stage: str) -> int:
@@ -208,28 +238,207 @@ def _make_pool(mode: str, max_workers: int) -> Executor:
     return ThreadPoolExecutor(max_workers=max_workers)
 
 
+class TierCheckpoint:
+    """Durable per-tier outcomes keyed by the task's structural digest.
+
+    Each finished :class:`TierOutcome` is pickled to
+    ``<dir>/<service>-<digest16>.pkl`` the moment its tier completes, so
+    a pipeline killed midway resumes from the same directory without
+    re-running finished tiers. The key covers every field of the
+    :class:`TierTask` (artifacts, generator config, tune config, seeds),
+    so any change to what a tier is asked to do misses the stale entry
+    instead of resurrecting it. Unreadable or foreign files are treated
+    as misses.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def path(self, task: TierTask) -> str:
+        """The checkpoint file this task would load from / save to."""
+        digest = stable_digest(task)[:16]
+        return os.path.join(
+            self.directory, f"{task.artifacts.service}-{digest}.pkl")
+
+    def load(self, task: TierTask) -> Optional[TierOutcome]:
+        """The saved outcome for ``task``, or None on miss/corruption."""
+        path = self.path(task)
+        try:
+            with open(path, "rb") as handle:
+                outcome = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        return outcome if isinstance(outcome, TierOutcome) else None
+
+    def save(self, task: TierTask, outcome: TierOutcome) -> None:
+        """Persist ``outcome`` atomically (write-then-rename)."""
+        path = self.path(task)
+        scratch = path + ".tmp"
+        with open(scratch, "wb") as handle:
+            pickle.dump(outcome, handle)
+        os.replace(scratch, path)
+
+
+def _count_pipeline_event(name: str, help_text: str, **labels: str) -> None:
+    session = current_session()
+    if session is None:
+        return
+    session.registry.counter(
+        name, help_text, tuple(sorted(labels))).inc(1, **labels)
+
+
+class _PipelineRun:
+    """Mutable state for one pipeline invocation (retry bookkeeping)."""
+
+    def __init__(
+        self,
+        tasks: Sequence[TierTask],
+        tier_fn: Callable[[TierTask], TierOutcome],
+        tier_retries: int,
+        checkpoint: Optional[TierCheckpoint],
+    ) -> None:
+        self.tasks = tasks
+        self.tier_fn = tier_fn
+        self.tier_retries = tier_retries
+        self.checkpoint = checkpoint
+        self.outcomes: List[Optional[TierOutcome]] = [None] * len(tasks)
+        self.failures: Dict[int, int] = {}
+        self.pending: List[int] = []
+        for index, task in enumerate(tasks):
+            cached = checkpoint.load(task) if checkpoint is not None else None
+            if cached is not None:
+                self.outcomes[index] = cached
+            else:
+                self.pending.append(index)
+        self.resumed = len(tasks) - len(self.pending)
+
+    def completed(self) -> Dict[str, TierOutcome]:
+        return {outcome.service: outcome
+                for outcome in self.outcomes if outcome is not None}
+
+    def complete(self, index: int, outcome: TierOutcome) -> None:
+        self.outcomes[index] = outcome
+        self.pending.remove(index)
+        if self.checkpoint is not None:
+            self.checkpoint.save(self.tasks[index], outcome)
+
+    def note_failure(self, index: int, error: Exception) -> None:
+        """Record one failed attempt; raise once the tier is exhausted."""
+        self.failures[index] = self.failures.get(index, 0) + 1
+        tier = self.tasks[index].artifacts.service
+        if self.failures[index] > self.tier_retries:
+            raise TierExecutionError(
+                f"tier {tier!r} failed after "
+                f"{self.failures[index]} attempt(s): {error}",
+                tier=tier,
+                attempts=self.failures[index],
+                outcomes=self.completed(),
+                last_error=error,
+            ) from error
+        _count_pipeline_event(
+            "ditto_tier_retries_total",
+            "per-tier pipeline attempts retried after a failure",
+            tier=tier)
+
+    def run_serial(self) -> None:
+        for index in list(self.pending):
+            while True:
+                try:
+                    outcome = self.tier_fn(self.tasks[index])
+                except Exception as error:  # noqa: BLE001 — retry boundary
+                    self.note_failure(index, error)
+                    continue
+                break
+            self.complete(index, outcome)
+
+    def run_pool(self, mode: str, workers: int) -> None:
+        """Drain pending tiers through a pool; checkpoint as they finish.
+
+        Raises :class:`concurrent.futures.BrokenExecutor` when the pool
+        dies (e.g. a worker process was killed) — the caller degrades
+        the mode and re-runs whatever is still pending.
+        """
+        with _make_pool(mode, workers) as pool:
+            active = {pool.submit(self.tier_fn, self.tasks[index]): index
+                      for index in self.pending}
+            while active:
+                done, _ = wait(set(active), return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = active.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BrokenExecutor:
+                        raise
+                    except Exception as error:  # noqa: BLE001
+                        self.note_failure(index, error)
+                        active[pool.submit(
+                            self.tier_fn, self.tasks[index])] = index
+                        continue
+                    self.complete(index, outcome)
+
+
 def run_tier_pipeline(
     tasks: Sequence[TierTask],
     *,
     executor: str = "auto",
     max_workers: Optional[int] = None,
+    tier_fn: Callable[[TierTask], TierOutcome] = clone_tier,
+    tier_retries: int = 1,
+    checkpoint_dir: Optional[str] = None,
 ) -> Tuple[List[TierOutcome], str]:
     """Fan ``tasks`` out across the chosen executor.
 
     Returns ``(outcomes, resolved_mode)`` with outcomes in task order
     regardless of completion order, so downstream assembly (and the
     clones themselves) cannot depend on scheduling.
+
+    ``tier_fn`` is the per-tier stage (default :func:`clone_tier`); it
+    must be picklable for pool modes. A tier that raises is re-run up
+    to ``tier_retries`` extra times; exhaustion raises
+    :class:`~repro.util.errors.TierExecutionError` carrying every
+    sibling outcome that did complete. A broken pool (worker killed)
+    degrades process → thread → serial and re-runs only unfinished
+    tiers — ``resolved_mode`` reports the mode that actually finished
+    the work. ``checkpoint_dir`` persists each outcome as it lands so
+    an interrupted run resumes from disk (see :class:`TierCheckpoint`).
     """
     if max_workers is not None and max_workers < 1:
         raise ConfigurationError("max_workers must be >= 1")
+    if not isinstance(tier_retries, int) or isinstance(tier_retries, bool) \
+            or tier_retries < 0:
+        raise ConfigurationError(
+            f"tier_retries must be an int >= 0, got {tier_retries!r}")
     mode = resolve_executor(executor, n_tasks=len(tasks),
                             max_workers=max_workers)
-    with span("tier_pipeline", executor=mode, tiers=len(tasks)):
-        if mode == "serial" or not tasks:
-            return [clone_tier(task) for task in tasks], "serial"
+    checkpoint = (TierCheckpoint(checkpoint_dir)
+                  if checkpoint_dir is not None else None)
+    state = _PipelineRun(tasks, tier_fn, tier_retries, checkpoint)
+    with span("tier_pipeline", executor=mode, tiers=len(tasks),
+              resumed=state.resumed):
+        if mode == "serial" or not state.pending:
+            state.run_serial()
+            return list(state.outcomes), "serial"
         workers = (max_workers if max_workers is not None
                    else (os.cpu_count() or 1))
         workers = max(1, min(workers, len(tasks)))
-        with _make_pool(mode, workers) as pool:
-            outcomes = list(pool.map(clone_tier, tasks))
-        return outcomes, mode
+        ladder = _DEGRADATION[mode]
+        for rung, current in enumerate(ladder):
+            if not state.pending:
+                break
+            if current == "serial":
+                state.run_serial()
+                mode = "serial"
+                break
+            try:
+                state.run_pool(current, workers)
+                mode = current
+                break
+            except BrokenExecutor:
+                fallback = ladder[rung + 1]
+                _count_pipeline_event(
+                    "ditto_pipeline_degradations_total",
+                    "executor degradations after a broken worker pool",
+                    from_mode=current, to_mode=fallback)
+                mode = fallback
+        return list(state.outcomes), mode

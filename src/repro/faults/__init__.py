@@ -1,0 +1,48 @@
+"""Seeded, deterministic fault injection for simulated runs.
+
+:mod:`repro.faults.plan` declares *what* goes wrong (frozen, picklable
+specs — NIC packet loss and latency spikes, disk errors and brown-outs,
+node crash/restart, CPU steal); :mod:`repro.faults.injector` decides
+*when*, drawing every probabilistic choice from named RNG streams so a
+``(seed, plan)`` pair replays bit-identically and never perturbs any
+other random stream in the library.
+
+Quick use::
+
+    plan = FaultPlan((
+        PacketLossFault(rate=0.05),
+        NodeCrashFault(node="node0", at_s=0.01, downtime_s=0.005),
+    ))
+    config = ExperimentConfig(platform=PLATFORM_A, fault_plan=plan,
+                              resilience=ResilienceConfig())
+    result = run_experiment(deployment, load, config)
+    result.faults.digest()   # identical across runs at the same seed
+"""
+
+from repro.faults.injector import FaultEvent, FaultInjector, FaultTimeline
+from repro.faults.plan import (
+    ANY_NODE,
+    CpuStealFault,
+    DiskErrorFault,
+    DiskSlowdownFault,
+    FaultPlan,
+    FaultWindow,
+    LatencySpikeFault,
+    NodeCrashFault,
+    PacketLossFault,
+)
+
+__all__ = [
+    "ANY_NODE",
+    "CpuStealFault",
+    "DiskErrorFault",
+    "DiskSlowdownFault",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultTimeline",
+    "FaultWindow",
+    "LatencySpikeFault",
+    "NodeCrashFault",
+    "PacketLossFault",
+]

@@ -1,0 +1,230 @@
+"""Deterministic fault injection over a :class:`FaultPlan`.
+
+The :class:`FaultInjector` is the run-time half of the fault subsystem:
+devices (NIC, disk, CPU) and service runtimes consult it at their
+injection points, and it decides — deterministically — whether a fault
+fires *now* for *this* component.
+
+Determinism contract:
+
+* Every probabilistic decision draws from a named stream derived as
+  ``derive_seed(seed, "faults", kind, index)`` — one stream per spec in
+  the plan. Fault draws therefore never touch (or perturb) the streams
+  the load generator, profilers or tuner use: enabling a fault plan
+  changes *only* what the faults themselves change.
+* Draws happen in simulated-event order, and the DES engine is
+  deterministic, so the same ``(seed, plan)`` yields a bit-identical
+  :class:`FaultTimeline` (compare with :meth:`FaultTimeline.digest`).
+* A spec whose scope or window does not match costs **zero draws**, so
+  an empty plan consumes no randomness at all and the run is
+  bit-identical to one without an injector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.plan import ANY_NODE, FaultPlan, NodeCrashFault
+from repro.telemetry.context import current_session
+from repro.util.errors import FaultInjectionError
+from repro.util.rng import make_rng
+from repro.util.spec_hash import stable_digest
+
+__all__ = ["FaultEvent", "FaultInjector", "FaultTimeline"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault occurrence on the simulated clock."""
+
+    t: float
+    kind: str
+    scope: str
+    detail: Tuple[Tuple[str, float], ...] = ()
+
+
+@dataclass
+class FaultTimeline:
+    """The ordered record of everything the injector did to one run."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def record(self, t: float, kind: str, scope: str, **detail: float) -> None:
+        """Append one fault occurrence."""
+        self.events.append(FaultEvent(
+            t=t, kind=kind, scope=scope,
+            detail=tuple(sorted((k, float(v)) for k, v in detail.items())),
+        ))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def digest(self) -> str:
+        """Stable hex digest of the full timeline.
+
+        Two runs injected identical faults iff their digests match —
+        the determinism tests' primary assertion.
+        """
+        return stable_digest(tuple(
+            (e.t, e.kind, e.scope, e.detail) for e in self.events))
+
+    def counts(self) -> Dict[str, int]:
+        """Occurrences per fault kind."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+
+def _scope_matches(spec_node: str, component: str) -> bool:
+    # Components are either the node name itself or a device named
+    # "<node>-nic" / "<node>-disk" / "<node>-cpu".
+    if spec_node == ANY_NODE or spec_node == component:
+        return True
+    return component.startswith(spec_node + "-")
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` against the simulated clock.
+
+    Attach to an :class:`~repro.sim.Environment` (``attach`` sets
+    ``env.faults``); instrumented components then query the hooks
+    below. All hooks are cheap no-ops when no spec matches.
+    """
+
+    def __init__(self, plan: FaultPlan, *, seed: int) -> None:
+        self.plan = plan
+        self.seed = int(seed)
+        self.timeline = FaultTimeline()
+        self.env = None
+        self._rngs: Dict[int, np.random.Generator] = {}
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+    def attach(self, env) -> "FaultInjector":
+        """Bind to ``env`` and install as ``env.faults``.
+
+        Node crash/restart transitions are known statically, so they are
+        recorded onto the timeline immediately at their scheduled times.
+        """
+        self.env = env
+        env.faults = self
+        for spec in self.plan.events:
+            if isinstance(spec, NodeCrashFault):
+                self.timeline.record(spec.at_s, "node_crash", spec.node,
+                                     downtime_s=spec.downtime_s)
+                self.timeline.record(spec.at_s + spec.downtime_s,
+                                     "node_restart", spec.node)
+        return self
+
+    def _now(self) -> float:
+        return self.env.now if self.env is not None else 0.0
+
+    def _rng(self, index: int, kind: str) -> np.random.Generator:
+        rng = self._rngs.get(index)
+        if rng is None:
+            rng = make_rng(self.seed, "faults", kind, str(index))
+            self._rngs[index] = rng
+        return rng
+
+    def _count(self, kind: str, scope: str) -> None:
+        session = current_session()
+        if session is not None:
+            session.registry.counter(
+                "ditto_faults_injected_total",
+                "fault occurrences injected into simulated runs",
+                ("kind", "scope")).inc(1, kind=kind, scope=scope)
+
+    def _fire(self, kind: str, scope: str, **detail: float) -> None:
+        self.timeline.record(self._now(), kind, scope, **detail)
+        self._count(kind, scope)
+
+    def _active(self, kind: str, component: str):
+        now = self._now()
+        for index, spec in enumerate(self.plan.events):
+            if spec.kind != kind:
+                continue
+            if not _scope_matches(spec.node, component):
+                continue
+            if spec.window.contains(now):
+                yield index, spec
+
+    # ------------------------------------------------------------------ #
+    # node liveness
+    # ------------------------------------------------------------------ #
+    def node_down(self, component: str) -> bool:
+        """True while a crash window covers ``component``'s node."""
+        for _idx, _spec in self._active("node_crash", component):
+            return True
+        return False
+
+    def check_node_up(self, component: str) -> None:
+        """Raise :class:`FaultInjectionError` while the node is down."""
+        if self.node_down(component):
+            raise FaultInjectionError(
+                f"{component}: node is down (injected crash)",
+                kind="node_down", scope=component)
+
+    # ------------------------------------------------------------------ #
+    # network
+    # ------------------------------------------------------------------ #
+    def nic_penalty(self, component: str) -> float:
+        """Extra transmit delay (seconds) injected for this send.
+
+        Latency spikes add their configured delay; packet loss adds one
+        RTO-like retransmission penalty per consecutive loss drawn.
+        Returns 0.0 (and records nothing) when no fault fires.
+        """
+        self.check_node_up(component)
+        penalty = 0.0
+        for index, spec in self._active("latency_spike", component):
+            fires = (spec.probability >= 1.0
+                     or float(self._rng(index, spec.kind).random())
+                     < spec.probability)
+            if fires:
+                penalty += spec.extra_s
+                self._fire("latency_spike", component, extra_s=spec.extra_s)
+        for index, spec in self._active("packet_loss", component):
+            rng = self._rng(index, spec.kind)
+            losses = 0
+            while (losses < spec.max_retransmits
+                   and float(rng.random()) < spec.rate):
+                losses += 1
+            if losses:
+                penalty += losses * spec.retransmit_delay_s
+                self._fire("packet_loss", component, retransmits=losses)
+        return penalty
+
+    # ------------------------------------------------------------------ #
+    # disk
+    # ------------------------------------------------------------------ #
+    def disk_check(self, component: str) -> None:
+        """Raise an injected IO error, or return silently."""
+        self.check_node_up(component)
+        for index, spec in self._active("disk_error", component):
+            if float(self._rng(index, spec.kind).random()) < spec.rate:
+                self._fire("disk_error", component)
+                raise FaultInjectionError(
+                    f"{component}: injected disk IO error",
+                    kind="disk_error", scope=component)
+
+    def disk_factor(self, component: str) -> float:
+        """Multiplicative slowdown on disk latency/transfer (>= 1.0)."""
+        factor = 1.0
+        for _index, spec in self._active("disk_slowdown", component):
+            factor *= spec.factor
+        return factor
+
+    # ------------------------------------------------------------------ #
+    # cpu
+    # ------------------------------------------------------------------ #
+    def cpu_factor(self, component: str) -> float:
+        """Multiplicative stretch on on-CPU hold time (>= 1.0)."""
+        factor = 1.0
+        for _index, spec in self._active("cpu_steal", component):
+            factor *= 1.0 / (1.0 - spec.steal)
+        return factor

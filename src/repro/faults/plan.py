@@ -1,0 +1,246 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a pure *specification* of what should go wrong
+during a simulated run: which component, what kind of fault, when, and
+how hard. Plans are frozen dataclasses — picklable (they travel inside
+:class:`~repro.runtime.experiment.ExperimentConfig` to pipeline
+workers) and structurally hashable via
+:func:`repro.util.spec_hash.stable_digest` (so the experiment cache
+keys on them automatically).
+
+Plans carry **no randomness**: probabilistic faults name a rate, and
+the :class:`~repro.faults.injector.FaultInjector` draws every decision
+from its own named RNG streams. Identical (seed, plan) pairs therefore
+produce bit-identical fault timelines, and an *empty* plan produces a
+run bit-identical to one with no injector attached at all.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Tuple, Union
+
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "ANY_NODE",
+    "CpuStealFault",
+    "DiskErrorFault",
+    "DiskSlowdownFault",
+    "FaultPlan",
+    "FaultWindow",
+    "LatencySpikeFault",
+    "NodeCrashFault",
+    "PacketLossFault",
+]
+
+#: wildcard scope: the fault applies to every node
+ANY_NODE = "*"
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """A half-open interval of simulated time, ``[start_s, end_s)``.
+
+    The default window is all of time; ``FaultWindow(0.5e-3, 2e-3)``
+    confines a fault to a burst, which is how latency spikes and
+    disk brown-outs are usually scripted.
+    """
+
+    start_s: float = 0.0
+    end_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ConfigurationError("fault window cannot start before t=0")
+        if self.end_s <= self.start_s:
+            raise ConfigurationError("fault window must end after it starts")
+
+    def contains(self, now: float) -> bool:
+        """True while ``now`` falls inside the window."""
+        return self.start_s <= now < self.end_s
+
+
+def _check_rate(rate: float, what: str) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigurationError(f"{what} must be in [0, 1], got {rate!r}")
+
+
+@dataclass(frozen=True)
+class PacketLossFault:
+    """NIC packet loss: each transmit is lost with probability ``rate``.
+
+    A lost packet does not vanish — the simulated transport retransmits
+    after ``retransmit_delay_s`` (an RTO-like penalty), which is how
+    loss manifests to applications as tail latency. Up to
+    ``max_retransmits`` consecutive losses are drawn per transmit.
+    """
+
+    node: str = ANY_NODE
+    rate: float = 0.01
+    retransmit_delay_s: float = 200e-6
+    max_retransmits: int = 3
+    window: FaultWindow = field(default_factory=FaultWindow)
+
+    kind = "packet_loss"
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate, "packet loss rate")
+        if self.retransmit_delay_s <= 0:
+            raise ConfigurationError("retransmit delay must be positive")
+        if self.max_retransmits < 1:
+            raise ConfigurationError("max_retransmits must be >= 1")
+
+
+@dataclass(frozen=True)
+class LatencySpikeFault:
+    """NIC latency spike: transmits pay ``extra_s`` with ``probability``."""
+
+    node: str = ANY_NODE
+    extra_s: float = 1e-3
+    probability: float = 1.0
+    window: FaultWindow = field(default_factory=FaultWindow)
+
+    kind = "latency_spike"
+
+    def __post_init__(self) -> None:
+        _check_rate(self.probability, "latency spike probability")
+        if self.extra_s <= 0:
+            raise ConfigurationError("latency spike must be positive")
+
+
+@dataclass(frozen=True)
+class DiskErrorFault:
+    """Disk IO error: each operation fails with probability ``rate``."""
+
+    node: str = ANY_NODE
+    rate: float = 0.01
+    window: FaultWindow = field(default_factory=FaultWindow)
+
+    kind = "disk_error"
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate, "disk error rate")
+
+
+@dataclass(frozen=True)
+class DiskSlowdownFault:
+    """Disk brown-out: IO latency and transfer stretched by ``factor``."""
+
+    node: str = ANY_NODE
+    factor: float = 4.0
+    window: FaultWindow = field(default_factory=FaultWindow)
+
+    kind = "disk_slowdown"
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ConfigurationError("disk slowdown factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class NodeCrashFault:
+    """Node crash at ``at_s``, restart ``downtime_s`` later.
+
+    While down the node's CPU, disk and NIC raise
+    :class:`~repro.util.errors.FaultInjectionError` and the services on
+    it reject new requests, so callers see errors/timeouts — which is
+    what retries and circuit breakers are there to absorb.
+    """
+
+    node: str
+    at_s: float
+    downtime_s: float
+
+    kind = "node_crash"
+
+    def __post_init__(self) -> None:
+        if self.node == ANY_NODE:
+            raise ConfigurationError("a crash fault needs a concrete node")
+        if self.at_s < 0:
+            raise ConfigurationError("crash time cannot be negative")
+        if self.downtime_s <= 0:
+            raise ConfigurationError("downtime must be positive")
+
+    @property
+    def window(self) -> FaultWindow:
+        """The down window, ``[at_s, at_s + downtime_s)``."""
+        return FaultWindow(self.at_s, self.at_s + self.downtime_s)
+
+
+@dataclass(frozen=True)
+class CpuStealFault:
+    """CPU steal: a hypervisor/co-tenant takes ``steal`` of every core.
+
+    On-CPU work inside the window runs ``1 / (1 - steal)`` times
+    slower — the discrete-time analogue of %steal in vmstat.
+    """
+
+    node: str = ANY_NODE
+    steal: float = 0.25
+    window: FaultWindow = field(default_factory=FaultWindow)
+
+    kind = "cpu_steal"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.steal < 1.0:
+            raise ConfigurationError("cpu steal must be in [0, 1)")
+
+
+FaultSpec = Union[
+    PacketLossFault,
+    LatencySpikeFault,
+    DiskErrorFault,
+    DiskSlowdownFault,
+    NodeCrashFault,
+    CpuStealFault,
+]
+
+_SPEC_TYPES = (
+    PacketLossFault,
+    LatencySpikeFault,
+    DiskErrorFault,
+    DiskSlowdownFault,
+    NodeCrashFault,
+    CpuStealFault,
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered collection of fault specs for one run.
+
+    Order matters only for RNG stream naming (spec ``i`` draws from
+    stream ``faults/<kind>/<i>``), not for semantics; two plans with
+    the same specs in the same order are interchangeable.
+    """
+
+    events: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, _SPEC_TYPES):
+                raise ConfigurationError(
+                    f"not a fault spec: {event!r}")
+
+    @staticmethod
+    def empty() -> "FaultPlan":
+        """A plan that injects nothing (runs are bit-identical to
+        running with no injector at all)."""
+        return FaultPlan()
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan schedules no faults."""
+        return not self.events
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def matching(self, kind: str, node: str):
+        """Yield ``(index, spec)`` for specs of ``kind`` scoped to ``node``."""
+        for index, spec in enumerate(self.events):
+            if spec.kind == kind and spec.node in (ANY_NODE, node):
+                yield index, spec

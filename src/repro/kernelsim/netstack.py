@@ -47,14 +47,26 @@ class NicDevice:
         return self.spec.bandwidth_bytes_per_s * self.bandwidth_share
 
     def transmit(self, nbytes: float) -> Generator[Event, None, None]:
-        """DES process body: serialise ``nbytes`` onto the wire."""
+        """DES process body: serialise ``nbytes`` onto the wire.
+
+        Injection point: an attached
+        :class:`~repro.faults.injector.FaultInjector` may declare the
+        node down (raises
+        :class:`~repro.util.errors.FaultInjectionError`) or charge this
+        send extra delay for latency spikes and packet-loss
+        retransmissions. The penalty folds into the serialisation
+        timeout, so a zero penalty schedules identically to no injector.
+        """
         if nbytes < 0:
             raise ConfigurationError("nbytes must be non-negative")
         issued = self.env.now
+        faults = self.env.faults
+        penalty = 0.0 if faults is None else faults.nic_penalty(self.name)
         grant = self._wire.request()
         yield grant
         try:
-            yield self.env.timeout(nbytes / self.effective_bandwidth)
+            yield self.env.timeout(nbytes / self.effective_bandwidth
+                                   + penalty)
         finally:
             self._wire.release()
         self.tx_bytes += nbytes
@@ -107,9 +119,18 @@ class NetworkFabric:
         The byte counters on both NICs advance either way, matching how
         ifstat-style tools report loopback traffic for locally-deployed
         microservices.
+
+        Injection point: delivery to a crashed destination node raises
+        :class:`~repro.util.errors.FaultInjectionError` (the message is
+        lost with its node); egress faults surface through the source
+        NIC's ``transmit``.
         """
         src_nic = self.nic(message.src)
         dst_nic = self.nic(message.dst)
+        faults = self.env.faults
+        if faults is not None:
+            faults.check_node_up(message.src)
+            faults.check_node_up(message.dst)
         if message.src == message.dst:
             # Loopback: stack traversal only (charged via syscalls).
             src_nic.tx_bytes += message.nbytes

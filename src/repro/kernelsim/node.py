@@ -36,22 +36,35 @@ class DiskDevice:
 
     def io(self, nbytes: float, write: bool = False
            ) -> Generator[Event, None, None]:
-        """DES process body: one device I/O of ``nbytes``."""
+        """DES process body: one device I/O of ``nbytes``.
+
+        Injection point: an attached
+        :class:`~repro.faults.injector.FaultInjector` may fail the
+        operation outright (injected IO error or crashed node, raised
+        as :class:`~repro.util.errors.FaultInjectionError`) or stretch
+        its access latency and transfer time by a brown-out factor.
+        A factor of 1.0 schedules identically to no injector.
+        """
         if nbytes < 0:
             raise ConfigurationError("nbytes must be non-negative")
         issued = self.env.now
+        faults = self.env.faults
+        slowdown = 1.0
+        if faults is not None:
+            faults.disk_check(self.name)
+            slowdown = faults.disk_factor(self.name)
         grant = self._queue.request()
         yield grant
         try:
             latency = (self.spec.write_latency_s if write
                        else self.spec.read_latency_s)
-            yield self.env.timeout(latency)
+            yield self.env.timeout(latency * slowdown)
             channel = self._channel.request()
             yield channel
             try:
                 xfer = nbytes / (self.spec.bandwidth_bytes_per_s
                                  * self.bandwidth_share)
-                yield self.env.timeout(xfer)
+                yield self.env.timeout(xfer * slowdown)
             finally:
                 self._channel.release()
         finally:

@@ -92,15 +92,28 @@ class CpuDevice:
 
         When ``switch`` is given, the dispatch pays one context switch
         (the thread was blocked and is being scheduled back in).
+
+        Injection point: an attached
+        :class:`~repro.faults.injector.FaultInjector` may declare the
+        node crashed (raises
+        :class:`~repro.util.errors.FaultInjectionError`) or stretch the
+        hold time by a CPU-steal factor — the vmstat ``%steal`` effect
+        of a noisy hypervisor co-tenant. A factor of 1.0 schedules
+        identically to no injector.
         """
         total_cycles = cycles
         if switch is not None:
             total_cycles += switch.cycles
             self.context_switches += 1
         hold = self.seconds_for_cycles(total_cycles)
+        faults = self.env.faults
+        if faults is not None:
+            faults.check_node_up(self.name)
         grant = self._pool.request()
         yield grant
         try:
+            if faults is not None:
+                hold *= faults.cpu_factor(self.name)
             yield self.env.timeout(hold)
         finally:
             self._pool.release()

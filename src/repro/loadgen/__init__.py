@@ -14,11 +14,13 @@ from repro.loadgen.distributions import (
     ZipfKeys,
 )
 from repro.loadgen.generator import (
+    REQUEST_OUTCOMES,
     ClosedLoopGenerator,
     LatencyRecorder,
     LoadSpec,
     OpenLoopGenerator,
     build_generator,
+    classify_failure,
 )
 
 __all__ = [
@@ -28,7 +30,9 @@ __all__ = [
     "LatencyRecorder",
     "LoadSpec",
     "OpenLoopGenerator",
+    "REQUEST_OUTCOMES",
     "UniformKeys",
     "ZipfKeys",
     "build_generator",
+    "classify_failure",
 ]

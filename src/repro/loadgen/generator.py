@@ -6,28 +6,95 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.sim import Environment, Event
-from repro.util.errors import ConfigurationError
+from repro.util.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    LoadSheddedError,
+    ReproError,
+    RetryExhaustedError,
+    RpcTimeoutError,
+)
 from repro.util.rng import RngStream
 from repro.util.stats import Histogram, percentile
 
 #: a callable the runtime provides: submit(handler_name) -> response Event
 SubmitFn = Callable[[str], Event]
 
+#: the per-request outcome vocabulary recorders count
+REQUEST_OUTCOMES = ("ok", "timeout", "shed", "error")
+
+
+def classify_failure(error: BaseException) -> str:
+    """Map a failed request's exception to its outcome bucket.
+
+    Timeouts (including a retry budget that died timing out) are
+    ``"timeout"``, admission rejections are ``"shed"``, everything else
+    the library raises — injected faults, open circuit breakers — is
+    ``"error"``.
+    """
+    if isinstance(error, RpcTimeoutError):
+        return "timeout"
+    if isinstance(error, RetryExhaustedError):
+        if isinstance(error.last_error, RpcTimeoutError):
+            return "timeout"
+        return "error"
+    if isinstance(error, (LoadSheddedError, CircuitOpenError)):
+        return "shed" if isinstance(error, LoadSheddedError) else "error"
+    return "error"
+
 
 @dataclass
 class LatencyRecorder:
-    """Collects per-request latencies, grouped by handler."""
+    """Collects per-request latencies and outcomes, grouped by handler.
+
+    Latency percentiles cover *successful* requests only; failed
+    requests land in ``outcomes`` (``timeout`` / ``shed`` / ``error``)
+    and in ``failures_by_handler``, so error rates are first-class
+    alongside the latency distribution instead of polluting it.
+    """
 
     samples: List[float] = field(default_factory=list)
     by_handler: Dict[str, List[float]] = field(default_factory=dict)
     completed: int = 0
     issued: int = 0
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    failures_by_handler: Dict[str, Dict[str, int]] = field(
+        default_factory=dict)
 
     def record(self, handler: str, latency_s: float) -> None:
-        """Record one completed request."""
+        """Record one successfully completed request."""
         self.samples.append(latency_s)
         self.by_handler.setdefault(handler, []).append(latency_s)
         self.completed += 1
+        self.outcomes["ok"] = self.outcomes.get("ok", 0) + 1
+
+    def record_failure(self, handler: str, outcome: str) -> None:
+        """Record one failed request under its outcome bucket."""
+        if outcome not in REQUEST_OUTCOMES or outcome == "ok":
+            raise ConfigurationError(
+                f"not a failure outcome: {outcome!r}")
+        self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+        per_handler = self.failures_by_handler.setdefault(handler, {})
+        per_handler[outcome] = per_handler.get(outcome, 0) + 1
+
+    @property
+    def failed(self) -> int:
+        """Requests that finished without a successful response."""
+        return sum(count for outcome, count in self.outcomes.items()
+                   if outcome != "ok")
+
+    @property
+    def error_rate(self) -> float:
+        """Failed fraction of finished requests (0.0 when none failed)."""
+        finished = self.completed + self.failed
+        if finished <= 0:
+            return 0.0
+        return self.failed / finished
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """All outcome buckets, zero-filled for stability in summaries."""
+        return {outcome: self.outcomes.get(outcome, 0)
+                for outcome in REQUEST_OUTCOMES}
 
     def percentile(self, q: float) -> float:
         """Latency percentile in seconds over all handlers."""
@@ -124,8 +191,12 @@ class OpenLoopGenerator:
 
     def _track(self, handler: str):
         start = self.env.now
-        response = self.submit(handler)
-        yield response
+        try:
+            response = self.submit(handler)
+            yield response
+        except ReproError as error:
+            self.recorder.record_failure(handler, classify_failure(error))
+            return
         self.recorder.record(handler, self.env.now - start)
 
 
@@ -170,9 +241,14 @@ class ClosedLoopGenerator:
             handler = str(keys[rng.choice(len(keys), p=probs)])
             start = self.env.now
             self.recorder.issued += 1
-            response = self.submit(handler)
-            yield response
-            self.recorder.record(handler, self.env.now - start)
+            try:
+                response = self.submit(handler)
+                yield response
+            except ReproError as error:
+                self.recorder.record_failure(handler,
+                                             classify_failure(error))
+            else:
+                self.recorder.record(handler, self.env.now - start)
             if self.think_time_s > 0:
                 yield self.env.timeout(self.think_time_s)
 

@@ -16,13 +16,17 @@ from repro.runtime.metrics import RunResult, ServiceMetrics
 from repro.runtime.pricing import BlockPricer, PricingKey
 from repro.runtime.experiment import ExperimentConfig, run_experiment, sweep_load
 from repro.runtime.expcache import CacheStats, ExperimentCache
+from repro.runtime.resilience import CircuitBreaker, ResilienceConfig, RetryPolicy
 
 __all__ = [
     "BlockPricer",
     "CacheStats",
+    "CircuitBreaker",
     "ExperimentCache",
     "ExperimentConfig",
     "PricingKey",
+    "ResilienceConfig",
+    "RetryPolicy",
     "RunResult",
     "ServiceMetrics",
     "run_experiment",

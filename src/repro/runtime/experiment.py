@@ -6,19 +6,22 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.app.service import Deployment
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.hw.contention import CoRunner, contention_factors
 from repro.hw.platform import PlatformSpec
 from repro.kernelsim.node import Node
 from repro.loadgen.generator import LatencyRecorder, LoadSpec, build_generator
 from repro.runtime.metrics import RunResult
 from repro.runtime.pricing import BlockPricer
+from repro.runtime.resilience import ResilienceConfig
 from repro.runtime.service import NodeState, ServiceRuntime
 from repro.sim import Environment
 from repro.telemetry.context import current_session
 from repro.telemetry.spans import span
 from repro.tracing.tracer import Tracer
 from repro.util.errors import ConfigurationError
-from repro.util.rng import RngStream
+from repro.util.rng import RngStream, derive_seed
 
 #: cap on how much of a co-located tier's code can pollute the i-side
 COLOCATED_CODE_CAP = 512 * 1024
@@ -38,10 +41,25 @@ class ExperimentConfig:
     trace_sample_rate: float = 0.1
     connections_hint: Optional[int] = None
     tracer: Optional[Tracer] = None
+    #: scripted faults injected into the run; ``None`` or an empty plan
+    #: leaves the run bit-identical to a fault-free one
+    fault_plan: Optional[FaultPlan] = None
+    #: RPC timeout/retry/breaker/shedding semantics; ``None`` keeps the
+    #: historical bare-RPC behaviour
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
             raise ConfigurationError("duration must be positive")
+        if (self.fault_plan is not None
+                and not isinstance(self.fault_plan, FaultPlan)):
+            raise ConfigurationError(
+                f"fault_plan must be a FaultPlan, got {self.fault_plan!r}")
+        if (self.resilience is not None
+                and not isinstance(self.resilience, ResilienceConfig)):
+            raise ConfigurationError(
+                f"resilience must be a ResilienceConfig, "
+                f"got {self.resilience!r}")
 
 
 def run_experiment(
@@ -90,6 +108,15 @@ def _run_experiment(
 ) -> RunResult:
     env = Environment(timeline=timeline_run)
     stream = RngStream(config.seed, "experiment")
+    # Fault injection: the injector draws exclusively from streams under
+    # derive_seed(seed, "faults", ...), so it cannot perturb the load
+    # generator's or any profiler's randomness. An absent/empty plan
+    # attaches nothing — the run is bit-identical to the fault-free one.
+    injector: Optional[FaultInjector] = None
+    if config.fault_plan is not None and not config.fault_plan.is_empty:
+        injector = FaultInjector(
+            config.fault_plan,
+            seed=derive_seed(config.seed, "faults")).attach(env)
     tracer = config.tracer if config.tracer is not None else Tracer(
         sample_rate=config.trace_sample_rate, seed=config.seed)
     platform = config.platform
@@ -140,6 +167,8 @@ def _run_experiment(
             connections_hint=connections,
             registry=registry,
             cross_node_latency_s=platform.network.base_latency_s,
+            resilience=config.resilience,
+            rng_stream=stream,
         )
         registry[service_name] = runtime
         # Pre-warm the page cache to steady state: a long-running service
@@ -191,6 +220,7 @@ def _run_experiment(
                       / (node.disk.spec.bandwidth_bytes_per_s * duration))
             for name, node in nodes.items()
         },
+        faults=injector.timeline if injector is not None else None,
     )
     return result
 

@@ -23,6 +23,18 @@ class ServiceMetrics:
     net_rx_bytes: float = 0.0
     disk_read_bytes: float = 0.0
     disk_write_bytes: float = 0.0
+    # Resilience/fault accounting (all zero on a clean, bare-RPC run).
+    #: requests whose handler aborted on an error (injected fault,
+    #: exhausted retries, open breaker)
+    failed_requests: int = 0
+    #: requests rejected at admission by load shedding
+    shed_requests: int = 0
+    #: RPC attempts that exceeded their per-attempt timeout
+    rpc_timeouts: int = 0
+    #: RPC re-attempts made after a failed attempt
+    rpc_retries: int = 0
+    #: RPC calls rejected by an open circuit breaker
+    circuit_rejections: int = 0
 
     def absorb(self, timing: BlockTiming) -> None:
         """Fold one block execution's counters in."""
@@ -127,8 +139,21 @@ class ServiceMetrics:
             net_rx_bytes=self.net_rx_bytes,
             disk_read_bytes=self.disk_read_bytes,
             disk_write_bytes=self.disk_write_bytes,
+            failed_requests=float(self.failed_requests),
+            shed_requests=float(self.shed_requests),
+            rpc_timeouts=float(self.rpc_timeouts),
+            rpc_retries=float(self.rpc_retries),
+            circuit_rejections=float(self.circuit_rejections),
         )
         return out
+
+    @property
+    def error_rate(self) -> float:
+        """Failed fraction of requests this service finished."""
+        finished = self.requests + self.failed_requests
+        if finished <= 0:
+            return 0.0
+        return self.failed_requests / finished
 
 
 @dataclass
@@ -140,6 +165,9 @@ class RunResult:
     latency: LatencyRecorder
     node_utilisation: Dict[str, float] = field(default_factory=dict)
     disk_utilisation: Dict[str, float] = field(default_factory=dict)
+    #: the injected-fault record when the run carried a fault plan
+    #: (:class:`~repro.faults.injector.FaultTimeline`); None otherwise
+    faults: Optional[object] = None
 
     def service(self, name: str) -> ServiceMetrics:
         """Metrics for one service."""
@@ -172,3 +200,12 @@ class RunResult:
         if q is None:
             return self.latency.mean * 1e3
         return self.latency.percentile(q) * 1e3
+
+    @property
+    def error_rate(self) -> float:
+        """Client-observed failed fraction of finished requests."""
+        return self.latency.error_rate
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """Client-observed request outcomes (ok/timeout/shed/error)."""
+        return self.latency.outcome_counts()

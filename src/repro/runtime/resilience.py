@@ -1,0 +1,144 @@
+"""Resilience semantics for the simulated RPC layer.
+
+Real microservice meshes do not make bare RPCs: they wrap every call in
+a timeout, retry transient failures with exponential backoff and full
+jitter, trip a circuit breaker per downstream, and shed load at
+admission when queues grow past bound. These are exactly the behaviours
+that shape a service's *tail* under faults — the regime Ditto's clones
+must stay representative in — so the simulated
+:class:`~repro.runtime.service.ServiceRuntime` implements all four,
+gated on a :class:`ResilienceConfig`.
+
+Everything here is deterministic: backoff jitter draws from a named
+stream of the experiment's :class:`~repro.util.rng.RngStream`, and the
+circuit breaker is a pure function of simulated time and observed
+outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["CircuitBreaker", "ResilienceConfig", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter (the AWS-recommended form).
+
+    Attempt ``n`` (1-based) that fails waits
+    ``uniform(0, min(max_backoff_s, base_backoff_s * 2**(n-1)))``
+    before the next try.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 500e-6
+    max_backoff_s: float = 10e-3
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_backoff_s <= 0 or self.max_backoff_s <= 0:
+            raise ConfigurationError("backoff bounds must be positive")
+        if self.max_backoff_s < self.base_backoff_s:
+            raise ConfigurationError(
+                "max_backoff_s must be >= base_backoff_s")
+
+    def backoff_s(self, attempt: int, rng) -> float:
+        """Jittered sleep before the retry that follows ``attempt``."""
+        cap = min(self.max_backoff_s,
+                  self.base_backoff_s * (2.0 ** max(0, attempt - 1)))
+        return float(rng.random()) * cap
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Per-service RPC resilience knobs (picklable, stably hashable).
+
+    ``None`` anywhere in the runtime means "no resilience layer" — the
+    historical bare-RPC behaviour, kept bit-identical.
+    """
+
+    #: per-attempt RPC timeout; ``None`` disables timeouts
+    rpc_timeout_s: Optional[float] = 5e-3
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: consecutive failures that trip a downstream's breaker
+    breaker_failure_threshold: int = 5
+    #: how long an open breaker rejects before probing (half-open)
+    breaker_recovery_s: float = 10e-3
+    #: admission bound: shed requests once a service queue holds this
+    #: many; ``None`` disables shedding
+    max_queue_depth: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.rpc_timeout_s is not None and self.rpc_timeout_s <= 0:
+            raise ConfigurationError("rpc timeout must be positive")
+        if self.breaker_failure_threshold < 1:
+            raise ConfigurationError(
+                "breaker_failure_threshold must be >= 1")
+        if self.breaker_recovery_s <= 0:
+            raise ConfigurationError("breaker recovery must be positive")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ConfigurationError("max_queue_depth must be >= 1")
+
+
+class CircuitBreaker:
+    """Per-downstream circuit breaker (closed → open → half-open).
+
+    Closed: calls flow; ``failure_threshold`` *consecutive* failures
+    trip it. Open: calls are rejected without being attempted until
+    ``recovery_s`` of simulated time passes. Half-open: exactly one
+    probe call is admitted; success closes the breaker, failure
+    re-opens it for another recovery period.
+    """
+
+    def __init__(self, env, target: str, *, failure_threshold: int,
+                 recovery_s: float) -> None:
+        self.env = env
+        self.target = target
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.open_transitions = 0
+        self.rejections = 0
+        self._probe_inflight = False
+
+    def allow(self) -> bool:
+        """May a call proceed right now? (May move open → half-open.)"""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self.env.now - self.opened_at >= self.recovery_s:
+                self.state = "half-open"
+                self._probe_inflight = True
+                return True
+            self.rejections += 1
+            return False
+        # half-open: a single probe owns the breaker
+        if self._probe_inflight:
+            self.rejections += 1
+            return False
+        self._probe_inflight = True
+        return True
+
+    def record_success(self) -> None:
+        """The admitted call completed; close the breaker."""
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        """The admitted call failed; maybe trip or re-open."""
+        self.consecutive_failures += 1
+        tripped = (self.state == "half-open"
+                   or self.consecutive_failures >= self.failure_threshold)
+        self._probe_inflight = False
+        if tripped and self.state != "open":
+            self.state = "open"
+            self.opened_at = self.env.now
+            self.open_transitions += 1

@@ -19,10 +19,21 @@ from repro.kernelsim.syscalls import (
 )
 from repro.runtime.metrics import ServiceMetrics
 from repro.runtime.pricing import BlockPricer, PricingKey
+from repro.runtime.resilience import CircuitBreaker, ResilienceConfig
 from repro.sim import Environment, Event, Store
+from repro.telemetry.context import current_session
 from repro.tracing.span import SpanKind
 from repro.tracing.tracer import Tracer
-from repro.util.errors import ConfigurationError
+from repro.util.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    FaultInjectionError,
+    LoadSheddedError,
+    ReproError,
+    RetryExhaustedError,
+    RpcTimeoutError,
+)
+from repro.util.rng import RngStream
 
 #: cache pollution accumulates while a worker sleeps: timer ticks, RCU,
 #: and other processes walk the caches at roughly this rate, so short
@@ -96,6 +107,8 @@ class ServiceRuntime:
         connections_hint: int = 32,
         registry: Optional[Dict[str, "ServiceRuntime"]] = None,
         cross_node_latency_s: float = 30e-6,
+        resilience: Optional[ResilienceConfig] = None,
+        rng_stream: Optional[RngStream] = None,
     ) -> None:
         self.env = env
         self.spec = spec
@@ -107,6 +120,15 @@ class ServiceRuntime:
         self.connections_hint = connections_hint
         self.registry = registry if registry is not None else {}
         self.cross_node_latency_s = cross_node_latency_s
+        self.resilience = resilience
+        # Per-downstream circuit breakers plus the jitter stream for
+        # retry backoff, created only when resilience semantics are on —
+        # a bare runtime draws no extra randomness.
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._retry_rng = None
+        if resilience is not None:
+            stream = rng_stream if rng_stream is not None else RngStream(0)
+            self._retry_rng = stream.rng("resilience", spec.name)
         self.queue: Store = Store(env, name=f"{spec.name}-queue")
         self.metrics = ServiceMetrics()
         self.active = 0
@@ -172,9 +194,37 @@ class ServiceRuntime:
         trace_id: int = 0,
         parent_span_id: Optional[int] = None,
     ) -> Event:
-        """Enqueue a request; returns the response event."""
+        """Enqueue a request; returns the response event.
+
+        Admission control happens here: a request for a crashed node
+        fails immediately with
+        :class:`~repro.util.errors.FaultInjectionError`, and — when the
+        runtime carries a :class:`ResilienceConfig` with a queue bound —
+        a request arriving at a full queue is shed with
+        :class:`~repro.util.errors.LoadSheddedError` instead of growing
+        the queue without bound.
+        """
         self.spec.program.handler(handler)  # validate
         response = self.env.event()
+        faults = self.env.faults
+        if faults is not None and faults.node_down(self.node.name):
+            self.metrics.failed_requests += 1
+            response.fail(FaultInjectionError(
+                f"{self.spec.name}: node {self.node.name} is down",
+                kind="node_down", scope=self.node.name))
+            return response
+        if (self.resilience is not None
+                and self.resilience.max_queue_depth is not None
+                and len(self.queue) >= self.resilience.max_queue_depth):
+            self.metrics.shed_requests += 1
+            self._session_count(
+                "ditto_requests_shed_total",
+                "requests rejected at admission by load shedding",
+                service=self.spec.name)
+            response.fail(LoadSheddedError(
+                f"{self.spec.name}: queue at shedding bound",
+                service=self.spec.name, queue_depth=len(self.queue)))
+            return response
         request = Request(
             handler=handler,
             response=response,
@@ -237,7 +287,12 @@ class ServiceRuntime:
                 self.metrics.absorb(timing)
                 cycles += timing.cycles
             if cycles > 0:
-                yield self.env.process(self.node.cpu.execute(cycles))
+                try:
+                    yield self.env.process(self.node.cpu.execute(cycles))
+                except FaultInjectionError:
+                    # Node down: this period's background work is lost,
+                    # the thread survives to run again after restart.
+                    continue
 
     # ------------------------------------------------------------------ #
     # execution-state -> pricing key
@@ -310,52 +365,70 @@ class ServiceRuntime:
             charge(_cached_kernel_block(self._wait_invocation))
 
         loopback = request.src_node == self.node.name
-        index = 0
-        ops = handler.ops
-        while index < len(ops):
-            op = ops[index]
-            if isinstance(op, ComputeOp):
-                charge(op.block)
-                index += 1
-            elif isinstance(op, SyscallOp):
-                yield from self._do_syscall(op.invocation, charge, flush,
-                                            loopback)
-                index += 1
-            elif isinstance(op, RpcOp):
-                group = [op]
-                if op.parallel_group is not None:
-                    while (index + len(group) < len(ops)
-                           and isinstance(ops[index + len(group)], RpcOp)
-                           and ops[index + len(group)].parallel_group
-                           == op.parallel_group):
-                        group.append(ops[index + len(group)])
-                asynchronous = (self.spec.skeleton.client_model
-                                is ClientNetworkModel.ASYNCHRONOUS)
-                if (asynchronous and worker_release is not None
-                        and not worker_release.triggered):
-                    # Event-driven client: the downstream wait belongs to
-                    # the reactor, not to a worker slot (§4.3.1).
-                    worker_release.succeed(None)
-                yield from self._do_rpcs(group, request, span, charge,
-                                         flush, asynchronous=asynchronous)
-                index += len(group)
-            else:  # pragma: no cover - exhaustive over Op union
-                raise ConfigurationError(f"unknown op {op!r}")
-        yield flush()
+        failure: Optional[ReproError] = None
+        try:
+            index = 0
+            ops = handler.ops
+            while index < len(ops):
+                op = ops[index]
+                if isinstance(op, ComputeOp):
+                    charge(op.block)
+                    index += 1
+                elif isinstance(op, SyscallOp):
+                    yield from self._do_syscall(op.invocation, charge, flush,
+                                                loopback)
+                    index += 1
+                elif isinstance(op, RpcOp):
+                    group = [op]
+                    if op.parallel_group is not None:
+                        while (index + len(group) < len(ops)
+                               and isinstance(ops[index + len(group)], RpcOp)
+                               and ops[index + len(group)].parallel_group
+                               == op.parallel_group):
+                            group.append(ops[index + len(group)])
+                    asynchronous = (self.spec.skeleton.client_model
+                                    is ClientNetworkModel.ASYNCHRONOUS)
+                    if (asynchronous and worker_release is not None
+                            and not worker_release.triggered):
+                        # Event-driven client: the downstream wait belongs to
+                        # the reactor, not to a worker slot (§4.3.1).
+                        worker_release.succeed(None)
+                    yield from self._do_rpcs(group, request, span, charge,
+                                             flush, asynchronous=asynchronous)
+                    index += len(group)
+                else:  # pragma: no cover - exhaustive over Op union
+                    raise ConfigurationError(f"unknown op {op!r}")
+            yield flush()
+        except ConfigurationError:
+            raise
+        except ReproError as error:
+            # An injected fault, exhausted retry budget or open breaker
+            # killed this request. The handler aborts — remaining ops
+            # and unflushed cycles die with it — but the worker, the
+            # metrics and the caller all stay consistent: the response
+            # event fails with the error so the client can classify it.
+            failure = error
+            self.metrics.failed_requests += 1
         if worker_release is not None and not worker_release.triggered:
             worker_release.succeed(None)
-        self.metrics.requests += 1
+        if failure is None:
+            self.metrics.requests += 1
         self.active -= 1
         self.node_state.active_threads -= 1
         timeline = self.env.timeline
         if timeline is not None:
+            detail = dict(queued=serve_start - request.arrival, cold=cold)
+            if failure is not None:
+                detail["error"] = type(failure).__name__
             timeline.complete(
                 self.spec.name, request.handler, serve_start,
-                self.env.now - serve_start,
-                queued=serve_start - request.arrival, cold=cold)
+                self.env.now - serve_start, **detail)
         if span is not None:
             span.finish(self.env.now)
-        if request.src_node != self.node.name:
+        if failure is not None:
+            if not request.response.triggered:
+                request.response.fail(failure)
+        elif request.src_node != self.node.name:
             self.env.process(
                 self._delayed_reply(request.response),
                 name="reply",
@@ -433,32 +506,133 @@ class ServiceRuntime:
                 f"{self.spec.name} calls unknown service "
                 f"{rpc.target_service!r}"
             )
+        if self.resilience is None:
+            yield from self._rpc_attempt(rpc, request, parent_span, target,
+                                         attempt=0, timeout_s=None)
+            return
+        yield from self._resilient_rpc(rpc, request, parent_span, target)
+
+    def _resilient_rpc(self, rpc: RpcOp, request: Request, parent_span,
+                       target: "ServiceRuntime"):
+        """Timeout + retry-with-backoff + circuit breaker around one RPC.
+
+        Retries are at-least-once: a timed-out attempt's request may
+        still complete downstream (its stale response event simply has
+        no waiter), exactly like a real RPC mesh.
+        """
+        policy = self.resilience.retry
+        breaker = self._breakers.get(rpc.target_service)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.env, rpc.target_service,
+                failure_threshold=self.resilience.breaker_failure_threshold,
+                recovery_s=self.resilience.breaker_recovery_s)
+            self._breakers[rpc.target_service] = breaker
+        last_error: Optional[ReproError] = None
+        attempt = 0
+        while attempt < policy.max_attempts:
+            attempt += 1
+            if not breaker.allow():
+                self.metrics.circuit_rejections += 1
+                self._session_count(
+                    "ditto_rpc_circuit_rejections_total",
+                    "RPC calls rejected by an open circuit breaker",
+                    service=self.spec.name, target=rpc.target_service)
+                raise CircuitOpenError(
+                    f"{self.spec.name} -> {rpc.target_service}: "
+                    f"circuit open", target=rpc.target_service)
+            try:
+                yield from self._rpc_attempt(
+                    rpc, request, parent_span, target, attempt=attempt,
+                    timeout_s=self.resilience.rpc_timeout_s)
+            except ConfigurationError:
+                raise
+            except ReproError as error:
+                breaker.record_failure()
+                last_error = error
+                if isinstance(error, RpcTimeoutError):
+                    self.metrics.rpc_timeouts += 1
+                    self._session_count(
+                        "ditto_rpc_timeouts_total",
+                        "RPC attempts that exceeded their timeout",
+                        service=self.spec.name, target=rpc.target_service)
+                if attempt >= policy.max_attempts:
+                    break
+                self.metrics.rpc_retries += 1
+                self._session_count(
+                    "ditto_rpc_retries_total",
+                    "RPC re-attempts after a failed attempt",
+                    service=self.spec.name, target=rpc.target_service)
+                backoff = policy.backoff_s(attempt, self._retry_rng)
+                if backoff > 0:
+                    yield self.env.timeout(backoff)
+            else:
+                breaker.record_success()
+                return
+        raise RetryExhaustedError(
+            f"{self.spec.name} -> {rpc.target_service}: "
+            f"{attempt} attempts failed",
+            attempts=attempt, last_error=last_error) from last_error
+
+    def _rpc_attempt(self, rpc: RpcOp, request: Request, parent_span,
+                     target: "ServiceRuntime", attempt: int,
+                     timeout_s: Optional[float]):
+        """One try of one RPC; ``attempt`` 0 means the bare legacy path."""
+        tags = {"request_bytes": rpc.request_bytes,
+                "response_bytes": rpc.response_bytes}
+        if attempt:
+            tags["attempt"] = attempt
         client_span = self.tracer.start_span(
             request.trace_id, self.spec.name,
             f"call_{rpc.target_service}", SpanKind.CLIENT, self.env.now,
             parent_id=parent_span.span_id if parent_span is not None else None,
-            tags={"request_bytes": rpc.request_bytes,
-                  "response_bytes": rpc.response_bytes},
+            tags=tags,
         )
-        cross_node = target.node.name != self.node.name
-        self.metrics.net_tx_bytes += rpc.request_bytes
-        if cross_node:
-            # Request serialisation on our NIC, then the wire.
-            yield self.env.process(
-                self.node.nic.transmit(rpc.request_bytes))
-            yield self.env.timeout(self.cross_node_latency_s)
-        else:
-            self.node.nic.tx_bytes += rpc.request_bytes
-        target.metrics.net_rx_bytes += rpc.request_bytes
-        target.node.nic.account_rx(rpc.request_bytes)
-        response = target.submit(
-            rpc.handler,
-            src_node=self.node.name,
-            trace_id=request.trace_id,
-            parent_span_id=(client_span.span_id if client_span is not None
-                            else None),
-        )
-        yield response
-        self.metrics.net_rx_bytes += rpc.response_bytes
-        if client_span is not None:
-            client_span.finish(self.env.now)
+        try:
+            cross_node = target.node.name != self.node.name
+            self.metrics.net_tx_bytes += rpc.request_bytes
+            if cross_node:
+                # Request serialisation on our NIC, then the wire.
+                yield self.env.process(
+                    self.node.nic.transmit(rpc.request_bytes))
+                yield self.env.timeout(self.cross_node_latency_s)
+            else:
+                self.node.nic.tx_bytes += rpc.request_bytes
+            target.metrics.net_rx_bytes += rpc.request_bytes
+            target.node.nic.account_rx(rpc.request_bytes)
+            response = target.submit(
+                rpc.handler,
+                src_node=self.node.name,
+                trace_id=request.trace_id,
+                parent_span_id=(client_span.span_id
+                                if client_span is not None else None),
+            )
+            if timeout_s is None:
+                yield response
+            else:
+                yield self.env.any_of([response,
+                                       self.env.timeout(timeout_s)])
+                if not response.triggered:
+                    if client_span is not None:
+                        client_span.tags["timed_out"] = True
+                    raise RpcTimeoutError(
+                        f"{self.spec.name} -> {rpc.target_service}: "
+                        f"no response within {timeout_s:g}s",
+                        target=rpc.target_service, timeout_s=timeout_s)
+            self.metrics.net_rx_bytes += rpc.response_bytes
+        except ReproError as error:
+            if client_span is not None:
+                client_span.tags.setdefault("error",
+                                            type(error).__name__)
+            raise
+        finally:
+            if client_span is not None:
+                client_span.finish(self.env.now)
+
+    def _session_count(self, name: str, help_text: str,
+                       **labels: str) -> None:
+        """Bump a telemetry-registry counter when a session is active."""
+        session = current_session()
+        if session is not None:
+            session.registry.counter(
+                name, help_text, tuple(sorted(labels))).inc(1, **labels)

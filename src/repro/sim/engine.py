@@ -95,6 +95,12 @@ class Process(Event):
     The process is itself an event that triggers with the generator's
     return value when it finishes, so processes can wait on each other
     (fork/join) simply by yielding the child process.
+
+    An exception escaping the generator *fails* the process event:
+    every waiter sees it re-raised at its own yield point (the SimPy
+    semantic), which is how injected faults propagate from a device
+    process up through RPC and request handlers. A failure nobody
+    waits on is dropped with the process.
     """
 
     __slots__ = ("_generator", "_waiting_on", "name")
@@ -153,6 +159,12 @@ class Process(Event):
             if not self._triggered:
                 self.succeed(None)
             return
+        except Exception as error:
+            # The generator died: fail the process event so waiters see
+            # the exception at their yield point.
+            if not self._triggered:
+                self.fail(error)
+            return
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}, expected an Event"
@@ -178,14 +190,23 @@ class Environment:
     components (service runtimes, kernel devices) emit simulated-time
     events through. It is observation-only — the engine itself never
     consults it, so a timed and an untimed run schedule identically.
+
+    ``faults`` is the fault-injection hook point: an optional
+    :class:`~repro.faults.injector.FaultInjector` that instrumented
+    devices consult at their injection points (normally installed via
+    ``FaultInjector.attach``). The engine itself never consults it, and
+    components treat ``None`` as "no faults", so an un-instrumented run
+    schedules identically to one with no injector attached.
     """
 
     def __init__(self, initial_time: float = 0.0,
-                 timeline: Optional[Any] = None) -> None:
+                 timeline: Optional[Any] = None,
+                 faults: Optional[Any] = None) -> None:
         self._now = float(initial_time)
         self._queue: List[tuple[float, int, Event]] = []
         self._counter = 0
         self.timeline = timeline
+        self.faults = faults
 
     @property
     def now(self) -> float:

@@ -3,8 +3,29 @@
 All library-raised exceptions derive from :class:`ReproError` so callers can
 catch everything from this package with a single ``except`` clause while
 still being able to distinguish configuration mistakes from runtime
-simulation failures.
+simulation failures.  The full tree (documented in DESIGN.md):
+
+- ``ReproError``
+    - ``ConfigurationError`` — invalid construction/configuration
+    - ``SimulationError`` — the DES engine reached an inconsistent state
+    - ``ProfilingError`` — a profiler could not extract a feature
+    - ``FaultInjectionError`` — an *injected* fault fired (disk IO error,
+      node crash window, NIC down); deliberately distinct from
+      ``SimulationError`` so resilience layers can retry injected faults
+      without masking engine bugs
+    - ``RpcTimeoutError`` — one RPC attempt exceeded its per-attempt
+      timeout
+    - ``RetryExhaustedError`` — a retry policy gave up; carries the last
+      underlying failure as ``__cause__``
+    - ``CircuitOpenError`` — a circuit breaker rejected a call without
+      attempting it
+    - ``LoadSheddedError`` — a request was rejected at admission because a
+      service queue exceeded its shedding bound
+    - ``TierExecutionError`` — one clone-pipeline tier failed after its
+      retry budget; preserves the sibling tiers' outcomes
 """
+
+from typing import Any, Dict, Optional
 
 
 class ReproError(Exception):
@@ -21,3 +42,78 @@ class SimulationError(ReproError):
 
 class ProfilingError(ReproError):
     """A profiler could not extract the requested feature."""
+
+
+class FaultInjectionError(ReproError):
+    """An injected fault fired (disk error, node crash, NIC down).
+
+    ``kind`` names the fault class (``"disk_error"``, ``"node_down"``,
+    ...) and ``scope`` the component it hit (a node or device name), so
+    handlers and tests can assert on *which* fault surfaced.
+    """
+
+    def __init__(self, message: str, *, kind: str = "", scope: str = "") -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.scope = scope
+
+
+class RpcTimeoutError(ReproError):
+    """One RPC attempt exceeded its per-attempt timeout."""
+
+    def __init__(self, message: str, *, target: str = "",
+                 timeout_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.target = target
+        self.timeout_s = timeout_s
+
+
+class RetryExhaustedError(ReproError):
+    """A retry policy gave up after its final attempt.
+
+    ``attempts`` counts tries actually made; the last underlying failure
+    travels as ``__cause__`` (and ``last_error``).
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0,
+                 last_error: Optional[BaseException] = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker rejected a call without attempting it."""
+
+    def __init__(self, message: str, *, target: str = "") -> None:
+        super().__init__(message)
+        self.target = target
+
+
+class LoadSheddedError(ReproError):
+    """A request was rejected at admission (queue over the shed bound)."""
+
+    def __init__(self, message: str, *, service: str = "",
+                 queue_depth: int = 0) -> None:
+        super().__init__(message)
+        self.service = service
+        self.queue_depth = queue_depth
+
+
+class TierExecutionError(ReproError):
+    """One clone-pipeline tier failed after its retry budget.
+
+    The pipeline preserves what the *other* tiers produced: ``outcomes``
+    maps completed tier names to their ``TierOutcome`` objects (typed as
+    ``Any`` here to keep this module dependency-free), so a caller can
+    checkpoint or salvage partial progress instead of losing the run.
+    """
+
+    def __init__(self, message: str, *, tier: str, attempts: int = 1,
+                 outcomes: Optional[Dict[str, Any]] = None,
+                 last_error: Optional[BaseException] = None) -> None:
+        super().__init__(message)
+        self.tier = tier
+        self.attempts = attempts
+        self.outcomes = dict(outcomes) if outcomes else {}
+        self.last_error = last_error

@@ -1,0 +1,245 @@
+"""Fault injection: plan validation, injector determinism, run fidelity."""
+
+import pytest
+
+from repro.app.service import Deployment
+from repro.app.workloads import build_memcached
+from repro.faults import (
+    ANY_NODE,
+    CpuStealFault,
+    DiskErrorFault,
+    DiskSlowdownFault,
+    FaultInjector,
+    FaultPlan,
+    FaultWindow,
+    LatencySpikeFault,
+    NodeCrashFault,
+    PacketLossFault,
+)
+from repro.hw import PLATFORM_A
+from repro.loadgen import LoadSpec
+from repro.runtime import ExperimentConfig, ResilienceConfig, run_experiment
+from repro.util.errors import ConfigurationError, FaultInjectionError
+from repro.util.spec_hash import stable_digest
+
+DEPLOYMENT = Deployment.single(build_memcached())
+LOAD = LoadSpec.open_loop(40_000)
+
+FULL_PLAN = FaultPlan((
+    PacketLossFault(rate=0.3, retransmit_delay_s=100e-6),
+    LatencySpikeFault(extra_s=50e-6, probability=0.5,
+                      window=FaultWindow(0.002, 0.006)),
+    DiskErrorFault(rate=0.2),
+    DiskSlowdownFault(factor=3.0, window=FaultWindow(0.0, 0.005)),
+    CpuStealFault(steal=0.3, window=FaultWindow(0.004, 0.008)),
+    NodeCrashFault(node="node0", at_s=0.006, downtime_s=0.002),
+))
+
+
+def _config(seed=7, **kwargs):
+    return ExperimentConfig(platform=PLATFORM_A, duration_s=0.01,
+                            seed=seed, **kwargs)
+
+
+def _result_digest(result):
+    return stable_digest(
+        {name: m.snapshot() for name, m in sorted(result.services.items())},
+        tuple(result.latency.samples),
+        result.outcome_counts(),
+    )
+
+
+class TestPlanValidation:
+    def test_window_half_open(self):
+        window = FaultWindow(1.0, 2.0)
+        assert window.contains(1.0)
+        assert window.contains(1.999)
+        assert not window.contains(2.0)
+        assert not window.contains(0.999)
+
+    def test_window_rejects_inverted(self):
+        with pytest.raises(ConfigurationError):
+            FaultWindow(2.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            FaultWindow(-1.0, 1.0)
+
+    def test_rates_validated(self):
+        with pytest.raises(ConfigurationError):
+            PacketLossFault(rate=1.5)
+        with pytest.raises(ConfigurationError):
+            DiskErrorFault(rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            DiskSlowdownFault(factor=0.5)
+        with pytest.raises(ConfigurationError):
+            CpuStealFault(steal=1.0)
+        with pytest.raises(ConfigurationError):
+            LatencySpikeFault(extra_s=0.0)
+
+    def test_crash_needs_concrete_node(self):
+        with pytest.raises(ConfigurationError):
+            NodeCrashFault(node=ANY_NODE, at_s=0.0, downtime_s=1.0)
+        with pytest.raises(ConfigurationError):
+            NodeCrashFault(node="node0", at_s=0.0, downtime_s=0.0)
+
+    def test_crash_window_spans_downtime(self):
+        crash = NodeCrashFault(node="node0", at_s=1.0, downtime_s=0.5)
+        assert crash.window.contains(1.0)
+        assert crash.window.contains(1.49)
+        assert not crash.window.contains(1.5)
+
+    def test_plan_rejects_foreign_objects(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(("not a fault",))
+
+    def test_empty_plan(self):
+        plan = FaultPlan.empty()
+        assert plan.is_empty
+        assert not plan
+        assert bool(FULL_PLAN)
+        assert list(plan.matching("packet_loss", "node0")) == []
+
+    def test_matching_scopes(self):
+        plan = FaultPlan((PacketLossFault(node="node1", rate=0.5),
+                          PacketLossFault(rate=0.1)))
+        matches = list(plan.matching("packet_loss", "node1"))
+        assert [index for index, _ in matches] == [0, 1]
+        assert [index for index, _
+                in plan.matching("packet_loss", "node9")] == [1]
+
+    def test_plan_is_stably_hashable(self):
+        assert stable_digest(FULL_PLAN) == stable_digest(FULL_PLAN)
+        other = FaultPlan((PacketLossFault(rate=0.31),))
+        assert stable_digest(other) != stable_digest(
+            FaultPlan((PacketLossFault(rate=0.3),)))
+
+
+class _FakeEnv:
+    def __init__(self):
+        self.now = 0.0
+        self.faults = None
+
+
+class TestInjectorHooks:
+    def test_node_down_only_inside_window(self):
+        injector = FaultInjector(FaultPlan((
+            NodeCrashFault(node="node0", at_s=1.0, downtime_s=0.5),)),
+            seed=1).attach(_FakeEnv())
+        injector.env.now = 0.5
+        injector.check_node_up("node0")  # no raise
+        injector.env.now = 1.2
+        assert injector.node_down("node0")
+        assert injector.node_down("node0-nic")  # device scope
+        assert not injector.node_down("node1")
+        with pytest.raises(FaultInjectionError) as excinfo:
+            injector.check_node_up("node0-disk")
+        assert excinfo.value.kind == "node_down"
+
+    def test_crash_recorded_eagerly_on_attach(self):
+        injector = FaultInjector(FaultPlan((
+            NodeCrashFault(node="node0", at_s=1.0, downtime_s=0.5),)),
+            seed=1).attach(_FakeEnv())
+        kinds = [event.kind for event in injector.timeline.events]
+        assert kinds == ["node_crash", "node_restart"]
+
+    def test_disk_factor_stacks(self):
+        injector = FaultInjector(FaultPlan((
+            DiskSlowdownFault(factor=2.0),
+            DiskSlowdownFault(node="node0", factor=3.0),)),
+            seed=1).attach(_FakeEnv())
+        assert injector.disk_factor("node0-disk") == pytest.approx(6.0)
+        assert injector.disk_factor("node1-disk") == pytest.approx(2.0)
+
+    def test_cpu_factor(self):
+        injector = FaultInjector(FaultPlan((CpuStealFault(steal=0.5),)),
+                                 seed=1).attach(_FakeEnv())
+        assert injector.cpu_factor("node0-cpu") == pytest.approx(2.0)
+
+    def test_certain_latency_spike_needs_no_draw(self):
+        injector = FaultInjector(FaultPlan((
+            LatencySpikeFault(extra_s=1e-3, probability=1.0),)),
+            seed=1).attach(_FakeEnv())
+        assert injector.nic_penalty("node0-nic") == pytest.approx(1e-3)
+        assert injector._rngs == {}  # probability 1.0 short-circuits
+
+    def test_inactive_specs_cost_zero_draws(self):
+        injector = FaultInjector(FaultPlan((
+            PacketLossFault(rate=0.9, window=FaultWindow(5.0, 6.0)),)),
+            seed=1).attach(_FakeEnv())
+        assert injector.nic_penalty("node0-nic") == 0.0
+        assert injector._rngs == {}
+
+    def test_same_seed_same_penalty_sequence(self):
+        def penalties(seed):
+            injector = FaultInjector(FULL_PLAN, seed=seed).attach(_FakeEnv())
+            return [injector.nic_penalty("node0-nic") for _ in range(64)]
+
+        assert penalties(3) == penalties(3)
+        assert penalties(3) != penalties(4)
+
+    def test_timeline_digest_distinguishes_runs(self):
+        def timeline(seed):
+            injector = FaultInjector(FaultPlan((
+                DiskErrorFault(rate=0.5),)), seed=seed).attach(_FakeEnv())
+            for _ in range(32):
+                try:
+                    injector.disk_check("node0-disk")
+                except FaultInjectionError:
+                    pass
+            return injector.timeline
+
+        assert timeline(1).digest() == timeline(1).digest()
+        assert timeline(1).digest() != timeline(2).digest()
+        assert timeline(1).counts().get("disk_error", 0) > 0
+
+
+class TestEmptyPlanBitIdentical:
+    def test_empty_plan_matches_no_plan(self):
+        baseline = run_experiment(DEPLOYMENT, LOAD, _config())
+        empty = run_experiment(DEPLOYMENT, LOAD,
+                               _config(fault_plan=FaultPlan.empty()))
+        assert _result_digest(baseline) == _result_digest(empty)
+        assert empty.faults is None
+
+    def test_never_firing_plan_matches_no_plan(self):
+        # A spec whose window never opens consumes zero randomness, so
+        # the run stays bit-identical to a fault-free one.
+        dormant = FaultPlan((
+            PacketLossFault(rate=0.9, window=FaultWindow(100.0, 200.0)),))
+        baseline = run_experiment(DEPLOYMENT, LOAD, _config())
+        shadowed = run_experiment(DEPLOYMENT, LOAD,
+                                  _config(fault_plan=dormant))
+        assert _result_digest(baseline) == _result_digest(shadowed)
+        assert len(shadowed.faults) == 0
+
+
+class TestFaultedRunDeterminism:
+    def test_same_seed_same_timeline_and_metrics(self):
+        config = _config(fault_plan=FULL_PLAN,
+                         resilience=ResilienceConfig(
+                             rpc_timeout_s=2e-3, max_queue_depth=64))
+        first = run_experiment(DEPLOYMENT, LOAD, config)
+        second = run_experiment(DEPLOYMENT, LOAD, config)
+        assert first.faults.digest() == second.faults.digest()
+        assert _result_digest(first) == _result_digest(second)
+        assert len(first.faults) > 0
+
+    def test_different_seed_different_timeline(self):
+        first = run_experiment(DEPLOYMENT, LOAD,
+                               _config(seed=7, fault_plan=FULL_PLAN))
+        second = run_experiment(DEPLOYMENT, LOAD,
+                                _config(seed=8, fault_plan=FULL_PLAN))
+        assert first.faults.digest() != second.faults.digest()
+
+    def test_faults_surface_as_failed_requests(self):
+        result = run_experiment(DEPLOYMENT, LOAD,
+                                _config(fault_plan=FULL_PLAN))
+        counts = result.outcome_counts()
+        assert counts["error"] > 0
+        assert result.error_rate > 0.0
+        assert result.faults.counts().get("node_crash") == 1
+
+    def test_fault_plan_rejected_unless_typed(self):
+        with pytest.raises(ConfigurationError):
+            _config(fault_plan="chaos")
+        with pytest.raises(ConfigurationError):
+            _config(resilience="retry-a-lot")

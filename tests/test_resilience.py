@@ -1,0 +1,246 @@
+"""RPC resilience: retries, breakers, shedding, and outcome accounting."""
+
+import pytest
+
+from repro.app.service import Deployment
+from repro.app.workloads import build_memcached, social_network_deployment
+from repro.faults import FaultPlan, NodeCrashFault
+from repro.hw import PLATFORM_A
+from repro.loadgen import LoadSpec
+from repro.loadgen.generator import (
+    REQUEST_OUTCOMES,
+    LatencyRecorder,
+    classify_failure,
+)
+from repro.runtime import (
+    CircuitBreaker,
+    ExperimentConfig,
+    ResilienceConfig,
+    RetryPolicy,
+    run_experiment,
+)
+from repro.util.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    FaultInjectionError,
+    LoadSheddedError,
+    RetryExhaustedError,
+    RpcTimeoutError,
+)
+from repro.util.rng import make_rng
+from repro.util.spec_hash import stable_digest
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_backoff_s=0.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_backoff_s=1e-3, max_backoff_s=1e-4)
+
+    def test_backoff_doubles_then_caps(self):
+        policy = RetryPolicy(max_attempts=8, base_backoff_s=1e-3,
+                             max_backoff_s=4e-3)
+
+        class _Full:
+            @staticmethod
+            def random():
+                return 1.0  # full jitter at its upper bound
+
+        assert policy.backoff_s(1, _Full) == pytest.approx(1e-3)
+        assert policy.backoff_s(2, _Full) == pytest.approx(2e-3)
+        assert policy.backoff_s(3, _Full) == pytest.approx(4e-3)
+        assert policy.backoff_s(7, _Full) == pytest.approx(4e-3)  # capped
+
+    def test_backoff_jitter_deterministic_per_stream(self):
+        policy = RetryPolicy()
+        first = [policy.backoff_s(n, make_rng(1, "t")) for n in (1, 2, 3)]
+        second = [policy.backoff_s(n, make_rng(1, "t")) for n in (1, 2, 3)]
+        assert first == second
+        assert all(0.0 <= b <= policy.max_backoff_s for b in first)
+
+
+class _FakeEnv:
+    def __init__(self):
+        self.now = 0.0
+
+
+class TestCircuitBreaker:
+    def _breaker(self, threshold=3, recovery=1.0):
+        return CircuitBreaker(_FakeEnv(), "backend",
+                              failure_threshold=threshold,
+                              recovery_s=recovery)
+
+    def test_trips_after_consecutive_failures(self):
+        breaker = self._breaker(threshold=3)
+        for _ in range(2):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.open_transitions == 1
+
+    def test_success_resets_the_streak(self):
+        breaker = self._breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_open_rejects_until_recovery(self):
+        breaker = self._breaker(threshold=1, recovery=1.0)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.rejections == 1
+        breaker.env.now = 1.0
+        assert breaker.allow()  # half-open probe admitted
+        assert breaker.state == "half-open"
+
+    def test_half_open_admits_single_probe(self):
+        breaker = self._breaker(threshold=1, recovery=1.0)
+        breaker.record_failure()
+        breaker.env.now = 1.0
+        assert breaker.allow()
+        assert not breaker.allow()  # second caller rejected
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        breaker = self._breaker(threshold=5, recovery=1.0)
+        for _ in range(5):
+            breaker.record_failure()
+        breaker.env.now = 1.0
+        assert breaker.allow()
+        breaker.record_failure()  # half-open failure re-opens immediately
+        assert breaker.state == "open"
+        assert breaker.open_transitions == 2
+        assert breaker.opened_at == 1.0
+
+
+class TestResilienceConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(rpc_timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(breaker_failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(breaker_recovery_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(max_queue_depth=0)
+
+    def test_picklable_and_hashable(self):
+        import pickle
+
+        config = ResilienceConfig(max_queue_depth=16)
+        assert pickle.loads(pickle.dumps(config)) == config
+        assert stable_digest(config) == stable_digest(
+            ResilienceConfig(max_queue_depth=16))
+        assert stable_digest(config) != stable_digest(ResilienceConfig())
+
+
+class TestOutcomeClassification:
+    def test_buckets(self):
+        assert classify_failure(RpcTimeoutError("t")) == "timeout"
+        assert classify_failure(RetryExhaustedError(
+            "r", attempts=3, last_error=RpcTimeoutError("t"))) == "timeout"
+        assert classify_failure(RetryExhaustedError(
+            "r", attempts=3,
+            last_error=FaultInjectionError("f"))) == "error"
+        assert classify_failure(LoadSheddedError("s")) == "shed"
+        assert classify_failure(CircuitOpenError("c")) == "error"
+        assert classify_failure(FaultInjectionError("f")) == "error"
+        assert classify_failure(ValueError("v")) == "error"
+
+    def test_recorder_tracks_failures(self):
+        recorder = LatencyRecorder()
+        recorder.record("get", 1e-3)
+        recorder.record_failure("get", "timeout")
+        recorder.record_failure("set", "shed")
+        assert recorder.failed == 2
+        assert recorder.error_rate == pytest.approx(2 / 3)
+        assert recorder.outcome_counts() == {
+            "ok": 1, "timeout": 1, "shed": 1, "error": 0}
+        assert recorder.failures_by_handler == {
+            "get": {"timeout": 1}, "set": {"shed": 1}}
+        # Failures never pollute the latency distribution.
+        assert recorder.samples == [1e-3]
+
+    def test_recorder_rejects_non_failure_outcomes(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ConfigurationError):
+            recorder.record_failure("get", "ok")
+        with pytest.raises(ConfigurationError):
+            recorder.record_failure("get", "crashed")
+
+    def test_outcome_vocabulary_is_closed(self):
+        assert REQUEST_OUTCOMES == ("ok", "timeout", "shed", "error")
+
+
+class TestResilientRuns:
+    def test_load_shedding_bounds_queues(self):
+        config = ExperimentConfig(
+            platform=PLATFORM_A, duration_s=0.01, seed=7,
+            resilience=ResilienceConfig(max_queue_depth=2))
+        result = run_experiment(Deployment.single(build_memcached()),
+                                LoadSpec.open_loop(300_000), config)
+        metrics = result.service("memcached")
+        assert metrics.shed_requests > 0
+        assert result.outcome_counts()["shed"] == metrics.shed_requests
+        assert result.error_rate > 0.0
+
+    def test_tiny_timeout_forces_retries_then_exhaustion(self):
+        # 1 us is far below any simulated RPC's service time, so every
+        # inter-service call times out, burns its retries, and the
+        # request fails as a timeout.
+        config = ExperimentConfig(
+            platform=PLATFORM_A, duration_s=0.004, seed=7,
+            resilience=ResilienceConfig(
+                rpc_timeout_s=1e-6,
+                retry=RetryPolicy(max_attempts=2, base_backoff_s=1e-6,
+                                  max_backoff_s=1e-5)))
+        result = run_experiment(social_network_deployment(),
+                                LoadSpec.open_loop(2_000), config)
+        totals = {name: m for name, m in result.services.items()}
+        assert sum(m.rpc_timeouts for m in totals.values()) > 0
+        assert sum(m.rpc_retries for m in totals.values()) > 0
+        assert result.outcome_counts()["timeout"] > 0
+
+    def test_crash_with_resilience_fails_requests(self):
+        # Mid-run the node hosting every tier crashes: in-flight and
+        # newly admitted requests fail, and the run keeps going to
+        # completion instead of dying on the injected error.
+        deployment = social_network_deployment()
+        config = ExperimentConfig(
+            platform=PLATFORM_A, duration_s=0.01, seed=7,
+            fault_plan=FaultPlan((NodeCrashFault(
+                node="node0", at_s=0.002, downtime_s=0.006),)),
+            resilience=ResilienceConfig(
+                rpc_timeout_s=2e-3,
+                retry=RetryPolicy(max_attempts=2),
+                breaker_failure_threshold=2,
+                breaker_recovery_s=5e-3))
+        result = run_experiment(deployment, LoadSpec.open_loop(3_000),
+                                config)
+        assert result.error_rate > 0.0
+        assert sum(m.failed_requests
+                   for m in result.services.values()) > 0
+
+    def test_resilient_run_remains_deterministic(self):
+        config = ExperimentConfig(
+            platform=PLATFORM_A, duration_s=0.006, seed=11,
+            resilience=ResilienceConfig(rpc_timeout_s=1e-3,
+                                        max_queue_depth=32))
+        deployment = social_network_deployment()
+        load = LoadSpec.open_loop(2_000)
+        first = run_experiment(deployment, load, config)
+        second = run_experiment(deployment, load, config)
+        assert stable_digest(
+            {n: m.snapshot() for n, m in first.services.items()}
+        ) == stable_digest(
+            {n: m.snapshot() for n, m in second.services.items()})
+        assert first.outcome_counts() == second.outcome_counts()
