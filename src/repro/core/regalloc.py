@@ -46,11 +46,11 @@ class AllocationResult:
     realized: DependencyProfile
 
 
-def _sample_from(hist: Dict[int, float], rng: np.random.Generator,
+def _sample_from(hist: Optional[Histogram], rng: np.random.Generator,
                  default: float) -> float:
-    if not hist:
+    if hist is None:
         return default
-    return float(Histogram(dict(hist)).sample(rng, 1)[0])
+    return float(hist.sample(rng, 1)[0])
 
 
 def assign_registers(
@@ -72,10 +72,15 @@ def assign_registers(
     raw_hist: Dict[int, float] = {}
     war_hist: Dict[int, float] = {}
     waw_hist: Dict[int, float] = {}
+    # Build the three samplers once; their sorted key order (and hence
+    # every draw) is identical to rebuilding a Histogram per slot.
+    raw_sampler = Histogram(dict(profile.raw)) if profile.raw else None
+    war_sampler = Histogram(dict(profile.war)) if profile.war else None
+    waw_sampler = Histogram(dict(profile.waw)) if profile.waw else None
     for index in range(slots):
-        target_raw = _sample_from(dict(profile.raw), rng, default=24.0)
-        target_war = _sample_from(dict(profile.war), rng, default=32.0)
-        target_waw = _sample_from(dict(profile.waw), rng, default=48.0)
+        target_raw = _sample_from(raw_sampler, rng, default=24.0)
+        target_war = _sample_from(war_sampler, rng, default=32.0)
+        target_waw = _sample_from(waw_sampler, rng, default=48.0)
         # Source: the register whose last write sits closest to the RAW
         # target distance behind us.
         source = min(

@@ -14,7 +14,7 @@ sharing predictor tables across the static sites.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -55,6 +55,54 @@ def generate_branch_outcomes(
     t = min(transition_rate, 2.0 * min(p, 1.0 - p))
     a = min(1.0, t / (2.0 * p))            # P(taken -> not taken)
     b = min(1.0, t / (2.0 * (1.0 - p)))    # P(not taken -> taken)
+    # Identical RNG consumption to the original sequential loop: one
+    # draw for the initial state, then one per step.
+    state = bool(rng.random() < p)
+    randoms = rng.random(length)
+    outcomes = np.empty(length, dtype=bool)
+    outcomes[0] = state
+    if length == 1:
+        return outcomes
+    # Vectorized closed form: step i applies one of three transfer
+    # functions to the state, selected by randoms[i] against the two
+    # flip thresholds (a when taken, b when not):
+    #   r < min(a, b)          -> flip either way   (swap)
+    #   min <= r < max(a, b)   -> both states land on the same side
+    #                             (constant: taken iff a < b)
+    #   r >= max(a, b)         -> no flip           (identity)
+    # A state is then the last constant's value XOR the parity of swaps
+    # since it (or the initial state XOR the total swap parity).
+    steps = randoms[: length - 1]
+    lo, hi = min(a, b), max(a, b)
+    swaps = steps < lo
+    constants = (steps >= lo) & (steps < hi)
+    constant_value = a < b
+    indices = np.arange(length - 1, dtype=np.int64)
+    last_constant = np.where(constants, indices, -1)
+    np.maximum.accumulate(last_constant, out=last_constant)
+    swap_cumsum = np.cumsum(swaps)
+    swaps_since = swap_cumsum - np.where(
+        last_constant >= 0, swap_cumsum[np.maximum(last_constant, 0)], 0)
+    base = np.where(last_constant >= 0, constant_value, state)
+    outcomes[1:] = base ^ (swaps_since & 1).astype(bool)
+    return outcomes
+
+
+def generate_branch_outcomes_reference(
+    taken_rate: float,
+    transition_rate: float,
+    length: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Scalar reference for :func:`generate_branch_outcomes` (tests)."""
+    if length <= 0:
+        raise ConfigurationError("stream length must be positive")
+    if not 0.0 <= taken_rate <= 1.0 or not 0.0 <= transition_rate <= 1.0:
+        raise ConfigurationError("rates must be within [0, 1]")
+    p = min(max(taken_rate, 1e-6), 1.0 - 1e-6)
+    t = min(transition_rate, 2.0 * min(p, 1.0 - p))
+    a = min(1.0, t / (2.0 * p))
+    b = min(1.0, t / (2.0 * (1.0 - p)))
     outcomes = np.empty(length, dtype=bool)
     state = rng.random() < p
     randoms = rng.random(length)
@@ -101,6 +149,65 @@ class GsharePredictor:
         history_mask = (1 << self.history_bits) - 1
         self._history = ((self._history << 1) | int(taken)) & history_mask
         return correct
+
+    def predict_and_update_many(
+        self, pcs: np.ndarray, takens: np.ndarray
+    ) -> np.ndarray:
+        """Batch :meth:`predict_and_update`; bit-identical to the loop.
+
+        Returns a boolean array, True where the prediction was correct.
+        The global history before each branch depends only on earlier
+        outcomes (all known up front), so every table index is computed
+        vectorized; the genuinely sequential part — two-bit counters
+        seeing every earlier branch's update — runs as a lean loop over
+        plain Python ints.
+        """
+        pcs = np.asarray(pcs, dtype=np.int64)
+        takens = np.asarray(takens, dtype=bool)
+        n = pcs.shape[0]
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        history_bits = self.history_bits
+        outcomes = takens.astype(np.int64)
+        initial = self._history
+        history = np.zeros(n, dtype=np.int64)
+        for bit in range(1, history_bits + 1):
+            # Bit (bit-1) of the history before branch i is outcome
+            # i-bit, or a carried-in initial-history bit for the head.
+            column = np.empty(n, dtype=np.int64)
+            if n > bit:
+                column[bit:] = outcomes[: n - bit]
+            head = min(bit, n)
+            column[:head] = (
+                initial >> np.arange(bit - 1, bit - 1 - head, -1)) & 1
+            history |= column << (bit - 1)
+        indices = ((pcs ^ history) & self._mask).tolist()
+        table = self._table.tolist()
+        takens_list = takens.tolist()
+        correct: List[bool] = [False] * n
+        misses = 0
+        for i in range(n):
+            index = indices[i]
+            counter = table[index]
+            taken = takens_list[i]
+            ok = (counter >= 2) == taken
+            correct[i] = ok
+            if not ok:
+                misses += 1
+            if taken:
+                if counter < 3:
+                    table[index] = counter + 1
+            elif counter > 0:
+                table[index] = counter - 1
+        self._table = np.asarray(table, dtype=np.int8)
+        self.predictions += n
+        self.mispredictions += misses
+        history_mask = (1 << history_bits) - 1
+        final = initial
+        for taken in takens_list[max(0, n - history_bits):]:
+            final = (final << 1) | taken
+        self._history = final & history_mask
+        return np.asarray(correct, dtype=bool)
 
     @property
     def misprediction_rate(self) -> float:
@@ -172,21 +279,33 @@ def _measured_rate(
     noise_rng = make_rng(seed, "branch-noise", f"{alias_pressure:.3f}")
     noise_pcs = noise_rng.integers(0, 1 << 30, size=64)
     noise_outcomes = noise_rng.random(size=64) < 0.5
-    noise_i = 0
-    target_misses = 0
-    target_total = 0
-    for i, taken in enumerate(outcomes):
-        correct = predictor.predict_and_update(pc, bool(taken))
-        target_total += 1
-        if not correct:
-            target_misses += 1
-        if noise_every is not None and i % noise_every == 0:
-            # Alien branches sharing the (shrunken) tables corrupt the
-            # target's counters and history — only the target's own
-            # mispredictions are counted.
-            predictor.predict_and_update(
-                int(noise_pcs[noise_i % 64]), bool(noise_outcomes[noise_i % 64])
-            )
-            noise_i += 1
-    rate = target_misses / max(1, target_total)
+    total = len(outcomes)
+    if noise_every is None:
+        sequence_pcs = np.full(total, pc, dtype=np.int64)
+        sequence_takens = outcomes
+        is_target = np.ones(total, dtype=bool)
+    else:
+        # Alien branches sharing the (shrunken) tables corrupt the
+        # target's counters and history — only the target's own
+        # mispredictions are counted. Interleaving is built up front
+        # (one noise branch after targets 0, ne, 2ne, ...) so the whole
+        # stream goes through one batch predictor pass.
+        noise_count = -(-total // noise_every)
+        before = (np.arange(total, dtype=np.int64) + noise_every - 1) \
+            // noise_every
+        target_positions = np.arange(total, dtype=np.int64) + before
+        noise_indices = np.arange(noise_count, dtype=np.int64)
+        noise_positions = target_positions[noise_indices * noise_every] + 1
+        length = total + noise_count
+        sequence_pcs = np.empty(length, dtype=np.int64)
+        sequence_takens = np.empty(length, dtype=bool)
+        is_target = np.zeros(length, dtype=bool)
+        is_target[target_positions] = True
+        sequence_pcs[target_positions] = pc
+        sequence_takens[target_positions] = outcomes
+        sequence_pcs[noise_positions] = noise_pcs[noise_indices % 64]
+        sequence_takens[noise_positions] = noise_outcomes[noise_indices % 64]
+    correct = predictor.predict_and_update_many(sequence_pcs, sequence_takens)
+    target_misses = int(np.count_nonzero(~correct[is_target]))
+    rate = target_misses / max(1, total)
     return float(min(1.0, max(0.0, rate)))

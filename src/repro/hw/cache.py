@@ -24,9 +24,13 @@ from typing import Dict, Iterable, List, Sequence
 import numpy as np
 
 from repro.hw.ir import MemAccessSpec, MemPattern
+from repro.hw.stackdist import stack_distances
 from repro.util.errors import ConfigurationError
 
 LINE_BYTES = 64
+
+#: below this many addresses the scalar LRU walk beats batch setup costs
+_BATCH_MIN = 64
 
 
 @dataclass(frozen=True)
@@ -52,11 +56,11 @@ class CacheConfig:
             )
         if self.latency_cycles < 0:
             raise ConfigurationError(f"{self.name}: negative latency")
-
-    @property
-    def num_sets(self) -> int:
-        """Number of cache sets."""
-        return self.size_bytes // (self.line_bytes * self.associativity)
+        # Precomputed (not a dataclass field: digests/eq/repr unchanged) —
+        # the simulator reads this once per access.
+        object.__setattr__(
+            self, "num_sets",
+            self.size_bytes // (self.line_bytes * self.associativity))
 
     def scaled(self, factor: float) -> "CacheConfig":
         """A config with capacity scaled by ``factor`` (sets rounded down).
@@ -111,15 +115,15 @@ class SetAssociativeCache:
 
     def access(self, address: int) -> bool:
         """Access one byte address; returns True on hit."""
-        line = address // self.config.line_bytes
-        index = line % self.config.num_sets
-        ways = self._sets[index]
+        config = self.config
+        line = address // config.line_bytes
+        ways = self._sets[line % config.num_sets]
         try:
             position = ways.index(line)
         except ValueError:
             self.misses += 1
             ways.insert(0, line)
-            if len(ways) > self.config.associativity:
+            if len(ways) > config.associativity:
                 ways.pop()
             return False
         self.hits += 1
@@ -127,11 +131,79 @@ class SetAssociativeCache:
         return True
 
     def access_many(self, addresses: Iterable[int]) -> int:
-        """Access a stream of addresses; returns the number of hits."""
+        """Access a stream of addresses; returns the number of hits.
+
+        Large array-like streams take a vectorized path (one Mattson
+        stack-distance pass over all sets at once — a within-set
+        distance below the associativity is a hit under true LRU) that
+        leaves the counters *and* the resident state exactly as the
+        per-access walk would; tests cross-check the two.
+        """
+        if not isinstance(addresses, np.ndarray):
+            arr = np.asarray(addresses)
+        else:
+            arr = addresses
+        if arr.dtype == object or arr.ndim != 1 or arr.shape[0] < _BATCH_MIN:
+            return self._access_many_scalar(addresses)
+        return self._access_many_batch(arr.astype(np.int64, copy=False))
+
+    def _access_many_scalar(self, addresses: Iterable[int]) -> int:
+        """Per-access reference walk (also the small-batch fast path)."""
         before = self.hits
         for address in addresses:
-            self.access(address)
+            self.access(int(address))
         return self.hits - before
+
+    def _access_many_batch(self, addr: np.ndarray) -> int:
+        config = self.config
+        num_sets = config.num_sets
+        associativity = config.associativity
+        lines = addr // config.line_bytes
+        sets = lines % num_sets
+        # Current contents become pseudo-accesses in LRU->MRU order, so
+        # batch accesses to resident lines see their true recency depth.
+        prefix: List[int] = []
+        for set_index in np.unique(sets).tolist():
+            ways = self._sets[set_index]
+            if ways:
+                prefix.extend(ways[::-1])
+        n_prefix = len(prefix)
+        if n_prefix:
+            all_lines = np.concatenate(
+                [np.asarray(prefix, dtype=np.int64), lines])
+        else:
+            all_lines = lines
+        all_sets = all_lines % num_sets
+        # Stable sort groups each set's accesses contiguously (prefix
+        # entries first, then batch entries in time order); same-set
+        # stack distances are then computable in one global pass, since
+        # a reuse window never crosses a set boundary.
+        order = np.argsort(all_sets, kind="stable")
+        ordered = all_lines[order]
+        distances = stack_distances(ordered)
+        batch_distances = distances[order >= n_prefix]
+        hits = int(np.count_nonzero(
+            (batch_distances >= 0) & (batch_distances < associativity)))
+        self.hits += hits
+        self.misses += lines.shape[0] - hits
+        # Final residents per set = the associativity most recently used
+        # distinct lines; rebuild only the touched sets.
+        reverse = ordered[::-1]
+        unique_lines, first_in_reverse = np.unique(reverse, return_index=True)
+        last_position = ordered.shape[0] - 1 - first_in_reverse
+        unique_sets = unique_lines % num_sets
+        mru_order = np.lexsort((-last_position, unique_sets))
+        grouped_sets = unique_sets[mru_order]
+        grouped_lines = unique_lines[mru_order]
+        starts = np.nonzero(
+            np.r_[True, grouped_sets[1:] != grouped_sets[:-1]])[0]
+        ends = np.r_[starts[1:], grouped_sets.shape[0]]
+        sets_list = self._sets
+        for set_index, start, end in zip(grouped_sets[starts].tolist(),
+                                         starts.tolist(), ends.tolist()):
+            sets_list[set_index] = \
+                grouped_lines[start:min(end, start + associativity)].tolist()
+        return hits
 
 
 def generate_access_stream(
@@ -168,6 +240,12 @@ def generate_access_stream(
     return (base + offsets * LINE_BYTES).astype(np.int64)
 
 
+#: memo for :func:`miss_fraction` — the timing model asks for the same
+#: (pattern, working set, capacity) triples thousands of times per run
+_MISS_FRACTION_MEMO: Dict[tuple, float] = {}
+_MISS_FRACTION_MEMO_MAX = 1 << 16
+
+
 def miss_fraction(spec: MemAccessSpec, cache_bytes: float) -> float:
     """Steady-state miss fraction of ``spec`` against a ``cache_bytes`` cache.
 
@@ -178,12 +256,22 @@ def miss_fraction(spec: MemAccessSpec, cache_bytes: float) -> float:
     - random: per-access hit probability is the resident fraction
       ``cache/W`` (capped at 1).
     """
+    key = (spec.pattern, spec.wset_bytes, cache_bytes)
+    memo = _MISS_FRACTION_MEMO
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
     if cache_bytes <= 0:
-        return 1.0
-    wset = float(spec.wset_bytes)
-    if spec.pattern is MemPattern.RANDOM:
-        return float(max(0.0, 1.0 - min(1.0, cache_bytes / wset)))
-    return 0.0 if wset <= cache_bytes else 1.0
+        result = 1.0
+    elif spec.pattern is MemPattern.RANDOM:
+        wset = float(spec.wset_bytes)
+        result = float(max(0.0, 1.0 - min(1.0, cache_bytes / wset)))
+    else:
+        result = 0.0 if float(spec.wset_bytes) <= cache_bytes else 1.0
+    if len(memo) >= _MISS_FRACTION_MEMO_MAX:
+        memo.clear()
+    memo[key] = result
+    return result
 
 
 class CacheHierarchy:
@@ -206,6 +294,10 @@ class CacheHierarchy:
         self.l2 = l2
         self.llc = llc
         self.memory_latency_cycles = memory_latency_cycles
+        # Per-hierarchy memos: the core model prices the same access
+        # specs against one hierarchy for every request in a run.
+        self._latency_memo: Dict[tuple, float] = {}
+        self._profile_memo: Dict[tuple, Dict[str, float]] = {}
 
     def data_levels(self) -> Sequence[CacheConfig]:
         """The data-side levels, innermost first."""
@@ -238,9 +330,14 @@ class CacheHierarchy:
         presented to that level* — the hierarchy filters sequentially, so
         L2's denominator is L1d's misses, etc.
         """
+        key = (spec.pattern, spec.wset_bytes)
+        cached = self._profile_memo.get(key)
+        if cached is not None:
+            return dict(cached)
         profile: Dict[str, float] = {}
         for level in self.data_levels():
             profile[level.name] = miss_fraction(spec, level.size_bytes)
+        self._profile_memo[key] = dict(profile)
         return profile
 
     def load_latency(self, spec: MemAccessSpec) -> float:
@@ -249,6 +346,10 @@ class CacheHierarchy:
         Computed as the latency of the first level the access hits in,
         averaged over the hit/miss fractions.
         """
+        key = (spec.pattern, spec.wset_bytes)
+        cached = self._latency_memo.get(key)
+        if cached is not None:
+            return cached
         remaining = 1.0
         expected = 0.0
         for level in self.data_levels():
@@ -256,4 +357,5 @@ class CacheHierarchy:
             expected += remaining * (1.0 - miss) * level.latency_cycles
             remaining *= miss
         expected += remaining * self.memory_latency_cycles
+        self._latency_memo[key] = expected
         return expected

@@ -124,25 +124,29 @@ class BlockTiming:
         return self.instructions / self.cycles
 
     def __add__(self, other: "BlockTiming") -> "BlockTiming":
-        return BlockTiming(
-            cycles=self.cycles + other.cycles,
-            instructions=self.instructions + other.instructions,
-            uops=self.uops + other.uops,
-            branches=self.branches + other.branches,
-            branch_mispredictions=(
+        # Hot path (one per block-pricing event): bypass the 15-keyword
+        # dataclass __init__; the field sums are identical.
+        result = BlockTiming.__new__(BlockTiming)
+        result.__dict__ = {
+            "cycles": self.cycles + other.cycles,
+            "instructions": self.instructions + other.instructions,
+            "uops": self.uops + other.uops,
+            "branches": self.branches + other.branches,
+            "branch_mispredictions": (
                 self.branch_mispredictions + other.branch_mispredictions
             ),
-            l1i_accesses=self.l1i_accesses + other.l1i_accesses,
-            l1i_misses=self.l1i_misses + other.l1i_misses,
-            l1d_accesses=self.l1d_accesses + other.l1d_accesses,
-            l1d_misses=self.l1d_misses + other.l1d_misses,
-            l2_accesses=self.l2_accesses + other.l2_accesses,
-            l2_misses=self.l2_misses + other.l2_misses,
-            llc_accesses=self.llc_accesses + other.llc_accesses,
-            llc_misses=self.llc_misses + other.llc_misses,
-            memory_bytes=self.memory_bytes + other.memory_bytes,
-            topdown=self.topdown + other.topdown,
-        )
+            "l1i_accesses": self.l1i_accesses + other.l1i_accesses,
+            "l1i_misses": self.l1i_misses + other.l1i_misses,
+            "l1d_accesses": self.l1d_accesses + other.l1d_accesses,
+            "l1d_misses": self.l1d_misses + other.l1d_misses,
+            "l2_accesses": self.l2_accesses + other.l2_accesses,
+            "l2_misses": self.l2_misses + other.l2_misses,
+            "llc_accesses": self.llc_accesses + other.llc_accesses,
+            "llc_misses": self.llc_misses + other.llc_misses,
+            "memory_bytes": self.memory_bytes + other.memory_bytes,
+            "topdown": self.topdown + other.topdown,
+        }
+        return result
 
     def scaled(self, factor: float) -> "BlockTiming":
         """Every additive quantity multiplied by ``factor``."""

@@ -24,9 +24,11 @@ class TopDownBreakdown:
     backend: float
 
     def __post_init__(self) -> None:
-        for name in ("retiring", "frontend", "bad_speculation", "backend"):
-            if getattr(self, name) < -1e-9:
-                raise ConfigurationError(f"negative slot count for {name}")
+        if (self.retiring < -1e-9 or self.frontend < -1e-9
+                or self.bad_speculation < -1e-9 or self.backend < -1e-9):
+            for name in ("retiring", "frontend", "bad_speculation", "backend"):
+                if getattr(self, name) < -1e-9:
+                    raise ConfigurationError(f"negative slot count for {name}")
 
     @property
     def total_slots(self) -> float:
@@ -67,12 +69,16 @@ class TopDownBreakdown:
         }
 
     def __add__(self, other: "TopDownBreakdown") -> "TopDownBreakdown":
-        return TopDownBreakdown(
-            self.retiring + other.retiring,
-            self.frontend + other.frontend,
-            self.bad_speculation + other.bad_speculation,
-            self.backend + other.backend,
+        # Hot path (one per block-pricing event): sums of validated
+        # breakdowns need no re-validation, so skip __init__ entirely.
+        result = object.__new__(TopDownBreakdown)
+        result.__dict__.update(
+            retiring=self.retiring + other.retiring,
+            frontend=self.frontend + other.frontend,
+            bad_speculation=self.bad_speculation + other.bad_speculation,
+            backend=self.backend + other.backend,
         )
+        return result
 
     def scaled(self, factor: float) -> "TopDownBreakdown":
         """All buckets multiplied by ``factor``."""

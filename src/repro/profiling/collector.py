@@ -338,20 +338,24 @@ def _collect_dep_artifacts(
     budget: ProfilingBudget,
     rng: np.random.Generator,
 ) -> None:
-    def sample_distance(hist: Dict[int, float], default: float) -> float:
-        if not hist:
+    def sample_distance(hist: Optional[Histogram], default: float) -> float:
+        if hist is None:
             return default
-        h = Histogram(dict(hist))
-        edge = float(h.sample(rng, 1)[0])
+        edge = float(hist.sample(rng, 1)[0])
         # Jitter within the bin (the DCFG reports exact distances).
         return max(1.0, edge * float(rng.uniform(0.75, 1.25)))
 
     deps = block.deps
+    # One sampler per distance kind for the whole block: same sorted key
+    # order (hence identical draws) as rebuilding a Histogram per sample.
+    raw_hist = Histogram(dict(deps.raw)) if deps.raw else None
+    war_hist = Histogram(dict(deps.war)) if deps.war else None
+    waw_hist = Histogram(dict(deps.waw)) if deps.waw else None
     for _ in range(budget.dep_samples_per_block):
         artifacts.dep_samples.append(DepSample(
-            raw=sample_distance(dict(deps.raw), default=24.0),
-            war=sample_distance(dict(deps.war), default=32.0),
-            waw=sample_distance(dict(deps.waw), default=48.0),
+            raw=sample_distance(raw_hist, default=24.0),
+            war=sample_distance(war_hist, default=32.0),
+            waw=sample_distance(waw_hist, default=48.0),
             pointer_chase=bool(rng.random() < deps.pointer_chase_frac),
         ))
 

@@ -3,10 +3,13 @@
 The Valgrind stand-in sweeps simulated cache sizes over the captured
 address traces. Rather than re-simulating an LRU cache once per size, the
 sweep computes Mattson reuse distances (distinct lines touched since the
-previous access to the same line) with a Fenwick tree in O(N log N): under
-fully-associative LRU an access hits a cache of C lines iff its reuse
-distance is < C, so one pass yields the hit counts H(s) for *every* size
-at once. The paper notes associativity changes move miss rates by only
+previous access to the same line) in one pass: under fully-associative
+LRU an access hits a cache of C lines iff its reuse distance is < C, so
+one pass yields the hit counts H(s) for *every* size at once. Distances
+come from the vectorized kernel in :mod:`repro.hw.stackdist`; the
+original O(N log N) Fenwick-tree loop survives as
+:func:`reuse_distances_reference` for cross-validation and as the perf
+harness's scalar baseline. The paper notes associativity changes move miss rates by only
 ~1.9%, justifying the fully-associative sweep; tests cross-validate it
 against the explicit set-associative simulator.
 
@@ -25,6 +28,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.hw.cache import LINE_BYTES
+from repro.hw.stackdist import stack_distances
 from repro.util.errors import ConfigurationError, ProfilingError
 from repro.util.quantize import pow2_bins
 
@@ -55,7 +59,20 @@ class _Fenwick:
 
 
 def reuse_distances(addresses: np.ndarray) -> np.ndarray:
-    """Per-access LRU reuse distance in cache lines (-1 = first touch)."""
+    """Per-access LRU reuse distance in cache lines (-1 = first touch).
+
+    Delegates to the vectorized stack-distance kernel
+    (:func:`repro.hw.stackdist.stack_distances`); bit-identical to the
+    online Fenwick formulation kept in
+    :func:`reuse_distances_reference`, which tests and the perf harness
+    cross-validate against.
+    """
+    lines = np.asarray(addresses, dtype=np.int64) // LINE_BYTES
+    return stack_distances(lines)
+
+
+def reuse_distances_reference(addresses: np.ndarray) -> np.ndarray:
+    """Scalar (Fenwick-tree) reference for :func:`reuse_distances`."""
     lines = np.asarray(addresses, dtype=np.int64) // LINE_BYTES
     n = len(lines)
     distances = np.full(n, -1, dtype=np.int64)

@@ -1,11 +1,32 @@
-"""Core event loop, events and processes for discrete-event simulation."""
+"""Core event loop, events and processes for discrete-event simulation.
+
+The engine is the innermost loop of every Ditto experiment: profiling
+sweeps, tuning iterations and the fig5-fig11 benchmarks all bottom out
+in :meth:`Environment.step`. The hot paths are therefore written for
+allocation economy while preserving, exactly, the scheduling semantics
+the rest of the stack depends on (see DESIGN.md "Engine invariants"):
+
+* events dispatch in (time, insertion counter) order — FIFO among
+  same-timestamp events;
+* a process yielding an already-triggered event resumes on the *next*
+  scheduling round (via a lightweight :class:`_Resume` queue entry, not
+  a proxy ``Event``), consuming exactly one counter slot;
+* ``Timeout`` objects are pooled per environment and recycled only when
+  provably unreferenced, so reuse is invisible to callers;
+* an empty fault plan / absent telemetry leaves the schedule untouched,
+  keeping runs bit-identical.
+"""
 
 from __future__ import annotations
 
 import heapq
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.util.errors import SimulationError
+
+#: cap on the per-environment freelist of recycled Timeout objects
+_TIMEOUT_POOL_MAX = 1024
 
 
 class Event:
@@ -66,7 +87,11 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` time units after creation."""
+    """An event that fires ``delay`` time units after creation.
+
+    Prefer :meth:`Environment.timeout`, which recycles triggered-and-
+    dispatched instances from a per-environment pool.
+    """
 
     __slots__ = ("delay",)
 
@@ -89,6 +114,76 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+class _Resume:
+    """Queue entry resuming a process whose yield target already triggered.
+
+    Replaces the former proxy-``Event`` mechanism: one slotted object, no
+    callback list, no closure — but the same single counter slot, so the
+    dispatch order is identical. ``target is None`` marks the process
+    bootstrap (first ``send(None)``). ``process`` is cleared to cancel
+    the entry (e.g. when an interrupt supersedes the pending resume).
+    """
+
+    __slots__ = ("process", "target")
+
+    def __init__(self, process: "Process", target: Optional[Event]) -> None:
+        self.process = process
+        self.target = target
+
+    def fire(self, env: "Environment") -> None:
+        process = self.process
+        if process is None:
+            return
+        process._pending = None
+        target = self.target
+        if target is None:
+            process._step_send(None)
+        else:
+            process._waiting_on = None
+            if target._ok:
+                process._step_send(target._value)
+            else:
+                process._step_throw(target._value)
+
+
+class _Throw:
+    """Queue entry delivering an :class:`Interrupt` into a process."""
+
+    __slots__ = ("process", "cause")
+
+    def __init__(self, process: "Process", cause: Any) -> None:
+        self.process = process
+        self.cause = cause
+
+    def fire(self, env: "Environment") -> None:
+        process = self.process
+        if process._triggered:
+            return
+        # Detach again at fire time: a registration created between the
+        # interrupt() call and this dispatch (e.g. the process was only
+        # bootstrapping when interrupted) must not double-step it later.
+        process._detach()
+        process._step_throw(Interrupt(self.cause))
+
+
+class _Deferred:
+    """Queue entry re-delivering an already-triggered event to a callback.
+
+    Used by the combinators so a pre-triggered member still propagates on
+    the next scheduling round (ordering stays sane) without allocating a
+    proxy ``Event``.
+    """
+
+    __slots__ = ("callback", "event")
+
+    def __init__(self, callback: Callable[[Event], None], event: Event) -> None:
+        self.callback = callback
+        self.event = event
+
+    def fire(self, env: "Environment") -> None:
+        self.callback(self.event)
+
+
 class Process(Event):
     """Wraps a generator as a schedulable simulation process.
 
@@ -103,7 +198,7 @@ class Process(Event):
     waits on is dropped with the process.
     """
 
-    __slots__ = ("_generator", "_waiting_on", "name")
+    __slots__ = ("_generator", "_waiting_on", "_pending", "_on_target", "name")
 
     def __init__(
         self,
@@ -116,40 +211,56 @@ class Process(Event):
             raise SimulationError("Process requires a generator")
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        # The one bound-method callback this process registers on yield
+        # targets — allocated once instead of per yield.
+        self._on_target = self._resume
         self.name = name or getattr(generator, "__name__", "process")
-        bootstrap = Event(env)
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed()
+        entry = _Resume(self, None)
+        self._pending: Optional[_Resume] = entry
+        env._push(entry)
 
     @property
     def is_alive(self) -> bool:
         """True while the underlying generator has not finished."""
         return not self._triggered
 
+    def _detach(self) -> None:
+        """Forget the current wait: deregister callback, cancel resumes."""
+        waiting = self._waiting_on
+        if waiting is not None:
+            callbacks = waiting.callbacks
+            if callbacks:
+                try:
+                    callbacks.remove(self._on_target)
+                except ValueError:
+                    pass
+        pending = self._pending
+        if pending is not None and pending.target is not None:
+            # Cancel a pending fast-resume so the interrupt below is the
+            # only thing that steps the generator (a cancelled bootstrap,
+            # by contrast, would mean the process body never ran at all —
+            # bootstraps stay scheduled).
+            pending.process = None
+            self._pending = None
+        self._waiting_on = None
+
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at its current yield."""
         if self._triggered:
             return
-        waiting = self._waiting_on
-        if waiting is not None and self._resume in waiting.callbacks:
-            waiting.callbacks.remove(self._resume)
-        self._waiting_on = None
-        interrupt_event = Event(self.env)
-        interrupt_event.callbacks.append(
-            lambda _evt: self._step(lambda: self._generator.throw(Interrupt(cause)))
-        )
-        interrupt_event.succeed()
+        self._detach()
+        self.env._push(_Throw(self, cause))
 
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
-        if event.ok:
-            self._step(lambda: self._generator.send(event.value))
+        if event._ok:
+            self._step_send(event._value)
         else:
-            self._step(lambda: self._generator.throw(event.value))
+            self._step_throw(event._value)
 
-    def _step(self, advance: Callable[[], Any]) -> None:
+    def _step_send(self, value: Any) -> None:
         try:
-            target = advance()
+            target = self._generator.send(value)
         except StopIteration as stop:
             if not self._triggered:
                 self.succeed(stop.value)
@@ -165,21 +276,49 @@ class Process(Event):
             if not self._triggered:
                 self.fail(error)
             return
-        if not isinstance(target, Event):
+        self._wait_on(target)
+
+    def _step_throw(self, exception: BaseException) -> None:
+        try:
+            target = self._generator.throw(exception)
+        except StopIteration as stop:
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        except Interrupt:
+            if not self._triggered:
+                self.succeed(None)
+            return
+        except Exception as error:
+            if not self._triggered:
+                self.fail(error)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Event) -> None:
+        cls = target.__class__
+        if cls is not Timeout:
+            if not isinstance(target, Event):
+                raise SimulationError(
+                    f"process {self.name!r} yielded {target!r}, "
+                    f"expected an Event"
+                )
+            if target.env is not self.env:
+                raise SimulationError(
+                    "process yielded an event from another Environment")
+            if target._triggered:
+                # Already-triggered non-timeout events resume the process
+                # on the next scheduling round (value already available).
+                entry = _Resume(self, target)
+                self._pending = entry
+                self._waiting_on = target
+                self.env._push(entry)
+                return
+        elif target.env is not self.env:
             raise SimulationError(
-                f"process {self.name!r} yielded {target!r}, expected an Event"
-            )
-        if target.env is not self.env:
-            raise SimulationError("process yielded an event from another Environment")
+                "process yielded an event from another Environment")
         self._waiting_on = target
-        if target._triggered and not isinstance(target, Timeout):
-            # Already-triggered non-timeout events resume the process on the
-            # next scheduling round (value already available).
-            resume_now = Event(self.env)
-            resume_now.callbacks.append(lambda _evt: self._resume(target))
-            resume_now.succeed()
-        else:
-            target.callbacks.append(self._resume)
+        target.callbacks.append(self._on_target)
 
 
 class Environment:
@@ -203,8 +342,9 @@ class Environment:
                  timeline: Optional[Any] = None,
                  faults: Optional[Any] = None) -> None:
         self._now = float(initial_time)
-        self._queue: List[tuple[float, int, Event]] = []
+        self._queue: List[tuple] = []
         self._counter = 0
+        self._timeout_pool: List[Timeout] = []
         self.timeline = timeline
         self.faults = faults
 
@@ -218,7 +358,26 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event firing ``delay`` time units from now."""
+        """Create an event firing ``delay`` time units from now.
+
+        Serves from the environment's freelist of recycled ``Timeout``
+        instances when possible; a recycled timeout is indistinguishable
+        from a fresh one (instances are only recycled once dispatched
+        and provably unreferenced).
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay}")
+            timeout = pool.pop()
+            timeout.delay = delay
+            timeout._value = value
+            timeout._ok = True
+            timeout._scheduled = True
+            heapq.heappush(self._queue,
+                           (self._now + delay, self._counter, timeout))
+            self._counter += 1
+            return timeout
         return Timeout(self, delay, value)
 
     def process(
@@ -230,45 +389,62 @@ class Environment:
     def all_of(self, events: Iterable[Event]) -> Event:
         """An event that succeeds when every event in ``events`` has.
 
-        Delivers the list of individual values, in input order.
+        Delivers the list of individual values, in input order. Once the
+        combinator resolves (first failure, or last success), its
+        callbacks are deregistered from every still-pending member, so
+        long-lived losing events do not retain the combinator's state.
         """
         events = list(events)
         done = self.event()
         if not events:
             done.succeed([])
             return done
-        remaining = {"count": len(events)}
         values: List[Any] = [None] * len(events)
+        pending = [len(events)]
+        callbacks: List[Callable[[Event], None]] = []
+
+        def deregister() -> None:
+            for event, callback in zip(events, callbacks):
+                if not event._triggered:
+                    try:
+                        event.callbacks.remove(callback)
+                    except ValueError:
+                        pass
 
         def make_callback(index: int) -> Callable[[Event], None]:
             def callback(event: Event) -> None:
-                if done.triggered:
+                if done._triggered:
                     return
-                if not event.ok:
-                    done.fail(event.value)
+                if not event._ok:
+                    done.fail(event._value)
+                    deregister()
                     return
-                values[index] = event.value
-                remaining["count"] -= 1
-                if remaining["count"] == 0:
+                values[index] = event._value
+                pending[0] -= 1
+                if pending[0] == 0:
                     done.succeed(list(values))
 
             return callback
 
         for index, event in enumerate(events):
-            if event.triggered:
-                # Propagate immediately via a proxy so ordering stays sane.
-                proxy = self.event()
-                proxy.callbacks.append(make_callback(index))
-                if event.ok:
-                    proxy.succeed(event.value)
-                else:
-                    proxy.fail(event.value)
+            callback = make_callback(index)
+            callbacks.append(callback)
+            if event._triggered:
+                # Propagate on the next scheduling round so ordering
+                # stays sane (formerly a proxy Event; same counter slot).
+                self._push(_Deferred(callback, event))
             else:
-                event.callbacks.append(make_callback(index))
+                event.callbacks.append(callback)
         return done
 
     def any_of(self, events: Iterable[Event]) -> Event:
-        """An event that succeeds as soon as any event in ``events`` does."""
+        """An event that succeeds as soon as any event in ``events`` does.
+
+        When the race resolves, the combinator's callback is removed from
+        every losing event that has not yet triggered — otherwise a
+        long-lived loser (a response that never arrives, a far-future
+        timeout) would pin the combinator's closure for its lifetime.
+        """
         events = list(events)
         done = self.event()
         if not events:
@@ -276,24 +452,30 @@ class Environment:
             return done
 
         def callback(event: Event) -> None:
-            if done.triggered:
+            if done._triggered:
                 return
-            if event.ok:
-                done.succeed(event.value)
+            if event._ok:
+                done.succeed(event._value)
             else:
-                done.fail(event.value)
+                done.fail(event._value)
+            for other in events:
+                if other is not event and not other._triggered:
+                    try:
+                        other.callbacks.remove(callback)
+                    except ValueError:
+                        pass
 
         for event in events:
-            if event.triggered:
-                proxy = self.event()
-                proxy.callbacks.append(callback)
-                if event.ok:
-                    proxy.succeed(event.value)
-                else:
-                    proxy.fail(event.value)
+            if event._triggered:
+                self._push(_Deferred(callback, event))
             else:
                 event.callbacks.append(callback)
         return done
+
+    def _push(self, entry: Any, delay: float = 0.0) -> None:
+        """Schedule a raw queue entry (event or lightweight resume)."""
+        heapq.heappush(self._queue, (self._now + delay, self._counter, entry))
+        self._counter += 1
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         if event._scheduled:
@@ -302,17 +484,40 @@ class Environment:
         heapq.heappush(self._queue, (self._now + delay, self._counter, event))
         self._counter += 1
 
+    def _dispatch(self, item: Any) -> None:
+        """Run one popped queue entry's effects."""
+        if isinstance(item, Event):
+            callbacks = item.callbacks
+            if callbacks:
+                if len(callbacks) == 1:
+                    callback = callbacks[0]
+                    callbacks.clear()
+                    callback(item)
+                else:
+                    item.callbacks = []
+                    for callback in callbacks:
+                        callback(item)
+            if item.__class__ is Timeout and getrefcount(item) == 3:
+                # Dispatched and provably unreferenced: exactly three
+                # refs remain — our parameter, the run()/step() local
+                # that passed it in, and getrefcount's own argument.
+                # Any caller still holding the timeout inflates the
+                # count and keeps it out of the pool.
+                pool = self._timeout_pool
+                if len(pool) < _TIMEOUT_POOL_MAX:
+                    pool.append(item)
+        else:
+            item.fire(self)
+
     def step(self) -> None:
-        """Process the single next event in the queue."""
+        """Process the single next entry in the event queue."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        when, _, event = heapq.heappop(self._queue)
+        when, _, item = heapq.heappop(self._queue)
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when
-        callbacks, event.callbacks = event.callbacks, []
-        for callback in callbacks:
-            callback(event)
+        self._dispatch(item)
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run the simulation.
@@ -327,8 +532,13 @@ class Environment:
                 if not self._queue:
                     if until.triggered:
                         break
+                    name = getattr(until, "name", "")
+                    label = f"{type(until).__name__}"
+                    if name:
+                        label += f" {name!r}"
                     raise SimulationError(
-                        "event queue drained before the awaited event triggered"
+                        f"event queue drained at t={self._now:g} before "
+                        f"the awaited {label} triggered"
                     )
                 self.step()
                 if until.triggered and not self._queue:
@@ -336,12 +546,25 @@ class Environment:
             if not until.ok:
                 raise until.value
             return until.value
+        queue = self._queue
+        pop = heapq.heappop
+        dispatch = self._dispatch
         if until is None:
-            while self._queue:
-                self.step()
+            # Drain everything: the inlined loop batches same-timestamp
+            # events without re-entering step() per event.
+            while queue:
+                when, _, item = pop(queue)
+                if when < self._now:
+                    raise SimulationError("event scheduled in the past")
+                self._now = when
+                dispatch(item)
             return None
         deadline = float(until)
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
+        while queue and queue[0][0] <= deadline:
+            when, _, item = pop(queue)
+            if when < self._now:
+                raise SimulationError("event scheduled in the past")
+            self._now = when
+            dispatch(item)
         self._now = max(self._now, deadline)
         return None

@@ -126,9 +126,15 @@ class Histogram:
 
     counts: Dict[object, float] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Cached (n_keys, keys, probs, cdf) for sampling; rebuilding the
+        # repr-sorted key order per draw dominated hot sampling loops.
+        self._sampler: tuple | None = None
+
     def add(self, key: object, weight: float = 1.0) -> None:
         """Add ``weight`` observations of ``key``."""
         self.counts[key] = self.counts.get(key, 0.0) + weight
+        self._sampler = None
 
     def update(self, other: Mapping[object, float]) -> None:
         """Fold another mapping of counts into this histogram."""
@@ -154,24 +160,46 @@ class Histogram:
             return {}
         return {key: count / total for key, count in self.counts.items()}
 
-    def keys_and_probs(self) -> tuple[List[object], np.ndarray]:
-        """Return parallel (keys, probabilities) arrays, sorted by key repr.
-
-        Sorting makes sampling deterministic for a fixed seed regardless of
-        insertion order.
-        """
+    def _ensure_sampler(self) -> tuple:
+        sampler = getattr(self, "_sampler", None)
+        if sampler is not None and sampler[0] == len(self.counts):
+            return sampler
         items = sorted(self.counts.items(), key=lambda item: repr(item[0]))
         keys = [key for key, _ in items]
         probs = np.array([count for _, count in items], dtype=float)
         total = probs.sum()
         if total == 0.0:
             raise ConfigurationError("cannot sample from an empty histogram")
-        return keys, probs / total
+        probs = probs / total
+        # Mirror numpy Generator.choice(p=...) exactly: cumsum then
+        # renormalise by the last entry, so cached sampling draws the
+        # same indices (to the last ulp) as the choice() it replaced.
+        cdf = np.cumsum(probs)
+        cdf /= cdf[-1]
+        sampler = (len(self.counts), keys, probs, cdf)
+        self._sampler = sampler
+        return sampler
+
+    def keys_and_probs(self) -> tuple[List[object], np.ndarray]:
+        """Return parallel (keys, probabilities) arrays, sorted by key repr.
+
+        Sorting makes sampling deterministic for a fixed seed regardless of
+        insertion order.
+        """
+        _, keys, probs, _ = self._ensure_sampler()
+        return list(keys), probs.copy()
 
     def sample(self, rng: np.random.Generator, size: int = 1) -> List[object]:
-        """Draw ``size`` iid samples from the empirical distribution."""
-        keys, probs = self.keys_and_probs()
-        indices = rng.choice(len(keys), size=size, p=probs)
+        """Draw ``size`` iid samples from the empirical distribution.
+
+        Consumes ``rng.random(size)`` — the same stream as the
+        ``rng.choice`` formulation it replaces — and inverts the cached
+        CDF, so fixed seeds keep producing identical draws.
+        """
+        _, keys, _, cdf = self._ensure_sampler()
+        indices = np.minimum(
+            np.searchsorted(cdf, rng.random(size), side="right"),
+            len(keys) - 1)
         return [keys[i] for i in indices]
 
     def most_common(self, n: int | None = None) -> List[tuple[object, float]]:

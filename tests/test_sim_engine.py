@@ -245,3 +245,132 @@ class TestCombinators:
         env.process(parent())
         env.run()
         assert got["values"] == []
+
+
+class TestInterruptRaces:
+    def test_interrupt_cancels_pending_fast_resume(self):
+        """An interrupt racing a triggered-event resume is delivered once.
+
+        The waiter yields an already-triggered event (queuing a
+        fast-resume for the same timestamp) and is interrupted before
+        that resume fires: it must see exactly one Interrupt and never
+        the stale resume (which would double-step the generator).
+        """
+        env = Environment()
+        log = []
+        evt = env.event()
+        evt.succeed("ready")
+
+        def waiter():
+            yield env.timeout(1.0)
+            try:
+                value = yield evt
+                log.append(("value", value))
+            except Interrupt as interrupt:
+                log.append(("interrupt", interrupt.cause))
+            yield env.timeout(1.0)
+            log.append(("done", env.now))
+
+        def interrupter(target):
+            yield env.timeout(1.0)
+            target.interrupt("bang")
+
+        target = env.process(waiter())
+        env.process(interrupter(target))
+        env.run()
+        assert log == [("interrupt", "bang"), ("done", 2.0)]
+
+    def test_interrupt_before_start_still_runs_body_to_first_yield(self):
+        env = Environment()
+        log = []
+
+        def body():
+            log.append("started")
+            try:
+                yield env.timeout(10.0)
+            except Interrupt:
+                log.append("interrupted")
+
+        process = env.process(body())
+        process.interrupt()
+        env.run()
+        assert log == ["started", "interrupted"]
+
+
+class TestCombinatorDeregistration:
+    def test_any_of_losers_drop_callbacks(self):
+        env = Environment()
+        winner = env.timeout(1.0)
+        loser = env.event()   # never triggers
+        env.any_of([winner, loser])
+        assert len(loser.callbacks) == 1
+        env.run()
+        assert loser.callbacks == []
+
+    def test_all_of_failure_drops_remaining_callbacks(self):
+        env = Environment()
+        pending = env.event()  # never triggers
+
+        def failing():
+            yield env.timeout(1.0)
+            raise RuntimeError("boom")
+
+        combo = env.all_of([env.process(failing()), pending])
+        combo.callbacks.append(lambda event: None)  # swallow the failure
+        env.run()
+        assert not combo.ok
+        assert pending.callbacks == []
+
+
+class TestDrainedQueueDiagnostics:
+    def test_error_names_event_type_and_time(self):
+        env = Environment()
+        env.process((env.timeout(2.5) for _ in range(1)))
+        never = env.event()
+        with pytest.raises(SimulationError,
+                           match=r"drained at t=2\.5 .*Event"):
+            env.run(until=never)
+
+    def test_error_includes_process_name(self):
+        env = Environment()
+
+        def stalled():
+            yield env.event()
+
+        process = env.process(stalled(), name="stalled-worker")
+        with pytest.raises(SimulationError, match=r"Process 'stalled-worker'"):
+            env.run(until=process)
+
+
+class TestTimeoutPooling:
+    def test_pool_recycles_and_preserves_values(self):
+        env = Environment()
+        seen = []
+
+        def proc():
+            for index in range(200):
+                seen.append((yield env.timeout(0.5, value=index)))
+
+        env.process(proc())
+        env.run()
+        assert seen == list(range(200))
+        assert env._timeout_pool  # recycling actually kicked in
+
+    def test_held_timeout_is_never_recycled(self):
+        env = Environment()
+        held = []
+
+        def holder():
+            timeout = env.timeout(1.0, value="keep")
+            held.append(timeout)
+            yield timeout
+
+        def churner():
+            for _ in range(100):
+                yield env.timeout(0.25)
+
+        env.process(holder())
+        env.process(churner())
+        env.run()
+        assert held[0].value == "keep"
+        assert all(pooled is not held[0] for pooled in env._timeout_pool)
