@@ -30,6 +30,9 @@ Subpackages, bottom-up:
 - :mod:`repro.analysis` — tree-edit distance, clustering, error reports
 - :mod:`repro.core` — Ditto itself: feature extraction, generators,
   fine tuning, the cloner, and the assembly emitter
+- :mod:`repro.validation` — fidelity gates, artifact integrity,
+  self-healing remediation (``python -m repro.validation`` gates a
+  saved bundle)
 """
 
 from repro.app.service import Deployment
@@ -62,10 +65,21 @@ from repro.runtime import (
     RunResult,
     run_experiment,
 )
+from repro.util.errors import (
+    ArtifactIntegrityError,
+    FidelityGateError,
+    SimBudgetExceededError,
+)
+from repro.validation import (
+    FidelityGate,
+    FidelityReport,
+    RemediationPolicy,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactIntegrityError",
     "CloneResult",
     "CpuStealFault",
     "Deployment",
@@ -76,10 +90,15 @@ __all__ = [
     "ExperimentConfig",
     "FaultPlan",
     "FaultWindow",
+    "FidelityGate",
+    "FidelityGateError",
+    "FidelityReport",
     "GeneratorConfig",
     "LatencySpikeFault",
     "LoadSpec",
     "NodeCrashFault",
+    "RemediationPolicy",
+    "SimBudgetExceededError",
     "PLATFORM_A",
     "PLATFORM_B",
     "PLATFORM_C",

@@ -8,16 +8,28 @@ serialises :class:`~repro.core.features.ServiceFeatures` to a versioned
 JSON bundle, deserialises it, and regenerates a runnable synthetic
 deployment from the bundle alone. A small audit helper verifies the
 bundle leaks none of the original's identifiers.
+
+Bundle v2 adds two things on top of v1's tier features:
+
+- an embedded ``integrity`` stanza (canonical-JSON SHA-256, see
+  :func:`repro.validation.integrity.stamp_json`) so a damaged bundle is
+  quarantined and reported instead of silently regenerating a wrong
+  clone — v1 bundles (no stanza) still load;
+- optional per-tier **tuned knobs** (the fine-tuner's output), so a
+  consumer regenerates the *calibrated* clone, not the pre-tuning one —
+  which is what ``python -m repro.validation`` gates a bundle on.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import os
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.app.service import Deployment, Placement, ServiceSpec
-from repro.core.body_gen import GeneratorConfig, generate_program
+from repro.core.body_gen import GeneratorConfig, TuningKnobs, generate_program
 from repro.core.features import ServiceFeatures
 from repro.core.skeleton_gen import generate_skeleton
 from repro.app.skeleton import ClientNetworkModel, ServerNetworkModel
@@ -32,11 +44,12 @@ from repro.profiling.threads import (
     ThreadModelProfile,
 )
 from repro.runtime.metrics import ServiceMetrics
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ArtifactIntegrityError, ConfigurationError
 from repro.util.stats import Histogram, OnlineStats
+from repro.validation import integrity
 
 BUNDLE_FORMAT = "ditto-clone-bundle"
-BUNDLE_VERSION = 1
+BUNDLE_VERSION = 2
 
 
 # --------------------------------------------------------------------- #
@@ -304,11 +317,23 @@ def save_bundle(
     path,
     entry_service: str,
     placements: Optional[Dict[str, str]] = None,
+    tuned_knobs: Optional[Dict[str, TuningKnobs]] = None,
 ) -> Path:
-    """Write a shareable clone bundle to ``path``."""
+    """Write a shareable clone bundle to ``path``.
+
+    The document is digest-stamped (canonical-JSON SHA-256 embedded in
+    an ``integrity`` stanza) and written atomically — a crash mid-write
+    leaves the previous bundle, never half of the new one. Pass the
+    fine-tuner's per-tier knobs as ``tuned_knobs`` so consumers
+    regenerate the calibrated clone.
+    """
     if entry_service not in features_by_service:
         raise ConfigurationError(
             f"entry service {entry_service!r} not among the tiers")
+    for name in tuned_knobs or {}:
+        if name not in features_by_service:
+            raise ConfigurationError(
+                f"tuned knobs for unknown tier {name!r}")
     document = {
         "format": BUNDLE_FORMAT,
         "version": BUNDLE_VERSION,
@@ -318,20 +343,59 @@ def save_bundle(
             name: encode_features(features)
             for name, features in features_by_service.items()
         },
+        "tuned_knobs": {
+            name: dataclasses.asdict(knobs)
+            for name, knobs in (tuned_knobs or {}).items()
+        },
     }
+    integrity.stamp_json(document)
     path = Path(path)
-    path.write_text(json.dumps(document, indent=1, sort_keys=True))
+    scratch = Path(f"{path}.tmp-{os.getpid()}")
+    scratch.write_text(json.dumps(document, indent=1, sort_keys=True))
+    os.replace(scratch, path)
     return path
+
+
+def read_bundle_document(path) -> dict:
+    """Parse and integrity-check a bundle file; returns the raw document.
+
+    Undecodable or digest-mismatching bundles are quarantined (moved to
+    ``<path>.quarantined``, counted in telemetry) and raise
+    :class:`~repro.util.errors.ArtifactIntegrityError` — a corrupt
+    bundle must never silently regenerate a wrong clone. v1 documents
+    (written before stamping existed) carry no stanza and pass.
+    """
+    text = Path(path).read_text()
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        moved = integrity.quarantine_and_report(
+            str(path), schema=BUNDLE_FORMAT, reason="undecodable")
+        raise ArtifactIntegrityError(
+            f"{path}: bundle is not valid JSON ({error})"
+            + (f"; quarantined to {moved}" if moved else ""),
+            path=str(path), reason="undecodable",
+            quarantined_to=moved) from error
+    if document.get("format") != BUNDLE_FORMAT:
+        raise ConfigurationError(f"{path} is not a clone bundle")
+    if document.get("version") not in range(1, BUNDLE_VERSION + 1):
+        raise ConfigurationError(
+            f"unsupported bundle version {document.get('version')}")
+    try:
+        integrity.verify_json(document, path=str(path))
+    except ArtifactIntegrityError as error:
+        moved = integrity.quarantine_and_report(
+            str(path), schema=BUNDLE_FORMAT, reason=error.reason)
+        raise ArtifactIntegrityError(
+            f"{error}" + (f"; quarantined to {moved}" if moved else ""),
+            path=str(path), reason=error.reason,
+            quarantined_to=moved) from error
+    return document
 
 
 def load_bundle(path) -> Tuple[Dict[str, ServiceFeatures], str, Dict[str, str]]:
     """Read a clone bundle; returns (features, entry service, placements)."""
-    document = json.loads(Path(path).read_text())
-    if document.get("format") != BUNDLE_FORMAT:
-        raise ConfigurationError(f"{path} is not a clone bundle")
-    if document.get("version") != BUNDLE_VERSION:
-        raise ConfigurationError(
-            f"unsupported bundle version {document.get('version')}")
+    document = read_bundle_document(path)
     features = {
         name: decode_features(data)
         for name, data in document["tiers"].items()
@@ -339,21 +403,52 @@ def load_bundle(path) -> Tuple[Dict[str, ServiceFeatures], str, Dict[str, str]]:
     return features, document["entry_service"], dict(document["placements"])
 
 
+def bundle_tuned_knobs(path) -> Dict[str, TuningKnobs]:
+    """The per-tier tuned knobs stored in a bundle (empty for v1)."""
+    document = read_bundle_document(path)
+    return {
+        name: TuningKnobs(**data)
+        for name, data in document.get("tuned_knobs", {}).items()
+    }
+
+
 def deployment_from_bundle(
     path,
     config: Optional[GeneratorConfig] = None,
     default_node: str = "node0",
+    use_tuned_knobs: bool = True,
 ) -> Deployment:
     """Regenerate a runnable synthetic deployment from a bundle alone.
 
     This is the consumer side of the sharing story: a hardware vendor
     with only the bundle (never the original code, binary, or traces)
-    builds and runs the synthetic service.
+    builds and runs the synthetic service. When the bundle carries
+    tuned knobs (v2) and ``use_tuned_knobs`` is on, each tier is
+    generated with its calibrated knob set; an explicit non-default
+    ``config.knobs`` wins over the bundle's.
     """
-    features_by_service, entry_service, placements = load_bundle(path)
+    document = read_bundle_document(path)
+    features_by_service = {
+        name: decode_features(data)
+        for name, data in document["tiers"].items()
+    }
+    entry_service = document["entry_service"]
+    placements = dict(document["placements"])
+    knobs_by_tier: Dict[str, TuningKnobs] = {}
+    if use_tuned_knobs:
+        caller_tuned = config is not None and config.knobs != TuningKnobs()
+        if not caller_tuned:
+            knobs_by_tier = {
+                name: TuningKnobs(**data)
+                for name, data in document.get("tuned_knobs", {}).items()
+            }
     services: Dict[str, ServiceSpec] = {}
     for name, features in features_by_service.items():
-        program, files = generate_program(features, config)
+        tier_config = config
+        if name in knobs_by_tier:
+            tier_config = dataclasses.replace(
+                config or GeneratorConfig(), knobs=knobs_by_tier[name])
+        program, files = generate_program(features, tier_config)
         services[name] = ServiceSpec(
             name=name,
             skeleton=generate_skeleton(features.threads, features.network),

@@ -37,9 +37,18 @@ from repro.profiling.artifacts import ProfilingBudget
 from repro.profiling.collector import ApplicationProfile, profile_deployment
 from repro.runtime.expcache import CacheStats
 from repro.runtime.experiment import ExperimentConfig
+from repro.telemetry.context import current_session
 from repro.telemetry.session import Telemetry
 from repro.telemetry.spans import span
-from repro.util.errors import ConfigurationError
+from repro.util.errors import (
+    ConfigurationError,
+    FidelityGateError,
+    SimBudgetExceededError,
+    TierExecutionError,
+)
+from repro.util.rng import derive_seed
+from repro.validation.gate import FidelityGate, FidelityReport
+from repro.validation.remediate import RemediationPolicy, RemediationStep
 
 
 @dataclass
@@ -60,6 +69,12 @@ class CloneReport:
     #: sim timeline, Chrome-trace/report export); None when telemetry
     #: was not enabled on the cloner
     telemetry: Optional[Telemetry] = None
+    #: fidelity-gate verdict for the accepted clone; None when the
+    #: cloner ran without ``validate=``
+    fidelity: Optional[FidelityReport] = None
+    #: remediation rungs climbed before this clone was produced (empty
+    #: when the first attempt was accepted)
+    remediation: List[RemediationStep] = field(default_factory=list)
 
     def tier_names(self) -> List[str]:
         """Cloned tiers."""
@@ -106,6 +121,22 @@ class DittoCloner:
     :class:`CloneReport.telemetry` exports the Chrome trace / saved-run
     JSON. Telemetry never touches a random stream: clone output is
     bit-identical with it on or off.
+
+    ``validate`` turns the clone into a *gated* clone: pass ``True``
+    (default tolerances) or a configured
+    :class:`~repro.validation.gate.FidelityGate`, and the finished
+    synthetic is replayed against the original under matched seeds; the
+    per-metric verdict lands on :class:`CloneReport.fidelity`. A clone
+    that fails the gate is not returned silently — the cloner climbs
+    the ``remediation`` ladder (:class:`RemediationPolicy`: derived
+    re-seeds, widened tune budgets, degraded executors) and, if every
+    rung fails, raises
+    :class:`~repro.util.errors.FidelityGateError` carrying the failing
+    report *and* the clone, so callers can inspect or salvage it. The
+    same ladder retries tiers whose simulations trip a watchdog budget
+    (:class:`~repro.util.errors.SimBudgetExceededError`). With
+    ``validate=None`` (the default) none of this machinery runs and
+    clone output is bit-identical to previous releases.
     """
 
     def __init__(
@@ -121,6 +152,8 @@ class DittoCloner:
         tier_retries: int = 1,
         checkpoint_dir: Optional[str] = None,
         telemetry: Union[bool, Telemetry, None] = None,
+        validate: Union[bool, FidelityGate, None] = None,
+        remediation: Optional[RemediationPolicy] = None,
     ) -> None:
         if not isinstance(max_tune_iterations, int) \
                 or isinstance(max_tune_iterations, bool) \
@@ -164,6 +197,25 @@ class DittoCloner:
                 f"telemetry must be a Telemetry session or a bool, "
                 f"got {telemetry!r}")
         self.telemetry = telemetry
+        if validate is True:
+            validate = FidelityGate()
+        elif validate is False:
+            validate = None
+        if validate is not None and not isinstance(validate, FidelityGate):
+            raise ConfigurationError(
+                f"validate must be a FidelityGate or a bool, "
+                f"got {validate!r}")
+        self.validate = validate
+        if remediation is not None \
+                and not isinstance(remediation, RemediationPolicy):
+            raise ConfigurationError(
+                f"remediation must be a RemediationPolicy, "
+                f"got {remediation!r}")
+        if remediation is None and validate is not None:
+            # Gated clones self-heal by default; pass
+            # RemediationPolicy(max_attempts=0) for a strict single shot.
+            remediation = RemediationPolicy()
+        self.remediation = remediation
 
     def clone(
         self,
@@ -188,6 +240,7 @@ class DittoCloner:
                 profile,
                 deployment=deployment,
                 profiling_config=profiling_config,
+                validation_load=profiling_load,
             )
 
     def clone_from_profile(
@@ -196,12 +249,16 @@ class DittoCloner:
         *,
         deployment: Deployment,
         profiling_config: ExperimentConfig,
+        validation_load: Optional[LoadSpec] = None,
     ) -> CloneResult:
         """Run the per-tier pipeline over an existing profiling session.
 
         Splitting this from :meth:`clone` lets callers re-generate (e.g.
         with different generator configs, tuning budgets or executors)
-        without paying for profiling again.
+        without paying for profiling again. With ``validate=`` set on
+        the cloner, the finished clone is gated against ``deployment``
+        under ``validation_load`` (reconstructed from the profile when
+        not given) and remediated on failure — see the class docstring.
         """
         with self._observed():
             topology: Optional[TopologySummary] = None
@@ -209,37 +266,144 @@ class DittoCloner:
                 with span("topology_analysis",
                           spans=len(profile.spans)):
                     topology = analyze_topology(profile.spans)
-            tasks = [
-                self._tier_task(profile, name, profiling_config)
-                for name in deployment.services
-            ]
-            outcomes, mode = run_tier_pipeline(
-                tasks, executor=self.executor, max_workers=self.max_workers,
-                tier_retries=self.tier_retries,
-                checkpoint_dir=self.checkpoint_dir)
-            report = CloneReport(features={}, topology=topology,
-                                 profile=profile, executor=mode,
-                                 telemetry=self.telemetry)
-            synthetic_services: Dict[str, ServiceSpec] = {}
-            for outcome in outcomes:
-                report.features[outcome.service] = outcome.features
-                if outcome.tuning is not None:
-                    report.tuning[outcome.service] = outcome.tuning
-                report.tier_seconds[outcome.service] = outcome.wall_clock_s
-                report.cache_stats.merge(outcome.cache_stats)
-                synthetic_services[outcome.service] = outcome.spec
-                if self.telemetry is not None:
-                    self.telemetry.absorb(outcome.telemetry)
-            self._record_report(report)
-            synthetic = Deployment(
-                services=synthetic_services,
-                placements=[Placement(p.service, p.node)
-                            for p in deployment.placements],
-                entry_service=deployment.entry_service,
-            )
-            with span("interface_validation"):
-                self._validate_interfaces(synthetic)
-            return CloneResult(synthetic=synthetic, report=report)
+            steps: List[RemediationStep] = []
+            seed = self.seed
+            max_tune_iterations = self.max_tune_iterations
+            executor = self.executor
+            attempt = 0
+            while True:
+                failure: Optional[Exception] = None
+                result: Optional[CloneResult] = None
+                try:
+                    result = self._clone_attempt(
+                        profile, deployment, profiling_config, topology,
+                        steps, validation_load, seed=seed,
+                        max_tune_iterations=max_tune_iterations,
+                        executor=executor)
+                except (SimBudgetExceededError, TierExecutionError) as error:
+                    reason = self._budget_reason(error)
+                    if reason is None or self.remediation is None:
+                        raise
+                    failure = error
+                else:
+                    verdict = result.report.fidelity
+                    if verdict is None or verdict.passed:
+                        return result
+                    reason = "gate_failure"
+                attempt += 1
+                step = None
+                if self.remediation is not None:
+                    step = self.remediation.plan(
+                        attempt, reason=reason, base_seed=self.seed,
+                        base_tune_iterations=self.max_tune_iterations,
+                        base_executor=self.executor)
+                if step is None:
+                    if failure is not None:
+                        raise failure
+                    verdict = result.report.fidelity
+                    raise FidelityGateError(
+                        f"clone of {deployment.entry_service!r} failed "
+                        f"its fidelity gate after {attempt} attempt(s): "
+                        f"{len(verdict.failures())} metric check(s) out "
+                        f"of tolerance "
+                        f"({', '.join(sorted({c.metric for c in verdict.failures()}))})",
+                        report=verdict, result=result, attempts=attempt)
+                steps.append(step)
+                self._count_remediation(step)
+                seed = step.seed
+                max_tune_iterations = step.max_tune_iterations
+                executor = step.executor
+
+    def _clone_attempt(
+        self,
+        profile: ApplicationProfile,
+        deployment: Deployment,
+        profiling_config: ExperimentConfig,
+        topology: Optional[TopologySummary],
+        steps: List[RemediationStep],
+        validation_load: Optional[LoadSpec],
+        *,
+        seed: int,
+        max_tune_iterations: int,
+        executor: str,
+    ) -> CloneResult:
+        """One pipeline pass plus (when configured) its fidelity gate."""
+        tasks = [
+            self._tier_task(profile, name, profiling_config, seed=seed,
+                            max_tune_iterations=max_tune_iterations)
+            for name in deployment.services
+        ]
+        outcomes, mode = run_tier_pipeline(
+            tasks, executor=executor, max_workers=self.max_workers,
+            tier_retries=self.tier_retries,
+            checkpoint_dir=self.checkpoint_dir)
+        report = CloneReport(features={}, topology=topology,
+                             profile=profile, executor=mode,
+                             telemetry=self.telemetry,
+                             remediation=list(steps))
+        synthetic_services: Dict[str, ServiceSpec] = {}
+        for outcome in outcomes:
+            report.features[outcome.service] = outcome.features
+            if outcome.tuning is not None:
+                report.tuning[outcome.service] = outcome.tuning
+            report.tier_seconds[outcome.service] = outcome.wall_clock_s
+            report.cache_stats.merge(outcome.cache_stats)
+            synthetic_services[outcome.service] = outcome.spec
+            if self.telemetry is not None:
+                self.telemetry.absorb(outcome.telemetry)
+        self._record_report(report)
+        synthetic = Deployment(
+            services=synthetic_services,
+            placements=[Placement(p.service, p.node)
+                        for p in deployment.placements],
+            entry_service=deployment.entry_service,
+        )
+        with span("interface_validation"):
+            self._validate_interfaces(synthetic)
+        if self.validate is not None:
+            load = (validation_load if validation_load is not None
+                    else self._reconstruct_load(profile))
+            # Gate under a clean config: validation measures the clone's
+            # intrinsic fidelity, not its behaviour under injected
+            # faults; the seed is derived from the attempt's seed so
+            # remediation re-seeds the gate runs too. Watchdog budgets
+            # carry over — a livelocked gate run trips remediation.
+            gate_config = replace(
+                profiling_config, tracer=None, fault_plan=None,
+                resilience=None, seed=derive_seed(seed, "validate"))
+            report.fidelity = self.validate.validate(
+                deployment, synthetic, load, gate_config,
+                label=deployment.entry_service)
+        return CloneResult(synthetic=synthetic, report=report)
+
+    @staticmethod
+    def _reconstruct_load(profile: ApplicationProfile) -> LoadSpec:
+        """A validation load matching what profiling observed."""
+        if profile.profiling_qps > 0:
+            return LoadSpec.open_loop(profile.profiling_qps)
+        entry = profile.services.get(profile.entry_service)
+        connections = entry.observed_connections if entry is not None else 0
+        return LoadSpec(kind="closed", connections=max(1, connections))
+
+    @staticmethod
+    def _budget_reason(error: Exception) -> Optional[str]:
+        """``"sim_budget"`` when a watchdog trip caused this failure."""
+        if isinstance(error, SimBudgetExceededError):
+            return "sim_budget"
+        if isinstance(error, TierExecutionError) and isinstance(
+                error.last_error, SimBudgetExceededError):
+            return "sim_budget"
+        return None
+
+    @staticmethod
+    def _count_remediation(step: RemediationStep) -> None:
+        session = current_session()
+        if session is None:
+            return
+        session.registry.counter(
+            "ditto_remediation_attempts_total",
+            "self-healing retries the cloner made", ("reason",),
+        ).inc(1, reason=step.reason)
 
     @contextlib.contextmanager
     def _observed(self) -> Iterator[Optional[Telemetry]]:
@@ -276,11 +440,23 @@ class DittoCloner:
         profile: ApplicationProfile,
         name: str,
         profiling_config: ExperimentConfig,
+        *,
+        seed: Optional[int] = None,
+        max_tune_iterations: Optional[int] = None,
     ) -> TierTask:
-        """Build one tier's pipeline payload with derived seeds."""
+        """Build one tier's pipeline payload with derived seeds.
+
+        ``seed``/``max_tune_iterations`` default to the cloner's own;
+        remediation passes its per-attempt overrides (the task digest
+        then changes too, so a retried tier never resurrects the failed
+        attempt's checkpoint).
+        """
+        seed = self.seed if seed is None else seed
+        if max_tune_iterations is None:
+            max_tune_iterations = self.max_tune_iterations
         generator_config = replace(
             self.generator_config,
-            seed=derive_tier_seed(self.seed, name, "bodygen"),
+            seed=derive_tier_seed(seed, name, "bodygen"),
         )
         tune_config: Optional[ExperimentConfig] = None
         if self.fine_tune_tiers:
@@ -290,13 +466,13 @@ class DittoCloner:
             tune_config = replace(
                 profiling_config, tracer=None,
                 fault_plan=None, resilience=None,
-                seed=derive_tier_seed(self.seed, name, "finetune"),
+                seed=derive_tier_seed(seed, name, "finetune"),
             )
         return TierTask(
             artifacts=profile.artifacts(name),
             generator_config=generator_config,
             tune_config=tune_config,
-            max_tune_iterations=self.max_tune_iterations,
+            max_tune_iterations=max_tune_iterations,
             collect_telemetry=self.telemetry is not None,
         )
 

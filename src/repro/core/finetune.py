@@ -33,7 +33,7 @@ from repro.runtime.experiment import ExperimentConfig, run_experiment
 from repro.runtime.metrics import ServiceMetrics
 from repro.telemetry.context import current_session
 from repro.telemetry.spans import span
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, SimBudgetExceededError
 from repro.util.stats import relative_error
 
 #: metric -> knob pairing; groups are tuned jointly via their shared run
@@ -127,6 +127,18 @@ def _record_tuning(service: str, iterations: int, converged: bool) -> None:
     ).inc(1, service=service, converged=str(converged).lower())
 
 
+def _record_budget_trip(service: str, trip: SimBudgetExceededError) -> None:
+    """Account a watchdog trip inside a tuning loop."""
+    session = current_session()
+    if session is None:
+        return
+    session.registry.counter(
+        "ditto_tune_budget_trips_total",
+        "simulation watchdog trips during fine-tuning",
+        ("service", "budget"),
+    ).inc(1, service=service, budget=trip.budget or "unknown")
+
+
 def _errors(
     target: ServiceMetrics,
     measured: ServiceMetrics,
@@ -182,15 +194,34 @@ def fine_tune(
     for iteration in range(max_iterations):
         iterations_used = iteration + 1
         config = replace(config, knobs=knobs)
-        with span("tune_iteration", category="finetune",
-                  service=features.service, iteration=iteration) as tick:
-            measured, _ = _measure(features, config, platform_config, load,
-                                   cache=cache)
-            errors = _errors(target, measured, metrics)
-            finite = [e for e in errors.values() if e != math.inf]
-            mean_error = sum(finite) / len(finite) if finite else math.inf
-            tick.set(mean_error=(mean_error if mean_error != math.inf
-                                 else None))
+        try:
+            with span("tune_iteration", category="finetune",
+                      service=features.service, iteration=iteration) as tick:
+                measured, _ = _measure(features, config, platform_config,
+                                       load, cache=cache)
+                errors = _errors(target, measured, metrics)
+                finite = [e for e in errors.values() if e != math.inf]
+                mean_error = (sum(finite) / len(finite) if finite
+                              else math.inf)
+                tick.set(mean_error=(mean_error if mean_error != math.inf
+                                     else None))
+        except SimBudgetExceededError as trip:
+            # A watchdog tripped mid-calibration (a knob candidate drove
+            # the simulation into a budget). With at least one measured
+            # candidate in hand, keep the best of them — a degraded but
+            # usable result the cloner's gate can still judge; on the
+            # very first iteration there is nothing to salvage, so the
+            # trip propagates for remediation to handle.
+            _record_budget_trip(features.service, trip)
+            if iteration == 0:
+                raise
+            _record_tuning(features.service, iterations_used,
+                           converged=False)
+            return FineTuneResult(
+                knobs=best_knobs, iterations=iterations_used,
+                final_errors=final_errors, error_history=history,
+                converged=False,
+            )
         history.append(mean_error)
         final_errors = errors
         if mean_error < best_error:

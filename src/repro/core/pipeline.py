@@ -36,7 +36,6 @@ killed pipeline resumes without re-running completed tiers (and a
 from __future__ import annotations
 
 import os
-import pickle
 import time
 from concurrent.futures import (
     BrokenExecutor,
@@ -68,9 +67,11 @@ from repro.runtime.experiment import ExperimentConfig
 from repro.telemetry.context import current_session
 from repro.telemetry.session import Telemetry, WorkerTelemetry
 from repro.telemetry.spans import span
-from repro.util.errors import ConfigurationError, TierExecutionError
+from repro.util.errors import ArtifactIntegrityError, ConfigurationError, \
+    TierExecutionError
 from repro.util.rng import derive_seed
 from repro.util.spec_hash import stable_digest
+from repro.validation import integrity
 
 __all__ = [
     "EXECUTOR_MODES",
@@ -247,9 +248,20 @@ class TierCheckpoint:
     re-running finished tiers. The key covers every field of the
     :class:`TierTask` (artifacts, generator config, tune config, seeds),
     so any change to what a tier is asked to do misses the stale entry
-    instead of resurrecting it. Unreadable or foreign files are treated
-    as misses.
+    instead of resurrecting it.
+
+    Integrity: checkpoints are digest-stamped envelopes (see
+    :mod:`repro.validation.integrity`) written atomically. A corrupted
+    or truncated file is **quarantined** to ``<name>.pkl.quarantined``
+    and counted in telemetry, then treated as a miss — the tier simply
+    re-runs; it is never silently resumed from bad bytes. Files from
+    before the envelope format (or foreign files) are plain misses.
     """
+
+    #: schema name stamped into every checkpoint envelope
+    SCHEMA = "tier-checkpoint"
+    #: payload schema version (the pickled TierOutcome layout)
+    SCHEMA_VERSION = 1
 
     def __init__(self, directory: str) -> None:
         self.directory = str(directory)
@@ -262,22 +274,34 @@ class TierCheckpoint:
             self.directory, f"{task.artifacts.service}-{digest}.pkl")
 
     def load(self, task: TierTask) -> Optional[TierOutcome]:
-        """The saved outcome for ``task``, or None on miss/corruption."""
+        """The saved outcome for ``task``, or None on miss/corruption.
+
+        Corruption is never silent: a damaged checkpoint is moved to
+        ``<path>.quarantined`` (evidence for inspection), reported via
+        the ``ditto_artifact_quarantines_total`` telemetry counter, and
+        only then treated as a miss. Legacy pre-envelope pickles lack
+        the artifact magic and are quietly missed, not quarantined.
+        """
         path = self.path(task)
         try:
             with open(path, "rb") as handle:
-                outcome = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+                prefix = handle.read(len(integrity.MAGIC))
+        except OSError:
+            return None
+        if prefix != integrity.MAGIC:
+            # Pre-envelope or foreign file: a miss, not corruption.
+            return None
+        try:
+            outcome = integrity.load_object(
+                path, schema=self.SCHEMA, max_version=self.SCHEMA_VERSION)
+        except ArtifactIntegrityError:
             return None
         return outcome if isinstance(outcome, TierOutcome) else None
 
     def save(self, task: TierTask, outcome: TierOutcome) -> None:
-        """Persist ``outcome`` atomically (write-then-rename)."""
-        path = self.path(task)
-        scratch = path + ".tmp"
-        with open(scratch, "wb") as handle:
-            pickle.dump(outcome, handle)
-        os.replace(scratch, path)
+        """Persist ``outcome`` atomically in a digest-stamped envelope."""
+        integrity.save_object(self.path(task), outcome, schema=self.SCHEMA,
+                              version=self.SCHEMA_VERSION)
 
 
 def _count_pipeline_event(name: str, help_text: str, **labels: str) -> None:

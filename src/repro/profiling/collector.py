@@ -567,3 +567,43 @@ def profile_deployment(
         platform_name=config.platform.name,
         profiling_qps=(load.qps if load.kind == "open" else 0.0),
     )
+
+
+# --------------------------------------------------------------------- #
+# persistence (digest-stamped envelopes)
+# --------------------------------------------------------------------- #
+#: schema name stamped into persisted ApplicationProfile envelopes
+PROFILE_SCHEMA = "application-profile"
+#: payload schema version (bump when the profile layout changes)
+PROFILE_VERSION = 1
+
+
+def save_profile(path: str, profile: ApplicationProfile) -> str:
+    """Persist a whole profiling session atomically, digest-stamped.
+
+    One file per session: every tier's artifacts plus the span record,
+    so ``clone_from_profile`` can re-run later — on another machine,
+    against another platform model — without touching the original
+    deployment again.
+    """
+    from repro.validation import integrity
+
+    return integrity.save_object(path, profile, schema=PROFILE_SCHEMA,
+                                 version=PROFILE_VERSION)
+
+
+def load_profile(path: str) -> ApplicationProfile:
+    """Load a session saved by :func:`save_profile`.
+
+    Raises :class:`~repro.util.errors.ArtifactIntegrityError` (after
+    quarantining the file) when the envelope fails verification.
+    """
+    from repro.validation import integrity
+
+    loaded = integrity.load_object(path, schema=PROFILE_SCHEMA,
+                                   max_version=PROFILE_VERSION)
+    if not isinstance(loaded, ApplicationProfile):
+        raise ProfilingError(
+            f"{path}: envelope holds {type(loaded).__name__}, "
+            f"expected ApplicationProfile")
+    return loaded

@@ -47,10 +47,31 @@ class ExperimentConfig:
     #: RPC timeout/retry/breaker/shedding semantics; ``None`` keeps the
     #: historical bare-RPC behaviour
     resilience: Optional[ResilienceConfig] = None
+    #: watchdog: cap on queue entries the run may dispatch (``None``
+    #: disables; a disabled run takes the engine's historical fast path)
+    max_sim_events: Optional[int] = None
+    #: watchdog: absolute simulated-time deadline for the run; a run
+    #: normally finishes shortly after ``duration_s``, so a pathological
+    #: config (runaway retry storm, tuning knob blow-up) trips this
+    #: instead of hanging the tier
+    sim_deadline_s: Optional[float] = None
+    #: watchdog: livelock detector — consecutive dispatches allowed
+    #: without the simulated clock advancing
+    max_stalled_events: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
             raise ConfigurationError("duration must be positive")
+        if self.max_sim_events is not None and self.max_sim_events < 1:
+            raise ConfigurationError("max_sim_events must be >= 1")
+        if self.sim_deadline_s is not None \
+                and self.sim_deadline_s < self.duration_s:
+            raise ConfigurationError(
+                f"sim_deadline_s ({self.sim_deadline_s!r}) must cover "
+                f"duration_s ({self.duration_s!r})")
+        if self.max_stalled_events is not None \
+                and self.max_stalled_events < 1:
+            raise ConfigurationError("max_stalled_events must be >= 1")
         if (self.fault_plan is not None
                 and not isinstance(self.fault_plan, FaultPlan)):
             raise ConfigurationError(
@@ -205,7 +226,13 @@ def _run_experiment(
     generator.start()
     # Run until all injected requests drain (workers blocked on empty
     # queues schedule no events, so the event queue empties naturally).
-    env.run(until=None)
+    # With any watchdog configured the engine runs its guarded loop and
+    # raises SimBudgetExceededError naming the stuck entry; with none,
+    # this is the historical (bit-identical) fast path.
+    env.run(until=None,
+            max_events=config.max_sim_events,
+            deadline=config.sim_deadline_s,
+            max_stalled_events=config.max_stalled_events)
     duration = max(config.duration_s, 1e-9)
     result = RunResult(
         duration_s=duration,
@@ -221,6 +248,15 @@ def _run_experiment(
             for name, node in nodes.items()
         },
         faults=injector.timeline if injector is not None else None,
+        breakers={
+            name: {
+                target: {"state": breaker.state,
+                         "open_transitions": breaker.open_transitions,
+                         "rejections": breaker.rejections}
+                for target, breaker in rt._breakers.items()
+            }
+            for name, rt in registry.items() if rt._breakers
+        },
     )
     return result
 

@@ -168,6 +168,13 @@ class RunResult:
     #: the injected-fault record when the run carried a fault plan
     #: (:class:`~repro.faults.injector.FaultTimeline`); None otherwise
     faults: Optional[object] = None
+    #: final circuit-breaker state per service per downstream target:
+    #: ``{service: {target: {"state": ..., "open_transitions": n,
+    #: "rejections": n}}}`` — populated only when the run carried a
+    #: resilience config (observability for recovery tests/dashboards;
+    #: deliberately excluded from result digests)
+    breakers: Dict[str, Dict[str, Dict[str, object]]] = field(
+        default_factory=dict)
 
     def service(self, name: str) -> ServiceMetrics:
         """Metrics for one service."""

@@ -23,7 +23,7 @@ import heapq
 from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
-from repro.util.errors import SimulationError
+from repro.util.errors import SimBudgetExceededError, SimulationError
 
 #: cap on the per-environment freelist of recycled Timeout objects
 _TIMEOUT_POOL_MAX = 1024
@@ -393,6 +393,12 @@ class Environment:
         combinator resolves (first failure, or last success), its
         callbacks are deregistered from every still-pending member, so
         long-lived losing events do not retain the combinator's state.
+
+        A member that is queued but not yet dispatched — every fresh
+        :class:`Timeout` (triggered at creation, fires at ``delay``), or
+        an event succeeded earlier this timestamp — counts as *pending*:
+        the combinator waits for its dispatch instead of treating it as
+        already resolved.
         """
         events = list(events)
         done = self.event()
@@ -405,11 +411,10 @@ class Environment:
 
         def deregister() -> None:
             for event, callback in zip(events, callbacks):
-                if not event._triggered:
-                    try:
-                        event.callbacks.remove(callback)
-                    except ValueError:
-                        pass
+                try:
+                    event.callbacks.remove(callback)
+                except ValueError:
+                    pass
 
         def make_callback(index: int) -> Callable[[Event], None]:
             def callback(event: Event) -> None:
@@ -429,9 +434,10 @@ class Environment:
         for index, event in enumerate(events):
             callback = make_callback(index)
             callbacks.append(callback)
-            if event._triggered:
-                # Propagate on the next scheduling round so ordering
-                # stays sane (formerly a proxy Event; same counter slot).
+            if event._triggered and not event._scheduled:
+                # Already dispatched: its callbacks have run, so a new
+                # one would never fire. Propagate on the next scheduling
+                # round instead (formerly a proxy Event).
                 self._push(_Deferred(callback, event))
             else:
                 event.callbacks.append(callback)
@@ -441,9 +447,14 @@ class Environment:
         """An event that succeeds as soon as any event in ``events`` does.
 
         When the race resolves, the combinator's callback is removed from
-        every losing event that has not yet triggered — otherwise a
+        every losing event that has not yet dispatched — otherwise a
         long-lived loser (a response that never arrives, a far-future
         timeout) would pin the combinator's closure for its lifetime.
+
+        A queued-but-undispatched member (every fresh :class:`Timeout`)
+        is *pending*, not already-won: racing a response against
+        ``timeout(t)`` resolves at the first of the two dispatches, so
+        the timeout only wins when the response really is late.
         """
         events = list(events)
         done = self.event()
@@ -459,14 +470,14 @@ class Environment:
             else:
                 done.fail(event._value)
             for other in events:
-                if other is not event and not other._triggered:
+                if other is not event:
                     try:
                         other.callbacks.remove(callback)
                     except ValueError:
                         pass
 
         for event in events:
-            if event._triggered:
+            if event._triggered and not event._scheduled:
                 self._push(_Deferred(callback, event))
             else:
                 event.callbacks.append(callback)
@@ -487,6 +498,11 @@ class Environment:
     def _dispatch(self, item: Any) -> None:
         """Run one popped queue entry's effects."""
         if isinstance(item, Event):
+            # Mark dispatched: run(until=event) keys off this to stop as
+            # soon as the awaited event's callbacks have run, instead of
+            # draining unrelated queue entries (e.g. the deregistered
+            # losers of an any_of race).
+            item._scheduled = False
             callbacks = item.callbacks
             if callbacks:
                 if len(callbacks) == 1:
@@ -519,30 +535,51 @@ class Environment:
         self._now = when
         self._dispatch(item)
 
-    def run(self, until: float | Event | None = None) -> Any:
+    def run(
+        self,
+        until: float | Event | None = None,
+        *,
+        max_events: Optional[int] = None,
+        deadline: Optional[float] = None,
+        max_stalled_events: Optional[int] = None,
+    ) -> Any:
         """Run the simulation.
 
         - ``until`` is a number: run until the clock reaches it.
-        - ``until`` is an Event: run until that event triggers; its value is
-          returned (its exception raised when it failed).
+        - ``until`` is an Event: run until that event triggers *and its
+          callbacks have dispatched*; its value is returned (its
+          exception raised when it failed). The run stops there — queue
+          entries scheduled later (e.g. the deregistered losers of an
+          ``any_of`` race, or a pending watchdog timeout) stay queued
+          instead of being drained and silently advancing the clock.
         - ``until`` is None: run until no events remain.
+
+        Watchdogs (all off by default; a run with none set takes the
+        historical fast paths and is bit-identical):
+
+        - ``max_events`` bounds how many queue entries this call may
+          dispatch;
+        - ``deadline`` bounds simulated time: dispatching an entry
+          scheduled past it raises;
+        - ``max_stalled_events`` bounds consecutive dispatches that do
+          not advance the clock (livelock detection: two processes
+          ping-ponging zero-delay events never advance ``now``).
+
+        Each trips a :class:`~repro.util.errors.SimBudgetExceededError`
+        naming the queue entry that was running — the stuck process —
+        plus the event count and simulated time at the trip.
         """
+        if (max_events is not None or deadline is not None
+                or max_stalled_events is not None):
+            return self._run_guarded(until, max_events, deadline,
+                                     max_stalled_events)
         if isinstance(until, Event):
-            while not until.triggered or until._scheduled:
+            while not until._triggered or until._scheduled:
                 if not self._queue:
-                    if until.triggered:
+                    if until._triggered:
                         break
-                    name = getattr(until, "name", "")
-                    label = f"{type(until).__name__}"
-                    if name:
-                        label += f" {name!r}"
-                    raise SimulationError(
-                        f"event queue drained at t={self._now:g} before "
-                        f"the awaited {label} triggered"
-                    )
+                    raise SimulationError(self._drained_message(until))
                 self.step()
-                if until.triggered and not self._queue:
-                    break
             if not until.ok:
                 raise until.value
             return until.value
@@ -559,12 +596,124 @@ class Environment:
                 self._now = when
                 dispatch(item)
             return None
-        deadline = float(until)
-        while queue and queue[0][0] <= deadline:
+        horizon = float(until)
+        while queue and queue[0][0] <= horizon:
             when, _, item = pop(queue)
             if when < self._now:
                 raise SimulationError("event scheduled in the past")
             self._now = when
             dispatch(item)
-        self._now = max(self._now, deadline)
+        self._now = max(self._now, horizon)
         return None
+
+    def _drained_message(self, until: Event) -> str:
+        name = getattr(until, "name", "")
+        label = f"{type(until).__name__}"
+        if name:
+            label += f" {name!r}"
+        return (f"event queue drained at t={self._now:g} before "
+                f"the awaited {label} triggered")
+
+    def _run_guarded(
+        self,
+        until: float | Event | None,
+        max_events: Optional[int],
+        deadline: Optional[float],
+        max_stalled_events: Optional[int],
+    ) -> Any:
+        """The watchdogged run loop (any budget active).
+
+        Slower than the fast paths — one comparison per guard per
+        dispatch — which is why :meth:`run` only enters it when a
+        budget is set: unguarded runs stay on the allocation-free loops
+        and their exact historical behaviour.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        awaited = until if isinstance(until, Event) else None
+        horizon = None if (until is None or awaited is not None) \
+            else float(until)
+        dispatched = 0
+        stalled = 0
+        while True:
+            if awaited is not None and awaited._triggered \
+                    and not awaited._scheduled:
+                break
+            if not queue:
+                if awaited is not None and not awaited._triggered:
+                    raise SimulationError(self._drained_message(awaited))
+                break
+            when = queue[0][0]
+            if horizon is not None and when > horizon:
+                break
+            if deadline is not None and when > deadline:
+                raise SimBudgetExceededError(
+                    f"sim-time deadline {deadline:g} exceeded: next entry "
+                    f"({self._entry_label(queue[0][2])}) is scheduled at "
+                    f"t={when:g} after {dispatched} event(s)",
+                    budget="deadline", events=dispatched,
+                    sim_time=self._now,
+                    process=self._entry_label(queue[0][2]))
+            if max_events is not None and dispatched >= max_events:
+                raise SimBudgetExceededError(
+                    f"event budget of {max_events} dispatches exhausted at "
+                    f"t={self._now:g}; next entry is "
+                    f"{self._entry_label(queue[0][2])}",
+                    budget="max_events", events=dispatched,
+                    sim_time=self._now,
+                    process=self._entry_label(queue[0][2]))
+            when, _, item = pop(queue)
+            if when < self._now:
+                raise SimulationError("event scheduled in the past")
+            advanced = when > self._now
+            # The label must be taken before dispatch: dispatching clears
+            # an event's callback list, which is how the waiting process
+            # is identified.
+            label = (self._entry_label(item)
+                     if max_stalled_events is not None else "")
+            self._now = when
+            self._dispatch(item)
+            dispatched += 1
+            if max_stalled_events is not None:
+                if advanced:
+                    stalled = 0
+                else:
+                    stalled += 1
+                    if stalled > max_stalled_events:
+                        raise SimBudgetExceededError(
+                            f"livelock: {stalled} consecutive dispatches "
+                            f"without advancing t={self._now:g}; last "
+                            f"entry was {label}",
+                            budget="livelock", events=dispatched,
+                            sim_time=self._now, process=label)
+        if horizon is not None:
+            self._now = max(self._now, horizon)
+            return None
+        if awaited is not None:
+            if not awaited.ok:
+                raise awaited.value
+            return awaited.value
+        return None
+
+    @staticmethod
+    def _entry_label(item: Any) -> str:
+        """Human-readable identity of one queue entry (for watchdogs)."""
+        if isinstance(item, Process):
+            return f"process {item.name!r}"
+        if isinstance(item, (_Resume, _Throw)):
+            process = item.process
+            if process is not None:
+                return f"process {process.name!r}"
+            return "cancelled resume"
+        if isinstance(item, _Deferred):
+            return f"deferred delivery of {type(item.event).__name__}"
+        if isinstance(item, Event):
+            label = (f"Timeout(delay={item.delay:g})"
+                     if isinstance(item, Timeout)
+                     else type(item).__name__)
+            for callback in item.callbacks:
+                owner = getattr(callback, "__self__", None)
+                if isinstance(owner, Process):
+                    return f"{label} waking process {owner.name!r}"
+            return label
+        return type(item).__name__

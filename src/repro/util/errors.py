@@ -23,6 +23,15 @@ simulation failures.  The full tree (documented in DESIGN.md):
       service queue exceeded its shedding bound
     - ``TierExecutionError`` — one clone-pipeline tier failed after its
       retry budget; preserves the sibling tiers' outcomes
+    - ``SimBudgetExceededError`` — a simulation watchdog tripped (event
+      budget, sim-time deadline, or livelock detector); subclass of
+      ``SimulationError`` and names the entry that was running
+    - ``ArtifactIntegrityError`` — a persisted artifact (checkpoint,
+      profile, clone bundle) failed its digest/structure check; the file
+      is quarantined, never silently loaded
+    - ``FidelityGateError`` — a finished clone failed its acceptance
+      gate after the remediation ladder was exhausted; carries the
+      per-metric ``FidelityReport`` and the (failing) clone result
 """
 
 from typing import Any, Dict, Optional
@@ -38,6 +47,26 @@ class ConfigurationError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class SimBudgetExceededError(SimulationError):
+    """A simulation watchdog tripped before the run could finish.
+
+    ``budget`` names which guard fired (``"max_events"``,
+    ``"deadline"`` or ``"livelock"``), ``events`` how many queue
+    entries had been dispatched, ``sim_time`` the simulated clock at
+    the trip, and ``process`` the queue entry that was running or about
+    to run — the prime suspect for the hang.
+    """
+
+    def __init__(self, message: str, *, budget: str = "",
+                 events: int = 0, sim_time: float = 0.0,
+                 process: str = "") -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.events = events
+        self.sim_time = sim_time
+        self.process = process
 
 
 class ProfilingError(ReproError):
@@ -98,6 +127,40 @@ class LoadSheddedError(ReproError):
         super().__init__(message)
         self.service = service
         self.queue_depth = queue_depth
+
+
+class ArtifactIntegrityError(ReproError):
+    """A persisted artifact failed its integrity check.
+
+    ``path`` is the offending file, ``reason`` a short code
+    (``"truncated"``, ``"digest_mismatch"``, ``"bad_header"``,
+    ``"undecodable"``), and ``quarantined_to`` where the file was moved
+    (empty when quarantining was disabled or impossible).
+    """
+
+    def __init__(self, message: str, *, path: str = "", reason: str = "",
+                 quarantined_to: str = "") -> None:
+        super().__init__(message)
+        self.path = path
+        self.reason = reason
+        self.quarantined_to = quarantined_to
+
+
+class FidelityGateError(ReproError):
+    """A clone failed its fidelity gate after remediation was exhausted.
+
+    ``report`` is the final per-metric
+    :class:`~repro.validation.gate.FidelityReport` (typed ``Any`` to
+    keep this module dependency-free) and ``result`` the failing
+    ``CloneResult``, so callers can inspect or salvage the clone.
+    """
+
+    def __init__(self, message: str, *, report: Any = None,
+                 result: Any = None, attempts: int = 1) -> None:
+        super().__init__(message)
+        self.report = report
+        self.result = result
+        self.attempts = attempts
 
 
 class TierExecutionError(ReproError):

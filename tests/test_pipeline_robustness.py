@@ -263,3 +263,67 @@ class TestCrossExecutorFaultDeterminism:
         assert mode == "process"
         assert stable_digest([o.spec for o in serial]) == stable_digest(
             [o.spec for o in pooled])
+
+
+class TestCheckpointIntegrity:
+    def test_truncated_checkpoint_quarantined_and_rerun(
+            self, tier_tasks, tmp_path):
+        # Regression for the integrity envelope: a checkpoint cut short
+        # mid-file (killed writer, torn disk) must be detected by its
+        # digest trailer, moved aside as evidence, and treated as a
+        # miss — the damaged tier re-runs, the intact one resumes.
+        ckpt_dir = str(tmp_path / "ckpt")
+        run_tier_pipeline(tier_tasks, executor="serial",
+                          checkpoint_dir=ckpt_dir)
+        ckpt = TierCheckpoint(ckpt_dir)
+        victim = tier_tasks[0]
+        path = ckpt.path(victim)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[:len(blob) // 2])
+        assert ckpt.load(victim) is None
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".quarantined")
+        log = str(tmp_path / "invocations")
+        run_tier_pipeline(tier_tasks, executor="serial",
+                          tier_fn=functools.partial(_logged_clone, log),
+                          checkpoint_dir=ckpt_dir)
+        with open(log) as handle:
+            reran = handle.read().split()
+        assert reran == [victim.artifacts.service]
+
+    def test_bitflipped_checkpoint_rejected_by_digest(
+            self, tier_tasks, tmp_path):
+        ckpt = TierCheckpoint(str(tmp_path / "ckpt"))
+        victim = tier_tasks[0]
+        outcome = clone_tier(victim)
+        ckpt.save(victim, outcome)
+        path = ckpt.path(victim)
+        with open(path, "rb") as handle:
+            blob = bytearray(handle.read())
+        blob[len(blob) // 2] ^= 0x40
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+        assert ckpt.load(victim) is None
+        assert os.path.exists(path + ".quarantined")
+
+    def test_legacy_plain_pickle_is_quiet_miss(self, tier_tasks, tmp_path):
+        # Pre-envelope checkpoints (or foreign files) lack the artifact
+        # magic: they miss without being quarantined as corruption.
+        ckpt = TierCheckpoint(str(tmp_path / "ckpt"))
+        path = ckpt.path(tier_tasks[0])
+        with open(path, "wb") as handle:
+            handle.write(b"\x80\x04legacy pickle bytes")
+        assert ckpt.load(tier_tasks[0]) is None
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".quarantined")
+
+    def test_checkpoint_write_is_atomic(self, tier_tasks, tmp_path):
+        ckpt = TierCheckpoint(str(tmp_path / "ckpt"))
+        victim = tier_tasks[0]
+        ckpt.save(victim, clone_tier(victim))
+        leftovers = [name for name in os.listdir(str(tmp_path / "ckpt"))
+                     if ".tmp" in name]
+        assert leftovers == []
+        assert ckpt.load(victim) is not None

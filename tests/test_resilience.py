@@ -4,7 +4,13 @@ import pytest
 
 from repro.app.service import Deployment
 from repro.app.workloads import build_memcached, social_network_deployment
-from repro.faults import FaultPlan, NodeCrashFault
+from repro.faults import (
+    FaultPlan,
+    FaultWindow,
+    LatencySpikeFault,
+    NodeCrashFault,
+    PacketLossFault,
+)
 from repro.hw import PLATFORM_A
 from repro.loadgen import LoadSpec
 from repro.loadgen.generator import (
@@ -230,6 +236,20 @@ class TestResilientRuns:
         assert sum(m.failed_requests
                    for m in result.services.values()) > 0
 
+    def test_generous_timeout_never_fires(self):
+        # Regression: any_of() used to treat a fresh (queued, not yet
+        # dispatched) timeout as already won, so every timed RPC raced
+        # its deadline and lost instantly — even a one-second budget
+        # against sub-millisecond calls. A timeout far above any
+        # simulated RPC latency must never fire.
+        config = ExperimentConfig(
+            platform=PLATFORM_A, duration_s=0.01, seed=7,
+            resilience=ResilienceConfig(rpc_timeout_s=1.0))
+        result = run_experiment(social_network_deployment(),
+                                LoadSpec.open_loop(2_000), config)
+        assert result.error_rate == 0.0
+        assert sum(m.rpc_timeouts for m in result.services.values()) == 0
+
     def test_resilient_run_remains_deterministic(self):
         config = ExperimentConfig(
             platform=PLATFORM_A, duration_s=0.006, seed=11,
@@ -244,3 +264,75 @@ class TestResilientRuns:
         ) == stable_digest(
             {n: m.snapshot() for n, m in second.services.items()})
         assert first.outcome_counts() == second.outcome_counts()
+
+
+class TestBreakerRecovery:
+    """Half-open -> closed recovery once an injected fault window ends.
+
+    The deployment spreads every downstream tier onto a second node so
+    all frontend RPCs cross the NIC — latency spikes and packet-loss
+    retransmissions are charged at the wire, so only cross-node calls
+    feel them.
+    """
+
+    @staticmethod
+    def _cross_node_socialnet():
+        base = social_network_deployment()
+        placement = {name: ("node0" if name == base.entry_service
+                            else "node1")
+                     for name in base.services}
+        return social_network_deployment(placement=placement)
+
+    @staticmethod
+    def _config(**overrides):
+        # Spike window 2-8 ms out of a 60 ms run: +2 ms on every
+        # cross-node send (plus lossy retransmits) against a 0.6 ms RPC
+        # timeout, then 52 ms of healthy traffic for half-open probes
+        # to close the breakers again.
+        settings = dict(
+            platform=PLATFORM_A, duration_s=0.06, seed=9,
+            fault_plan=FaultPlan((
+                LatencySpikeFault(extra_s=2e-3, probability=1.0,
+                                  window=FaultWindow(2e-3, 8e-3)),
+                PacketLossFault(rate=0.3, retransmit_delay_s=2e-3,
+                                window=FaultWindow(2e-3, 8e-3)),
+            )),
+            resilience=ResilienceConfig(
+                rpc_timeout_s=0.6e-3,
+                retry=RetryPolicy(max_attempts=1),
+                breaker_failure_threshold=1,
+                breaker_recovery_s=2e-3))
+        settings.update(overrides)
+        return ExperimentConfig(**settings)
+
+    def test_breakers_open_during_spike_then_close(self):
+        result = run_experiment(self._cross_node_socialnet(),
+                                LoadSpec.open_loop(2_000), self._config())
+        # The spike really bit: timeouts fired and some requests failed,
+        # but the run was not wholesale destroyed.
+        assert sum(m.rpc_timeouts for m in result.services.values()) > 0
+        assert 0.0 < result.error_rate < 0.5
+        tripped = [stats
+                   for targets in result.breakers.values()
+                   for stats in targets.values()
+                   if stats["open_transitions"] > 0]
+        assert tripped, "no breaker opened during the fault window"
+        # While open, at least one breaker fast-failed callers...
+        assert sum(stats["rejections"] for stats in tripped) > 0
+        # ...and every tripped breaker recovered through its half-open
+        # probe once the window passed: none may end the run open.
+        assert all(stats["state"] == "closed" for stats in tripped)
+
+    def test_recovery_is_deterministic(self):
+        deployment = self._cross_node_socialnet()
+        load = LoadSpec.open_loop(2_000)
+        first = run_experiment(deployment, load, self._config())
+        second = run_experiment(deployment, load, self._config())
+        assert first.breakers == second.breakers
+        assert first.outcome_counts() == second.outcome_counts()
+
+    def test_breakers_empty_without_resilience(self):
+        config = self._config(resilience=None)
+        result = run_experiment(self._cross_node_socialnet(),
+                                LoadSpec.open_loop(2_000), config)
+        assert result.breakers == {}

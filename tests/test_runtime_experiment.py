@@ -10,13 +10,51 @@ from repro.loadgen import LoadSpec
 from repro.runtime import ExperimentConfig, run_experiment
 from repro.runtime.experiment import sweep_load
 from repro.tracing import Tracer
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, SimBudgetExceededError
+from repro.util.spec_hash import stable_digest
 
 
 class TestExperimentConfig:
     def test_duration_validated(self):
         with pytest.raises(ConfigurationError):
             ExperimentConfig(platform=PLATFORM_A, duration_s=0.0)
+
+    def test_watchdog_budgets_validated(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(platform=PLATFORM_A, duration_s=0.01,
+                             max_sim_events=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(platform=PLATFORM_A, duration_s=0.01,
+                             max_stalled_events=0)
+        with pytest.raises(ConfigurationError):
+            # A deadline shorter than the run itself always trips.
+            ExperimentConfig(platform=PLATFORM_A, duration_s=0.01,
+                             sim_deadline_s=0.005)
+
+
+class TestSimWatchdogs:
+    def test_tiny_event_budget_trips(self):
+        config = ExperimentConfig(platform=PLATFORM_A, duration_s=0.01,
+                                  seed=7, max_sim_events=50)
+        with pytest.raises(SimBudgetExceededError) as excinfo:
+            run_experiment(Deployment.single(build_memcached()),
+                           LoadSpec.open_loop(40_000), config)
+        assert excinfo.value.budget == "max_events"
+
+    def test_generous_budgets_leave_results_identical(self):
+        deployment = Deployment.single(build_memcached())
+        load = LoadSpec.open_loop(40_000)
+        plain = run_experiment(deployment, load, ExperimentConfig(
+            platform=PLATFORM_A, duration_s=0.01, seed=7))
+        guarded = run_experiment(deployment, load, ExperimentConfig(
+            platform=PLATFORM_A, duration_s=0.01, seed=7,
+            max_sim_events=50_000_000, sim_deadline_s=10.0,
+            max_stalled_events=1_000_000))
+        assert stable_digest(
+            {n: m.snapshot() for n, m in plain.services.items()}
+        ) == stable_digest(
+            {n: m.snapshot() for n, m in guarded.services.items()})
+        assert plain.latency.completed == guarded.latency.completed
 
 
 class TestDeterminism:

@@ -235,6 +235,54 @@ class TestCombinators:
         assert got["value"] == "fast"
         assert got["time"] == 1.0
 
+    def test_any_of_timeout_race_waits_for_first_dispatch(self):
+        # Regression: fresh timeouts are born triggered (they fire at
+        # dispatch), and any_of used to hand them the race instantly —
+        # a response racing its deadline always "timed out" at t=0.
+        # The race must resolve at the earliest dispatch instead.
+        env = Environment()
+        got = {}
+
+        def responder():
+            yield env.timeout(1.0)
+            return "response"
+
+        def caller():
+            response = env.process(responder())
+            deadline = env.timeout(5.0, value="deadline")
+            got["value"] = yield env.any_of([response, deadline])
+            got["time"] = env.now
+            got["responded"] = response.triggered
+
+        env.process(caller())
+        env.run()
+        assert got["value"] == "response"
+        assert got["time"] == 1.0
+        assert got["responded"] is True
+
+    def test_any_of_timeout_race_lost_by_slow_event(self):
+        # And the deadline must still win when the response really is
+        # late — the fix may not simply ignore pending timeouts.
+        env = Environment()
+        got = {}
+
+        def responder():
+            yield env.timeout(9.0)
+            return "response"
+
+        def caller():
+            response = env.process(responder())
+            deadline = env.timeout(2.0, value="deadline")
+            got["value"] = yield env.any_of([response, deadline])
+            got["time"] = env.now
+            got["responded"] = response.triggered
+
+        env.process(caller())
+        env.run()
+        assert got["value"] == "deadline"
+        assert got["time"] == 2.0
+        assert got["responded"] is False
+
     def test_all_of_empty_succeeds_immediately(self):
         env = Environment()
         got = {}
@@ -374,3 +422,155 @@ class TestTimeoutPooling:
         env.run()
         assert held[0].value == "keep"
         assert all(pooled is not held[0] for pooled in env._timeout_pool)
+
+
+class TestWatchdogBudgets:
+    def test_max_events_trips_on_infinite_loop(self):
+        from repro.util.errors import SimBudgetExceededError
+
+        env = Environment()
+
+        def spinner():
+            while True:
+                yield env.timeout(1.0)
+
+        env.process(spinner(), name="spinner")
+        with pytest.raises(SimBudgetExceededError) as excinfo:
+            env.run(max_events=50)
+        assert excinfo.value.budget == "max_events"
+        assert excinfo.value.events >= 50
+
+    def test_deadline_trips_past_horizon(self):
+        from repro.util.errors import SimBudgetExceededError
+
+        env = Environment()
+
+        def slow():
+            yield env.timeout(100.0)
+
+        env.process(slow(), name="slow")
+        with pytest.raises(SimBudgetExceededError) as excinfo:
+            env.run(deadline=10.0)
+        assert excinfo.value.budget == "deadline"
+        assert env.now <= 10.0
+
+    def test_livelock_detector_names_stuck_process(self):
+        from repro.util.errors import SimBudgetExceededError
+
+        env = Environment()
+
+        def stuck():
+            while True:
+                yield env.timeout(0.0)
+
+        env.process(stuck(), name="stuck-worker")
+        with pytest.raises(SimBudgetExceededError) as excinfo:
+            env.run(max_stalled_events=25)
+        assert excinfo.value.budget == "livelock"
+        assert "stuck-worker" in str(excinfo.value)
+
+    def test_budgets_disabled_is_bit_identical(self):
+        def workload(env, order):
+            def proc(delay, tag):
+                yield env.timeout(delay)
+                order.append((tag, env.now))
+            for i, tag in enumerate("abcde"):
+                env.process(proc(0.5 * (i + 1), tag))
+
+        plain_env = Environment()
+        plain = []
+        workload(plain_env, plain)
+        plain_env.run()
+
+        guarded_env = Environment()
+        guarded = []
+        workload(guarded_env, guarded)
+        guarded_env.run(max_events=10_000, deadline=1_000.0,
+                        max_stalled_events=10_000)
+        assert plain == guarded
+        assert plain_env.now == guarded_env.now
+
+    def test_budget_applies_to_until_event(self):
+        from repro.util.errors import SimBudgetExceededError
+
+        env = Environment()
+
+        def spinner():
+            while True:
+                yield env.timeout(1.0)
+
+        def finisher():
+            yield env.timeout(1e9)
+
+        env.process(spinner(), name="spinner")
+        proc = env.process(finisher(), name="finisher")
+        with pytest.raises(SimBudgetExceededError):
+            env.run(until=proc, max_events=20)
+
+
+class TestUntilEventStopsAtTrigger:
+    def test_run_until_process_ignores_later_events(self):
+        # Regression: a dead far-future entry left in the queue (an
+        # any_of loser, a deregistered timeout) must not keep the
+        # until=event loop running past the awaited event's dispatch.
+        env = Environment()
+        done = {}
+
+        def loser():
+            # A timeout that outlives the awaited process by a lot.
+            yield env.timeout(1000.0)
+            done["loser"] = env.now
+
+        def winner():
+            yield env.timeout(1.0)
+            done["winner"] = env.now
+
+        env.process(loser(), name="loser")
+        proc = env.process(winner(), name="winner")
+        env.run(until=proc)
+        assert done["winner"] == 1.0
+        assert "loser" not in done
+        assert env.now == 1.0
+
+    def test_any_of_losers_cannot_mask_completion(self):
+        # An any_of race leaves the losing process (and its far-future
+        # timeout) alive in the queue; awaiting the racing process must
+        # still return at the winner's time, not the loser's.
+        env = Environment()
+
+        def child(delay, value):
+            yield env.timeout(delay)
+            return value
+
+        def racer():
+            slow = env.process(child(500.0, "slow"), name="slow-child")
+            quick = env.process(child(2.0, "quick"), name="quick-child")
+            result = yield env.any_of([quick, slow])
+            assert result == "quick"
+            return env.now
+
+        proc = env.process(racer(), name="racer")
+        value = env.run(until=proc)
+        assert value == 2.0
+        assert env.now == 2.0
+        assert env._queue  # the loser is still pending, not drained
+
+    def test_until_event_with_livelock_behind_it_raises(self):
+        # A watchdog must catch a livelock that starves the awaited
+        # event instead of silently spinning forever.
+        from repro.util.errors import SimBudgetExceededError
+
+        env = Environment()
+
+        def stuck():
+            while True:
+                yield env.timeout(0.0)
+
+        def never():
+            yield env.timeout(1e12)
+
+        env.process(stuck(), name="stuck")
+        proc = env.process(never(), name="never")
+        with pytest.raises(SimBudgetExceededError) as excinfo:
+            env.run(until=proc, max_stalled_events=30)
+        assert excinfo.value.budget == "livelock"
