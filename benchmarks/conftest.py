@@ -23,7 +23,7 @@ from repro.app.workloads import (
     build_redis,
 )
 from repro.app.workloads.socialnet import social_network_deployment
-from repro.core import DittoCloner
+from repro.core import CloneRequest, DittoCloner
 from repro.hw import PLATFORM_A
 from repro.loadgen import LoadSpec
 from repro.profiling import ProfilingBudget
@@ -139,10 +139,10 @@ def single_tier_clones() -> Dict[str, Tuple[Deployment, Deployment, object]]:
         original = Deployment.single(setup.builder())
         cloner = DittoCloner(fine_tune_tiers=True, max_tune_iterations=5,
                              budget=BENCH_BUDGET)
-        synthetic, report = cloner.clone(
-            original, setup.profiling_load,
-            setup.config(duration_s=PROFILE_SECONDS, seed=5))
-        clones[name] = (original, synthetic, report)
+        result = cloner.clone(CloneRequest(
+            deployment=original, load=setup.profiling_load,
+            config=setup.config(duration_s=PROFILE_SECONDS, seed=5)))
+        clones[name] = (original, result.synthetic, result.report)
     return clones
 
 
@@ -153,6 +153,6 @@ def socialnet_clone() -> Tuple[Deployment, Deployment, object]:
     cloner = DittoCloner(fine_tune_tiers=False, budget=BENCH_BUDGET)
     config = ExperimentConfig(platform=PLATFORM_A,
                               duration_s=PROFILE_SECONDS * 2, seed=5)
-    synthetic, report = cloner.clone(
-        original, SOCIALNET_LOADS["medium"], config)
-    return original, synthetic, report
+    result = cloner.clone(CloneRequest(
+        deployment=original, load=SOCIALNET_LOADS["medium"], config=config))
+    return original, result.synthetic, result.report

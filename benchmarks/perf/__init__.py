@@ -164,8 +164,9 @@ def bench_branch_gen(n: int) -> int:
 
 def bench_clone(duration_s: float, qps: float, repeat: int = 3) -> float:
     """Best wall-clock (seconds) for an end-to-end memcached clone."""
-    from repro import (Deployment, DittoCloner, ExperimentConfig, LoadSpec,
-                       PLATFORM_A, build_memcached)
+    from repro import (CloneRequest, Deployment, DittoCloner,
+                       ExperimentConfig, LoadSpec, PLATFORM_A,
+                       build_memcached)
     from repro.profiling import ProfilingBudget
 
     times = []
@@ -177,10 +178,11 @@ def bench_clone(duration_s: float, qps: float, repeat: int = 3) -> float:
             executor="serial",
         )
         start = time.perf_counter()
-        cloner.clone(Deployment.single(build_memcached()),
-                     LoadSpec.open_loop(qps),
-                     ExperimentConfig(platform=PLATFORM_A,
-                                      duration_s=duration_s, seed=5))
+        cloner.clone(CloneRequest(
+            deployment=Deployment.single(build_memcached()),
+            load=LoadSpec.open_loop(qps),
+            config=ExperimentConfig(platform=PLATFORM_A,
+                                    duration_s=duration_s, seed=5)))
         times.append(time.perf_counter() - start)
     return min(times)
 

@@ -16,7 +16,7 @@ from conftest import BENCH_BUDGET, write_result
 
 from repro.app.service import Deployment
 from repro.app.workloads import build_memcached
-from repro.core import DittoCloner
+from repro.core import CloneRequest, DittoCloner
 from repro.hw import PLATFORM_A
 from repro.loadgen import LoadSpec
 from repro.runtime import ExperimentConfig, run_experiment
@@ -33,9 +33,11 @@ def test_fig11_power_management(benchmark):
     original = Deployment.single(build_memcached(worker_threads=16))
     profiling_config = ExperimentConfig(platform=PLATFORM_A,
                                         duration_s=0.02, seed=5)
-    synthetic, _report = DittoCloner(
+    synthetic = DittoCloner(
         fine_tune_tiers=True, max_tune_iterations=3, budget=BENCH_BUDGET,
-    ).clone(original, LoadSpec.open_loop(300_000), profiling_config)
+    ).clone(CloneRequest(deployment=original,
+                         load=LoadSpec.open_loop(300_000),
+                         config=profiling_config)).synthetic
 
     def run_grid():
         cells = {}

@@ -23,7 +23,7 @@ from conftest import (
 )
 
 from repro.app.workloads.asyncgw import async_gateway_deployment
-from repro.core import DittoCloner
+from repro.core import CloneRequest, DittoCloner
 from repro.hw import PLATFORM_A, PLATFORM_B, PLATFORM_C
 from repro.loadgen import LoadSpec
 from repro.runtime import ExperimentConfig, run_experiment
@@ -39,8 +39,9 @@ def _gateway_clone():
     cloner = DittoCloner(fine_tune_tiers=False, budget=BENCH_BUDGET)
     config = ExperimentConfig(platform=PLATFORM_A,
                               duration_s=PROFILE_SECONDS, seed=5)
-    synthetic, report = cloner.clone(original, ASYNCGW_LOAD, config)
-    return original, synthetic, report
+    result = cloner.clone(CloneRequest(deployment=original,
+                                       load=ASYNCGW_LOAD, config=config))
+    return original, result.synthetic, result.report
 
 
 def test_validation_gate_matrix(benchmark, single_tier_clones,

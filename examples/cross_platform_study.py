@@ -10,12 +10,19 @@ with no reprofiling.
 Run:  python examples/cross_platform_study.py
 """
 
-from repro.app.service import Deployment
-from repro.app.workloads import build_memcached, build_redis
-from repro.core import DittoCloner
-from repro.hw import PLATFORM_A, PLATFORM_B, PLATFORM_C
-from repro.loadgen import LoadSpec
-from repro.runtime import ExperimentConfig, run_experiment
+from repro import (
+    CloneRequest,
+    Deployment,
+    DittoCloner,
+    ExperimentConfig,
+    LoadSpec,
+    PLATFORM_A,
+    PLATFORM_B,
+    PLATFORM_C,
+    build_memcached,
+    build_redis,
+    run_experiment,
+)
 
 PLATFORMS = (PLATFORM_A, PLATFORM_B, PLATFORM_C)
 APPS = {
@@ -31,7 +38,8 @@ def main() -> None:
                                             duration_s=0.02, seed=5)
         synthetic = DittoCloner(
             fine_tune_tiers=True, max_tune_iterations=4,
-        ).clone(original, load, profiling_config).synthetic
+        ).clone(CloneRequest(deployment=original, load=load,
+                             config=profiling_config)).synthetic
         print(f"\n=== {name} (profiled on A only) ===")
         print(f"{'platform':<10}{'':>10}{'IPC':>8}{'branch':>8}"
               f"{'l1i':>8}{'l2':>8}{'llc':>8}{'p99 ms':>9}")

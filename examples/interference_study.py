@@ -9,13 +9,17 @@ the clone reproduces the original's resource usage patterns (§6.5).
 Run:  python examples/interference_study.py
 """
 
-from repro.app.service import Deployment
+from repro import (
+    CloneRequest,
+    Deployment,
+    DittoCloner,
+    ExperimentConfig,
+    LoadSpec,
+    PLATFORM_A,
+    build_nginx,
+    run_experiment,
+)
 from repro.app.stressors import interference_suite, stressor
-from repro.app.workloads import build_nginx
-from repro.core import DittoCloner
-from repro.hw import PLATFORM_A
-from repro.loadgen import LoadSpec
-from repro.runtime import ExperimentConfig, run_experiment
 
 
 def main() -> None:
@@ -25,7 +29,8 @@ def main() -> None:
                                         duration_s=0.02, seed=5)
     synthetic = DittoCloner(
         fine_tune_tiers=True, max_tune_iterations=4,
-    ).clone(original, load, profiling_config).synthetic
+    ).clone(CloneRequest(deployment=original, load=load,
+                         config=profiling_config)).synthetic
 
     scenarios = [("none", ())] + [
         (name, (stressor(name),)) for name in interference_suite()

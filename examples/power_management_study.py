@@ -9,12 +9,16 @@ clone marks infeasible match the original's.
 Run:  python examples/power_management_study.py
 """
 
-from repro.app.service import Deployment
-from repro.app.workloads import build_memcached
-from repro.core import DittoCloner
-from repro.hw import PLATFORM_A
-from repro.loadgen import LoadSpec
-from repro.runtime import ExperimentConfig, run_experiment
+from repro import (
+    CloneRequest,
+    Deployment,
+    DittoCloner,
+    ExperimentConfig,
+    LoadSpec,
+    PLATFORM_A,
+    build_memcached,
+    run_experiment,
+)
 
 QOS_MS = 1.0
 LOAD = LoadSpec.open_loop(230_000)
@@ -54,7 +58,9 @@ def main() -> None:
                                         duration_s=0.02, seed=5)
     synthetic = DittoCloner(
         fine_tune_tiers=True, max_tune_iterations=4,
-    ).clone(original, LoadSpec.open_loop(100_000), profiling_config).synthetic
+    ).clone(CloneRequest(deployment=original,
+                         load=LoadSpec.open_loop(100_000),
+                         config=profiling_config)).synthetic
     actual_cells = heatmap(original)
     synth_cells = heatmap(synthetic)
     render("actual Memcached", actual_cells)

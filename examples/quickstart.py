@@ -14,13 +14,18 @@ Run:  python examples/quickstart.py
 
 import os
 
+from repro import (
+    CloneRequest,
+    Deployment,
+    DittoCloner,
+    ExperimentConfig,
+    LoadSpec,
+    PLATFORM_A,
+    build_memcached,
+    emit_assembly,
+    run_experiment,
+)
 from repro.analysis import compare_metrics
-from repro.app.service import Deployment
-from repro.app.workloads import build_memcached
-from repro.core import DittoCloner, emit_assembly
-from repro.hw import PLATFORM_A
-from repro.loadgen import LoadSpec
-from repro.runtime import ExperimentConfig, run_experiment
 from repro.telemetry import Telemetry
 
 
@@ -37,7 +42,9 @@ def main() -> None:
     telemetry = Telemetry(label="quickstart: memcached clone")
     cloner = DittoCloner(fine_tune_tiers=True, max_tune_iterations=6,
                          telemetry=telemetry)
-    result = cloner.clone(original, profiling_load, profiling_config)
+    result = cloner.clone(CloneRequest(deployment=original,
+                                       load=profiling_load,
+                                       config=profiling_config))
     synthetic, report = result.synthetic, result.report
     tuning = report.tuning["memcached"]
     print(f"fine-tuning: {tuning.iterations} iterations, "

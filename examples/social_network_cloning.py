@@ -10,12 +10,16 @@ a QPS sweep.
 Run:  python examples/social_network_cloning.py
 """
 
-from repro.app.workloads.socialnet import social_network_deployment
-from repro.core import DittoCloner
-from repro.hw import PLATFORM_A
-from repro.loadgen import LoadSpec
+from repro import (
+    CloneRequest,
+    DittoCloner,
+    ExperimentConfig,
+    LoadSpec,
+    PLATFORM_A,
+    run_experiment,
+    social_network_deployment,
+)
 from repro.profiling import ProfilingBudget
-from repro.runtime import ExperimentConfig, run_experiment
 
 
 def main() -> None:
@@ -30,7 +34,9 @@ def main() -> None:
         budget=ProfilingBudget(sampled_requests=8,
                                profile_duration_s=0.05),
     )
-    result = cloner.clone(original, profiling_load, profiling_config)
+    result = cloner.clone(CloneRequest(deployment=original,
+                                       load=profiling_load,
+                                       config=profiling_config))
     synthetic, report = result.synthetic, result.report
 
     topology = report.topology

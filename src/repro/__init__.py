@@ -3,15 +3,20 @@ networked cloud services, on a fully simulated system stack.
 
 Top-level convenience exports — the typical flow:
 
->>> from repro import (Deployment, DittoCloner, ExperimentConfig,
-...                    LoadSpec, PLATFORM_A, build_memcached,
-...                    run_experiment)
+>>> from repro import (CloneRequest, Deployment, DittoCloner,
+...                    ExperimentConfig, LoadSpec, PLATFORM_A,
+...                    build_memcached)
 >>> original = Deployment.single(build_memcached())
->>> cloner = DittoCloner()
->>> synthetic, report = cloner.clone(
-...     original, LoadSpec.open_loop(100_000),
-...     ExperimentConfig(platform=PLATFORM_A, duration_s=0.02))
-...     # doctest: +SKIP
+>>> request = CloneRequest(
+...     deployment=original, load=LoadSpec.open_loop(100_000),
+...     config=ExperimentConfig(platform=PLATFORM_A, duration_s=0.02))
+>>> result = DittoCloner().clone(request)   # doctest: +SKIP
+>>> synthetic, report = result.synthetic, result.report  # doctest: +SKIP
+
+Many clones at once go through the fleet control plane instead
+(:class:`~repro.fleet.FleetClient`, or ``python -m repro.fleet`` from a
+shell) — same :class:`CloneRequest`, plus a persistent job store,
+scheduler, and per-job lifecycle.
 
 Subpackages, bottom-up:
 
@@ -33,6 +38,8 @@ Subpackages, bottom-up:
 - :mod:`repro.validation` — fidelity gates, artifact integrity,
   self-healing remediation (``python -m repro.validation`` gates a
   saved bundle)
+- :mod:`repro.fleet` — the cloning control plane: persistent job
+  store, scheduler, ``python -m repro.fleet`` CLI
 """
 
 from repro.app.service import Deployment
@@ -44,7 +51,13 @@ from repro.app.workloads import (
     build_social_network,
     social_network_deployment,
 )
-from repro.core import CloneResult, DittoCloner, GeneratorConfig, emit_assembly
+from repro.core import (
+    CloneRequest,
+    CloneResult,
+    DittoCloner,
+    GeneratorConfig,
+    emit_assembly,
+)
 from repro.faults import (
     CpuStealFault,
     DiskErrorFault,
@@ -55,6 +68,7 @@ from repro.faults import (
     NodeCrashFault,
     PacketLossFault,
 )
+from repro.fleet import CloneJobSpec, FleetClient, JobState
 from repro.hw import PLATFORM_A, PLATFORM_B, PLATFORM_C, platform_by_name
 from repro.loadgen import LoadSpec
 from repro.runtime import (
@@ -80,6 +94,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ArtifactIntegrityError",
+    "CloneJobSpec",
+    "CloneRequest",
     "CloneResult",
     "CpuStealFault",
     "Deployment",
@@ -93,7 +109,9 @@ __all__ = [
     "FidelityGate",
     "FidelityGateError",
     "FidelityReport",
+    "FleetClient",
     "GeneratorConfig",
+    "JobState",
     "LatencySpikeFault",
     "LoadSpec",
     "NodeCrashFault",

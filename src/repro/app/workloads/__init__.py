@@ -17,6 +17,7 @@ from repro.app.workloads.socialnet import (
     build_social_network,
     social_network_deployment,
 )
+from repro.app.workloads.twotier import two_tier_deployment
 
 WORKLOAD_BUILDERS = {
     "memcached": build_memcached,
@@ -25,7 +26,15 @@ WORKLOAD_BUILDERS = {
     "redis": build_redis,
 }
 
+#: builders that produce a full multi-tier Deployment (vs. a single
+#: ServiceSpec in WORKLOAD_BUILDERS)
+DEPLOYMENT_BUILDERS = {
+    "twotier": two_tier_deployment,
+    "socialnet": social_network_deployment,
+}
+
 __all__ = [
+    "DEPLOYMENT_BUILDERS",
     "WORKLOAD_BUILDERS",
     "build_memcached",
     "build_mongodb",
@@ -33,4 +42,5 @@ __all__ = [
     "build_redis",
     "build_social_network",
     "social_network_deployment",
+    "two_tier_deployment",
 ]

@@ -1,0 +1,50 @@
+"""A minimal two-tier chain: a thin frontend over Memcached.
+
+The smallest deployment that still exercises every cross-tier code
+path — RPC fan-out, topology reconstruction, per-tier parallel cloning
+— which makes it the canonical smoke workload: the telemetry pipeline
+tests, the fleet CLI examples and the CI fleet-smoke job all clone this
+deployment. The frontend parses a request, calls Memcached's ``get``
+and streams the value back; the backend is the paper's Memcached model
+scaled down to two worker threads.
+"""
+
+from repro.app.program import ComputeOp, Handler, Program, RpcOp, SyscallOp
+from repro.app.service import Deployment, Placement, ServiceSpec
+from repro.app.workloads.common import parse_block
+from repro.app.workloads.memcached import build_memcached
+from repro.kernelsim.syscalls import SyscallInvocation
+
+__all__ = ["build_two_tier_frontend", "two_tier_deployment"]
+
+
+def build_two_tier_frontend(backend: ServiceSpec) -> ServiceSpec:
+    """The thin proxy tier: recv → parse → RPC to ``backend`` → send."""
+    return ServiceSpec(
+        name="frontend",
+        skeleton=backend.skeleton,
+        program=Program(
+            handlers={"get": Handler("get", (
+                SyscallOp(SyscallInvocation("recv", nbytes=64)),
+                ComputeOp(parse_block("fe_parse", instructions=1600,
+                                      buffer_bytes=1024)),
+                RpcOp("memcached", 60, 4096, handler="get"),
+                SyscallOp(SyscallInvocation("sendmsg", nbytes=4096)),
+            ))},
+            hot_code_bytes=64 * 1024,
+            resident_bytes=32 * 1024 * 1024,
+        ),
+        request_mix={"get": 1.0},
+    )
+
+
+def two_tier_deployment() -> Deployment:
+    """A minimal frontend → memcached chain (both tiers on one node)."""
+    backend = build_memcached(worker_threads=2)
+    frontend = build_two_tier_frontend(backend)
+    return Deployment(
+        services={"frontend": frontend, "memcached": backend},
+        placements=[Placement("frontend", "node0"),
+                    Placement("memcached", "node0")],
+        entry_service="frontend",
+    )

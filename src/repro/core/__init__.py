@@ -27,7 +27,13 @@ from repro.core.finetune import (
     FineTuneResult,
     fine_tune,
 )
-from repro.core.cloner import CloneReport, CloneResult, DittoCloner
+from repro.core.cloner import (
+    CloneObserver,
+    CloneReport,
+    CloneResult,
+    DittoCloner,
+)
+from repro.core.request import CloneRequest
 from repro.core.pipeline import (
     TierOutcome,
     TierTask,
@@ -44,7 +50,9 @@ from repro.core.bundle import (
 )
 
 __all__ = [
+    "CloneObserver",
     "CloneReport",
+    "CloneRequest",
     "CloneResult",
     "DEFAULT_MAX_TUNE_ITERATIONS",
     "audit_bundle_confidentiality",

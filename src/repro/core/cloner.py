@@ -18,12 +18,14 @@ measurements, so parallel and serial clones are bit-identical.
 from __future__ import annotations
 
 import contextlib
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterator, List, NamedTuple, Optional, Union
+from typing import Any, Dict, Iterator, List, NamedTuple, Optional, Union
 
 from repro.app.service import Deployment, Placement, ServiceSpec
 from repro.core.body_gen import GeneratorConfig
 from repro.core.features import ServiceFeatures
+from repro.core.request import CloneRequest
 from repro.core.finetune import DEFAULT_MAX_TUNE_ITERATIONS, FineTuneResult
 from repro.core.pipeline import (
     EXECUTOR_MODES,
@@ -82,14 +84,41 @@ class CloneReport:
 
 
 class CloneResult(NamedTuple):
-    """A finished clone: unpacks as ``(synthetic, report)``.
+    """A finished clone. Use attribute access: ``result.synthetic``,
+    ``result.report``.
 
-    Named access (``result.synthetic``, ``result.report``) is preferred;
-    tuple unpacking keeps pre-``CloneResult`` call sites working.
+    .. deprecated::
+        2-tuple unpacking (``synthetic, report = result``) is a
+        compatibility affordance for pre-``CloneResult`` call sites and
+        is deprecated; it will keep working for the 1.x line but new
+        code (and the repo's own examples/benchmarks) must use the named
+        fields.
     """
 
     synthetic: Deployment
     report: CloneReport
+
+
+class CloneObserver:
+    """Lifecycle hooks a cloning session calls at phase boundaries.
+
+    The fleet control plane's bridge into :class:`DittoCloner`: an
+    observer hears every phase change (``"profiling"`` →
+    ``"tuning"`` → ``"validating"``, with ``"tuning"`` re-entered per
+    remediation rung) and every planned
+    :class:`~repro.validation.remediate.RemediationStep`, and may raise
+    from :meth:`on_phase` to abort the clone (the fleet raises
+    :class:`~repro.util.errors.JobCancelledError` when a cancel marker
+    appears). The default implementation is a no-op, and a cloner
+    without an observer behaves bit-identically to previous releases.
+    """
+
+    def on_phase(self, phase: str, *, attempt: int = 0,
+                 reason: str = "") -> None:
+        """Called when the clone enters ``phase``; may raise to abort."""
+
+    def on_remediation(self, step: RemediationStep) -> None:
+        """Called when a remediation rung has been planned."""
 
 
 class DittoCloner:
@@ -154,6 +183,8 @@ class DittoCloner:
         telemetry: Union[bool, Telemetry, None] = None,
         validate: Union[bool, FidelityGate, None] = None,
         remediation: Optional[RemediationPolicy] = None,
+        observer: Optional[CloneObserver] = None,
+        shared_cache_dir: Optional[str] = None,
     ) -> None:
         if not isinstance(max_tune_iterations, int) \
                 or isinstance(max_tune_iterations, bool) \
@@ -216,34 +247,159 @@ class DittoCloner:
             # RemediationPolicy(max_attempts=0) for a strict single shot.
             remediation = RemediationPolicy()
         self.remediation = remediation
+        if observer is not None and not isinstance(observer, CloneObserver):
+            raise ConfigurationError(
+                f"observer must be a CloneObserver, got {observer!r}")
+        self.observer = observer
+        if shared_cache_dir is not None \
+                and not isinstance(shared_cache_dir, str):
+            raise ConfigurationError(
+                f"shared_cache_dir must be a path string, "
+                f"got {shared_cache_dir!r}")
+        self.shared_cache_dir = shared_cache_dir
+
+    # ------------------------------------------------------------------ #
+    # request plumbing
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_request(cls, request: CloneRequest,
+                    **overrides: Any) -> "DittoCloner":
+        """A cloner configured from ``request``'s option fields.
+
+        ``overrides`` (executor, checkpoint_dir, observer, telemetry,
+        shared_cache_dir, ...) win over the request — this is how the
+        fleet worker pins its per-job infrastructure while the request
+        keeps the reproducibility knobs.
+        """
+        kwargs = request.cloner_options()
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
+    def _effective(self, request: CloneRequest) -> "DittoCloner":
+        """``self`` with the request's option overrides applied."""
+        options = request.cloner_options()
+        if not options:
+            return self
+        kwargs: Dict[str, Any] = dict(
+            generator_config=self.generator_config, budget=self.budget,
+            fine_tune_tiers=self.fine_tune_tiers,
+            max_tune_iterations=self.max_tune_iterations, seed=self.seed,
+            executor=self.executor, max_workers=self.max_workers,
+            tier_retries=self.tier_retries,
+            checkpoint_dir=self.checkpoint_dir, telemetry=self.telemetry,
+            validate=self.validate, remediation=self.remediation,
+            observer=self.observer, shared_cache_dir=self.shared_cache_dir)
+        kwargs.update(options)
+        return type(self)(**kwargs)
+
+    def _phase(self, phase: str, *, attempt: int = 0,
+               reason: str = "") -> None:
+        """Notify the observer of a phase boundary (may raise to abort)."""
+        if self.observer is not None:
+            self.observer.on_phase(phase, attempt=attempt, reason=reason)
 
     def clone(
         self,
-        deployment: Deployment,
-        profiling_load: LoadSpec,
-        profiling_config: ExperimentConfig,
+        deployment: Union[Deployment, CloneRequest],
+        profiling_load: Optional[LoadSpec] = None,
+        profiling_config: Optional[ExperimentConfig] = None,
     ) -> CloneResult:
         """Clone a deployment; returns a :class:`CloneResult`.
 
-        Profiling happens once, at ``profiling_load`` on
-        ``profiling_config.platform`` — the synthetic deployment then
-        runs on any platform or load without reprofiling.
+        The canonical form takes one :class:`CloneRequest` — option
+        fields set on the request override this cloner's knobs for the
+        call. The legacy positional form
+        ``clone(deployment, profiling_load, profiling_config)`` still
+        works through a shim (it builds an override-free request) but
+        is deprecated.
+
+        Profiling happens once, at the request's load on its
+        ``config.platform`` — the synthetic deployment then runs on any
+        platform or load without reprofiling.
         """
-        with self._observed():
-            with span("profiling", service=deployment.entry_service,
-                      tiers=len(deployment.services)):
+        if isinstance(deployment, CloneRequest):
+            if profiling_load is not None or profiling_config is not None:
+                raise ConfigurationError(
+                    "clone(request) takes no further arguments — put the "
+                    "load and config on the CloneRequest")
+            request = deployment
+        else:
+            warnings.warn(
+                "clone(deployment, profiling_load, profiling_config) is "
+                "deprecated; pass a repro.CloneRequest instead",
+                DeprecationWarning, stacklevel=2)
+            if profiling_load is None or profiling_config is None:
+                raise ConfigurationError(
+                    "legacy clone() needs deployment, profiling_load and "
+                    "profiling_config")
+            request = CloneRequest(deployment=deployment,
+                                   load=profiling_load,
+                                   config=profiling_config)
+        cloner = self._effective(request)
+        config = request.effective_config()
+        with cloner._observed():
+            cloner._phase("profiling")
+            with span("profiling",
+                      service=request.deployment.entry_service,
+                      tiers=len(request.deployment.services)):
                 profile = profile_deployment(
-                    deployment, profiling_load, profiling_config,
-                    budget=self.budget, seed=self.seed,
+                    request.deployment, request.load, config,
+                    budget=cloner.budget, seed=cloner.seed,
                 )
-            return self.clone_from_profile(
+            return cloner._clone_from_profile(
                 profile,
-                deployment=deployment,
-                profiling_config=profiling_config,
-                validation_load=profiling_load,
+                deployment=request.deployment,
+                profiling_config=config,
+                validation_load=request.effective_validation_load(),
             )
 
     def clone_from_profile(
+        self,
+        profile: ApplicationProfile,
+        *,
+        request: Optional[CloneRequest] = None,
+        deployment: Optional[Deployment] = None,
+        profiling_config: Optional[ExperimentConfig] = None,
+        validation_load: Optional[LoadSpec] = None,
+    ) -> CloneResult:
+        """Run the per-tier pipeline over an existing profiling session.
+
+        Splitting this from :meth:`clone` lets callers re-generate (e.g.
+        with different generator configs, tuning budgets or executors)
+        without paying for profiling again — the fleet worker also
+        enters here when it resumes a job whose profile is already in
+        the store. Pass either ``request=`` (its option fields override
+        this cloner's knobs, as in :meth:`clone`) or the explicit
+        ``deployment``/``profiling_config``/``validation_load`` trio.
+        With ``validate=`` set, the finished clone is gated against the
+        original under ``validation_load`` (reconstructed from the
+        profile when not given) and remediated on failure — see the
+        class docstring.
+        """
+        if request is not None:
+            if deployment is not None or profiling_config is not None \
+                    or validation_load is not None:
+                raise ConfigurationError(
+                    "pass either request= or the explicit "
+                    "deployment/profiling_config/validation_load set, "
+                    "not both")
+            cloner = self._effective(request)
+            return cloner._clone_from_profile(
+                profile,
+                deployment=request.deployment,
+                profiling_config=request.effective_config(),
+                validation_load=request.effective_validation_load(),
+            )
+        if deployment is None or profiling_config is None:
+            raise ConfigurationError(
+                "clone_from_profile needs a request= or both deployment "
+                "and profiling_config")
+        return self._clone_from_profile(
+            profile, deployment=deployment,
+            profiling_config=profiling_config,
+            validation_load=validation_load)
+
+    def _clone_from_profile(
         self,
         profile: ApplicationProfile,
         *,
@@ -251,15 +407,6 @@ class DittoCloner:
         profiling_config: ExperimentConfig,
         validation_load: Optional[LoadSpec] = None,
     ) -> CloneResult:
-        """Run the per-tier pipeline over an existing profiling session.
-
-        Splitting this from :meth:`clone` lets callers re-generate (e.g.
-        with different generator configs, tuning budgets or executors)
-        without paying for profiling again. With ``validate=`` set on
-        the cloner, the finished clone is gated against ``deployment``
-        under ``validation_load`` (reconstructed from the profile when
-        not given) and remediated on failure — see the class docstring.
-        """
         with self._observed():
             topology: Optional[TopologySummary] = None
             if len(deployment.services) > 1:
@@ -309,6 +456,8 @@ class DittoCloner:
                         f"({', '.join(sorted({c.metric for c in verdict.failures()}))})",
                         report=verdict, result=result, attempts=attempt)
                 steps.append(step)
+                if self.observer is not None:
+                    self.observer.on_remediation(step)
                 self._count_remediation(step)
                 seed = step.seed
                 max_tune_iterations = step.max_tune_iterations
@@ -328,6 +477,8 @@ class DittoCloner:
         executor: str,
     ) -> CloneResult:
         """One pipeline pass plus (when configured) its fidelity gate."""
+        self._phase("tuning", attempt=len(steps),
+                    reason=steps[-1].reason if steps else "")
         tasks = [
             self._tier_task(profile, name, profiling_config, seed=seed,
                             max_tune_iterations=max_tune_iterations)
@@ -361,6 +512,7 @@ class DittoCloner:
         with span("interface_validation"):
             self._validate_interfaces(synthetic)
         if self.validate is not None:
+            self._phase("validating", attempt=len(steps))
             load = (validation_load if validation_load is not None
                     else self._reconstruct_load(profile))
             # Gate under a clean config: validation measures the clone's
@@ -474,6 +626,7 @@ class DittoCloner:
             tune_config=tune_config,
             max_tune_iterations=max_tune_iterations,
             collect_telemetry=self.telemetry is not None,
+            shared_cache_dir=self.shared_cache_dir,
         )
 
     @staticmethod

@@ -62,6 +62,7 @@ from repro.runtime.expcache import (
     DEFAULT_CACHE_ENTRIES,
     CacheStats,
     ExperimentCache,
+    SharedExperimentCache,
 )
 from repro.runtime.experiment import ExperimentConfig
 from repro.telemetry.context import current_session
@@ -121,6 +122,12 @@ class TierTask:
     #: cannot see the parent's session, so the request must travel in
     #: the task payload
     collect_telemetry: bool = False
+    #: directory of a fleet-wide digest-keyed experiment store (see
+    #: :class:`~repro.runtime.expcache.SharedExperimentCache`); ``None``
+    #: keeps the historical private in-memory cache. Results are
+    #: bit-identical either way — the store only changes *where* a
+    #: memoized measurement is found.
+    shared_cache_dir: Optional[str] = None
 
 
 @dataclass
@@ -176,8 +183,13 @@ def _clone_tier(task: TierTask) -> TierOutcome:
         with span("feature_extraction", category="tier", service=service):
             features = extract_service_features(task.artifacts)
         config = task.generator_config
-        cache = ExperimentCache(max_entries=task.cache_max_entries,
-                                name=service)
+        if task.shared_cache_dir is not None:
+            cache: ExperimentCache = SharedExperimentCache(
+                task.shared_cache_dir, max_entries=task.cache_max_entries,
+                name=service)
+        else:
+            cache = ExperimentCache(max_entries=task.cache_max_entries,
+                                    name=service)
         tuning: Optional[FineTuneResult] = None
         if task.tune_config is not None:
             with span("fine_tune", category="tier", service=service):

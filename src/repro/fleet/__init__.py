@@ -1,0 +1,46 @@
+"""Fleet-scale cloning control plane.
+
+Ditto frames cloning as a repeatable workflow — profile → generate →
+tune → validate. This package runs that workflow as a *service*: many
+clone jobs, one persistent digest-keyed store, a scheduler sharding
+jobs across a worker pool, and a CLI (``python -m repro.fleet``) to
+submit, watch, list and cancel.
+
+- :class:`~repro.fleet.job.CloneJobSpec` /
+  :class:`~repro.fleet.job.CloneJobRecord` — the typed job surface
+  (a :class:`~repro.core.request.CloneRequest` plus scheduling
+  metadata, and its durable lifecycle record);
+- :class:`~repro.fleet.store.JobStore` — atomic, integrity-enveloped
+  persistence with leases, cancel markers, shared profiles and the
+  fleet-wide experiment cache;
+- :class:`~repro.fleet.scheduler.FleetScheduler` — process/thread/
+  serial fan-out with the tier pipeline's degradation ladder;
+- :class:`~repro.fleet.client.FleetClient` — the user-facing handle.
+
+See DESIGN.md ("Fleet job state machine") for the lifecycle diagram.
+"""
+
+from repro.fleet.client import FleetClient
+from repro.fleet.job import (
+    CloneJobRecord,
+    CloneJobSpec,
+    JobResult,
+    JobState,
+    TransitionRecord,
+)
+from repro.fleet.scheduler import FleetScheduler
+from repro.fleet.store import JobStore
+from repro.fleet.worker import JobWorkerOutcome, execute_job
+
+__all__ = [
+    "CloneJobRecord",
+    "CloneJobSpec",
+    "FleetClient",
+    "FleetScheduler",
+    "JobResult",
+    "JobState",
+    "JobStore",
+    "JobWorkerOutcome",
+    "TransitionRecord",
+    "execute_job",
+]

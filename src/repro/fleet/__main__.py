@@ -1,0 +1,281 @@
+"""Operate a cloning fleet from the command line.
+
+::
+
+    python -m repro.fleet submit --store DIR --workload twotier
+        [--qps 2000] [--duration 0.015] [--platform A] [--seed 17]
+        [--validate] [--tolerance METRIC=REL ...] [--fast]
+        [--tune-iterations N] [--no-finetune] [--name NAME]
+        [--priority P]
+    python -m repro.fleet run    --store DIR [--executor auto]
+        [--max-workers N] [--telemetry]
+    python -m repro.fleet list   --store DIR [--state submitted ...]
+    python -m repro.fleet watch  --store DIR JOB [--timeout 300]
+    python -m repro.fleet show   --store DIR JOB
+    python -m repro.fleet cancel --store DIR JOB
+    python -m repro.fleet retire --store DIR JOB
+
+``submit`` prints the new job id (the only stdout line, so shell
+scripts can capture it). ``watch`` exits **0** when the job publishes,
+**1** when it fails, **2** when it was cancelled and **3** on timeout.
+``run`` drains the queue and exits 0 unless some job failed. The store
+directory is shared state: submit from one shell, run the scheduler in
+another, watch from a third.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.app.service import Deployment
+from repro.app.workloads import DEPLOYMENT_BUILDERS, WORKLOAD_BUILDERS
+from repro.core.request import CloneRequest
+from repro.fleet.client import FleetClient
+from repro.fleet.job import JobState
+from repro.hw.platform import _PLATFORMS, platform_by_name
+from repro.loadgen.generator import LoadSpec
+from repro.profiling.artifacts import ProfilingBudget
+from repro.runtime.experiment import ExperimentConfig
+from repro.util.errors import ReproError
+from repro.validation.gate import FidelityGate
+
+#: a deliberately small profiling budget for smoke runs (same shape the
+#: test suite uses) — clones stay deterministic, just coarser
+FAST_BUDGET = ProfilingBudget(
+    sampled_requests=6, max_accesses_per_spec=384,
+    max_istream_per_block=1024, branch_outcomes_per_site=96,
+    max_sites_per_population=6, dep_samples_per_block=32,
+    profile_duration_s=0.012,
+)
+
+WATCH_EXIT = {JobState.PUBLISHED: 0, JobState.RETIRED: 0,
+              JobState.FAILED: 1, JobState.CANCELLED: 2}
+
+
+def _workload_names() -> List[str]:
+    return sorted(set(WORKLOAD_BUILDERS) | set(DEPLOYMENT_BUILDERS))
+
+
+def _build_deployment(name: str) -> Deployment:
+    if name in DEPLOYMENT_BUILDERS:
+        return DEPLOYMENT_BUILDERS[name]()
+    return Deployment.single(WORKLOAD_BUILDERS[name]())
+
+
+def _parse_tolerances(entries: List[str]) -> Dict[str, float]:
+    tolerances: Dict[str, float] = {}
+    for entry in entries:
+        name, _, value = entry.partition("=")
+        if not name or not value:
+            raise SystemExit(f"--tolerance takes METRIC=REL, got {entry!r}")
+        try:
+            tolerances[name] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"--tolerance value for {name!r} must be a number, "
+                f"got {value!r}") from None
+    return tolerances
+
+
+def _build_request(args: argparse.Namespace) -> CloneRequest:
+    deployment = _build_deployment(args.workload)
+    load = LoadSpec.open_loop(args.qps)
+    config = ExperimentConfig(platform=platform_by_name(args.platform),
+                              duration_s=args.duration, seed=args.seed)
+    validate: Optional[FidelityGate] = None
+    if args.validate:
+        tolerances = _parse_tolerances(args.tolerance)
+        # float values are taken as relative bounds by the gate
+        validate = FidelityGate(tolerances=tolerances or None)
+    return CloneRequest(
+        deployment=deployment,
+        load=load,
+        config=config,
+        seed=args.seed,
+        budget=FAST_BUDGET if args.fast else None,
+        fine_tune_tiers=False if args.no_finetune else None,
+        max_tune_iterations=args.tune_iterations,
+        validate=validate,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = FleetClient(args.store)
+    record = client.submit(_build_request(args), name=args.name,
+                           priority=args.priority)
+    print(record.job_id)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.telemetry.session import Telemetry
+    session = Telemetry(label="fleet") if args.telemetry else None
+    client = FleetClient(args.store)
+    outcomes = client.run_until_idle(executor=args.executor,
+                                     max_workers=args.max_workers,
+                                     telemetry=session)
+    failed = 0
+    for outcome in outcomes:
+        line = f"{outcome.job_id}  {outcome.state.value}"
+        if outcome.error:
+            line += f"  [{outcome.error}]"
+        print(line, file=sys.stderr)
+        if outcome.state is JobState.FAILED:
+            failed += 1
+    print(f"{len(outcomes)} job(s) finished, {failed} failed",
+          file=sys.stderr)
+    if session is not None:
+        def total(name: str) -> int:
+            metric = session.registry.get(name)
+            return int(metric.total()) if metric is not None else 0
+        print("telemetry: shared-cache hits="
+              f"{total('ditto_fleet_shared_cache_hits_total')} "
+              f"stores={total('ditto_fleet_shared_cache_stores_total')} "
+              "profile reuses="
+              f"{total('ditto_fleet_profile_reuse_total')}",
+              file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    states = ([JobState(state) for state in args.state]
+              if args.state else None)
+    for record in FleetClient(args.store).list(states):
+        print(record.describe())
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    client = FleetClient(args.store)
+    try:
+        record = client.watch(args.job_id, timeout_s=args.timeout,
+                              poll_s=args.poll)
+    except TimeoutError as error:
+        print(error, file=sys.stderr)
+        return 3
+    print(record.describe())
+    return WATCH_EXIT.get(record.state, 1)
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    client = FleetClient(args.store)
+    record = client.get(args.job_id)
+    print(record.describe())
+    print(f"  spec digest: {record.spec_digest}")
+    print(f"  remediation attempts: {record.attempts}")
+    if record.result_digest:
+        print(f"  result digest: {record.result_digest}")
+    for edge in record.history:
+        reason = f"  ({edge.reason})" if edge.reason else ""
+        print(f"  {edge.from_state.value} -> {edge.to_state.value}{reason}")
+    if record.state is JobState.PUBLISHED or record.result_digest:
+        try:
+            result = client.result(args.job_id)
+        except (ReproError, FileNotFoundError):
+            return 0
+        print(f"  executor: {result.executor}; cache hits/misses "
+              f"{result.cache_stats.hits}/{result.cache_stats.misses}")
+        if result.fidelity is not None:
+            print(f"  fidelity: "
+                  f"{'PASS' if result.fidelity.get('passed') else 'FAIL'}")
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    record = FleetClient(args.store).cancel(args.job_id)
+    print(record.describe())
+    return 0
+
+
+def _cmd_retire(args: argparse.Namespace) -> int:
+    record = FleetClient(args.store).retire(args.job_id)
+    print(record.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="operate a Ditto cloning fleet")
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--store", required=True,
+                        help="job store root directory")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    submit = commands.add_parser("submit", parents=[common],
+                                 help="queue one clone job")
+    submit.add_argument("--workload", required=True,
+                        choices=_workload_names())
+    submit.add_argument("--qps", type=float, default=2000.0)
+    submit.add_argument("--duration", type=float, default=0.015,
+                        help="profiling duration, seconds")
+    submit.add_argument("--platform", default="A",
+                        choices=sorted(_PLATFORMS))
+    submit.add_argument("--seed", type=int, default=17)
+    submit.add_argument("--fast", action="store_true",
+                        help="smoke-test profiling budget")
+    submit.add_argument("--validate", action="store_true",
+                        help="gate the clone through a FidelityGate")
+    submit.add_argument("--tolerance", action="append", default=[],
+                        metavar="METRIC=REL")
+    submit.add_argument("--tune-iterations", type=int, default=None)
+    submit.add_argument("--no-finetune", action="store_true")
+    submit.add_argument("--name", default="")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.set_defaults(func=_cmd_submit)
+
+    run = commands.add_parser("run", parents=[common],
+                              help="drain the queue, then exit")
+    run.add_argument("--executor", default="auto",
+                     choices=("auto", "process", "thread", "serial"))
+    run.add_argument("--max-workers", type=int, default=None)
+    run.add_argument("--telemetry", action="store_true",
+                     help="aggregate fleet telemetry while running")
+    run.set_defaults(func=_cmd_run)
+
+    list_cmd = commands.add_parser("list", parents=[common],
+                                   help="list jobs in the store")
+    list_cmd.add_argument("--state", action="append", default=[],
+                          choices=[state.value for state in JobState])
+    list_cmd.set_defaults(func=_cmd_list)
+
+    watch = commands.add_parser("watch", parents=[common],
+                                help="wait for a job to finish")
+    watch.add_argument("job_id")
+    watch.add_argument("--timeout", type=float, default=300.0)
+    watch.add_argument("--poll", type=float, default=0.2)
+    watch.set_defaults(func=_cmd_watch)
+
+    show = commands.add_parser("show", parents=[common],
+                               help="one job's record and history")
+    show.add_argument("job_id")
+    show.set_defaults(func=_cmd_show)
+
+    cancel = commands.add_parser("cancel", parents=[common],
+                                 help="cancel a queued or running job")
+    cancel.add_argument("job_id")
+    cancel.set_defaults(func=_cmd_cancel)
+
+    retire = commands.add_parser("retire", parents=[common],
+                                 help="retire a published clone")
+    retire.add_argument("job_id")
+    retire.set_defaults(func=_cmd_retire)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,198 @@
+"""Fleet job model: specs, records, and the lifecycle state machine.
+
+A clone job travels ``submitted → profiling → tuning → validating →
+published``. Failure paths map the cloner's error surface onto explicit
+states rather than stack traces:
+
+- a cancel marker (observed at the next phase boundary) → ``cancelled``;
+- :class:`~repro.util.errors.FidelityGateError` after the remediation
+  ladder is exhausted, or any other :class:`Exception` → ``failed``;
+- a crashed worker (process killed, machine lost) leaves the record in
+  its running state with a dead lease — recovery requeues it to
+  ``submitted`` and the next run resumes from its tier checkpoints.
+
+Remediation rungs (re-seed, widened tune budget, degraded executor)
+show up as ``validating → tuning`` self-healing transitions, so the
+:class:`~repro.validation.remediate.RemediationPolicy` ladder is
+visible in the job history instead of buried inside one opaque
+``clone()`` call. ``published`` jobs can only be ``retired``;
+``failed`` jobs can be resubmitted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.app.service import Deployment
+from repro.core.request import CloneRequest
+from repro.runtime.expcache import CacheStats
+from repro.util.errors import ConfigurationError, JobStateError
+
+__all__ = [
+    "CloneJobRecord",
+    "CloneJobSpec",
+    "JobResult",
+    "JobState",
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+    "TransitionRecord",
+]
+
+
+class JobState(str, Enum):
+    """Where a clone job is in its lifecycle."""
+
+    SUBMITTED = "submitted"
+    PROFILING = "profiling"
+    TUNING = "tuning"
+    VALIDATING = "validating"
+    PUBLISHED = "published"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    RETIRED = "retired"
+
+    def __str__(self) -> str:  # "published", not "JobState.PUBLISHED"
+        return self.value
+
+
+#: legal (from → to) edges. ``tuning → tuning`` is a watchdog-budget
+#: remediation retry, ``validating → tuning`` a gate-failure rung, and
+#: ``running state → submitted`` the crash-recovery requeue.
+TRANSITIONS: Dict[JobState, Tuple[JobState, ...]] = {
+    JobState.SUBMITTED: (JobState.PROFILING, JobState.TUNING,
+                         JobState.CANCELLED, JobState.FAILED),
+    JobState.PROFILING: (JobState.TUNING, JobState.CANCELLED,
+                         JobState.FAILED, JobState.SUBMITTED),
+    JobState.TUNING: (JobState.VALIDATING, JobState.PUBLISHED,
+                      JobState.TUNING, JobState.CANCELLED,
+                      JobState.FAILED, JobState.SUBMITTED),
+    JobState.VALIDATING: (JobState.PUBLISHED, JobState.TUNING,
+                          JobState.CANCELLED, JobState.FAILED,
+                          JobState.SUBMITTED),
+    JobState.PUBLISHED: (JobState.RETIRED,),
+    JobState.FAILED: (JobState.SUBMITTED,),
+    JobState.CANCELLED: (),
+    JobState.RETIRED: (),
+}
+
+#: states a job never leaves on its own (``failed`` jobs additionally
+#: accept an explicit resubmit)
+TERMINAL_STATES = (JobState.PUBLISHED, JobState.FAILED,
+                   JobState.CANCELLED, JobState.RETIRED)
+
+#: states that mean "a worker owns this job right now"
+RUNNING_STATES = (JobState.PROFILING, JobState.TUNING, JobState.VALIDATING)
+
+
+@dataclass(frozen=True)
+class TransitionRecord:
+    """One edge a job took through the state machine (audit trail)."""
+
+    from_state: JobState
+    to_state: JobState
+    reason: str = ""
+    at: float = 0.0
+
+
+@dataclass(frozen=True, kw_only=True)
+class CloneJobSpec:
+    """What one fleet job should clone (frozen, picklable).
+
+    The :class:`~repro.core.request.CloneRequest` carries every
+    output-affecting knob; ``name`` and ``priority`` are scheduling
+    metadata only, so two jobs with the same request share a spec
+    digest — and therefore profiles and shared-cache entries — no
+    matter what they are called.
+    """
+
+    request: CloneRequest
+    name: str = ""
+    #: higher runs first; ties break by submission order
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.request, CloneRequest):
+            raise ConfigurationError(
+                f"request must be a CloneRequest, got {self.request!r}")
+        if not isinstance(self.priority, int) \
+                or isinstance(self.priority, bool):
+            raise ConfigurationError(
+                f"priority must be an int, got {self.priority!r}")
+
+    def digest(self) -> str:
+        """The experiment identity (= the request digest)."""
+        return self.request.digest()
+
+    def describe(self) -> str:
+        label = self.name or self.request.deployment.entry_service
+        return f"{label}: {self.request.describe()}"
+
+
+@dataclass
+class CloneJobRecord:
+    """One job's durable state (what the job store persists)."""
+
+    job_id: str
+    spec: CloneJobSpec
+    spec_digest: str
+    state: JobState = JobState.SUBMITTED
+    history: List[TransitionRecord] = field(default_factory=list)
+    #: remediation rungs climbed so far (across resumes)
+    attempts: int = 0
+    #: human-readable failure/cancel explanation ("" while healthy)
+    error: str = ""
+    #: stable digest of the published clone (set on ``published``)
+    result_digest: str = ""
+    created_at: float = 0.0
+    updated_at: float = 0.0
+
+    def transition(self, to_state: JobState, *, reason: str = "") -> None:
+        """Take one edge; raises :class:`JobStateError` on illegal moves."""
+        if to_state not in TRANSITIONS[self.state]:
+            raise JobStateError(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state} → {to_state}"
+                + (f" ({reason})" if reason else ""))
+        now = time.time()
+        self.history.append(TransitionRecord(
+            from_state=self.state, to_state=to_state, reason=reason,
+            at=now))
+        self.state = to_state
+        self.updated_at = now
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def running(self) -> bool:
+        return self.state in RUNNING_STATES
+
+    def describe(self) -> str:
+        suffix = f" [{self.error}]" if self.error else ""
+        return (f"{self.job_id}  {self.state.value:<10}  "
+                f"{self.spec.describe()}{suffix}")
+
+
+@dataclass
+class JobResult:
+    """What a ``published`` job produced (picklable store payload)."""
+
+    job_id: str
+    synthetic: Deployment
+    #: :meth:`FidelityReport.to_dict` of the accepted clone (None when
+    #: the job ran ungated)
+    fidelity: Optional[dict] = None
+    #: remediation reasons climbed before acceptance
+    remediation: List[str] = field(default_factory=list)
+    #: executor mode the per-tier pipeline resolved to
+    executor: str = "serial"
+    #: experiment-cache counters aggregated across the job's tiers
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+    #: stable digest over (synthetic deployment, tuned knobs)
+    result_digest: str = ""
+    #: per-tier tuning iterations actually spent
+    tuning_iterations: Dict[str, int] = field(default_factory=dict)

@@ -1,0 +1,228 @@
+"""The fleet scheduler: shard submitted jobs across a worker pool.
+
+Jobs fan out across a ``concurrent.futures`` pool exactly like tiers do
+inside one clone — same executor modes (``process``/``thread``/
+``serial``/``auto``) and the same degradation ladder: a pool that
+breaks mid-run (a worker killed) degrades process → thread → serial and
+re-runs only the jobs that did not finish. Ownership is tracked with
+store leases (claimed before dispatch, released afterwards — on *any*
+exit, including a crash unwinding through the scheduler), so a job
+whose owner truly died is requeued by
+:meth:`~repro.fleet.store.JobStore.recover` at the top of every round.
+
+Priority: higher ``CloneJobSpec.priority`` first, ties broken by
+submission time. Worker telemetry payloads are absorbed into the
+scheduler's session when one is given, so one registry shows the whole
+fleet (including each job's shared-cache hits).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    wait,
+)
+from typing import List, Optional, Union
+
+# The tier pipeline's pool plumbing is deliberately reused — jobs
+# degrade process → thread → serial exactly like tiers do.
+from repro.core.pipeline import _DEGRADATION, _make_pool, resolve_executor
+from repro.fleet.job import JobState
+from repro.fleet.store import JobStore
+from repro.fleet.worker import JobWorkerOutcome, execute_job
+from repro.telemetry.session import Telemetry
+from repro.util.errors import ConfigurationError
+
+__all__ = ["FleetScheduler"]
+
+
+class FleetScheduler:
+    """Drain a job store's submitted queue through a worker pool."""
+
+    def __init__(
+        self,
+        store: Union[JobStore, str],
+        *,
+        executor: str = "auto",
+        max_workers: Optional[int] = None,
+        telemetry: Union[bool, Telemetry, None] = None,
+    ) -> None:
+        self.store = store if isinstance(store, JobStore) else JobStore(store)
+        self.executor = executor
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers!r}")
+        self.max_workers = max_workers
+        if telemetry is True:
+            telemetry = Telemetry(label="fleet")
+        elif telemetry is False:
+            telemetry = None
+        if telemetry is not None and not isinstance(telemetry, Telemetry):
+            raise ConfigurationError(
+                f"telemetry must be a Telemetry session or a bool, "
+                f"got {telemetry!r}")
+        self.telemetry = telemetry
+        self._completed = self.store.registry.counter(
+            "ditto_fleet_jobs_completed_total",
+            "fleet jobs that reached a terminal state", ("state",))
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run_until_idle(self) -> List[JobWorkerOutcome]:
+        """Run rounds until no submitted job remains; returns outcomes.
+
+        Each round: requeue crash-orphaned jobs, resolve cancellations
+        that arrived before dispatch, claim leases on the runnable
+        queue, and drain it through the pool. New submissions landing
+        between rounds are picked up by the next round.
+        """
+        outcomes: List[JobWorkerOutcome] = []
+        if self.telemetry is not None:
+            self.telemetry.activate()
+        try:
+            while True:
+                batch = self._run_round()
+                if batch is None:
+                    break
+                outcomes.extend(batch)
+        finally:
+            if self.telemetry is not None:
+                self.telemetry.deactivate()
+        return outcomes
+
+    # ------------------------------------------------------------------ #
+    # one round
+    # ------------------------------------------------------------------ #
+    def _run_round(self) -> Optional[List[JobWorkerOutcome]]:
+        """One claim-and-drain cycle; None when the queue is empty."""
+        self.store.recover()
+        runnable = []
+        for record in self.store.list((JobState.SUBMITTED,)):
+            if self.store.cancel_requested(record.job_id):
+                self._cancel_before_start(record)
+                continue
+            runnable.append(record)
+        if not runnable:
+            return None
+        runnable.sort(key=lambda r: (-r.spec.priority, r.created_at,
+                                     r.job_id))
+        claimed = [record.job_id for record in runnable
+                   if self.store.claim_lease(record.job_id)]
+        if not claimed:
+            return None  # another scheduler owns the whole queue
+        try:
+            outcomes = self._run_batch(claimed)
+        finally:
+            # Leases must die with this invocation — even when a crash
+            # (KeyboardInterrupt, a kill unwinding through a pool) is
+            # propagating — so recovery sees orphaned jobs, not zombies.
+            for job_id in claimed:
+                self.store.release_lease(job_id)
+        for outcome in outcomes:
+            if self.telemetry is not None:
+                self.telemetry.absorb(outcome.telemetry)
+            self._completed.inc(1, state=outcome.state.value)
+        return outcomes
+
+    def _cancel_before_start(self, record) -> None:
+        if not self.store.claim_lease(record.job_id):
+            return
+        try:
+            self.store.transition(record, JobState.CANCELLED,
+                                  reason="cancelled before start")
+            record.error = "cancelled before start"
+            self.store.save(record)
+        finally:
+            self.store.release_lease(record.job_id)
+
+    # ------------------------------------------------------------------ #
+    # batch execution (executor + degradation ladder)
+    # ------------------------------------------------------------------ #
+    def _run_batch(self, job_ids: List[str]) -> List[JobWorkerOutcome]:
+        mode = resolve_executor(self.executor, n_tasks=len(job_ids),
+                                max_workers=self.max_workers)
+        if mode == "serial":
+            return [self._run_one(job_id) for job_id in job_ids]
+        workers = (self.max_workers if self.max_workers is not None
+                   else (os.cpu_count() or 1))
+        workers = max(1, min(workers, len(job_ids)))
+        outcomes: List[JobWorkerOutcome] = []
+        pending = list(job_ids)
+        ladder = _DEGRADATION[mode]
+        for rung, current in enumerate(ladder):
+            if not pending:
+                break
+            if current == "serial":
+                outcomes.extend(self._run_one(job_id)
+                                for job_id in pending)
+                pending = []
+                break
+            try:
+                outcomes.extend(self._run_pool(current, workers, pending))
+                pending = []
+                break
+            except BrokenExecutor:
+                self._count_degradation(current, ladder[rung + 1])
+                pending = [job_id for job_id in pending
+                           if not self._finished(job_id, outcomes)]
+        return outcomes
+
+    def _run_one(self, job_id: str) -> JobWorkerOutcome:
+        return execute_job(self.store.root, job_id,
+                           collect_telemetry=self.telemetry is not None)
+
+    def _run_pool(self, mode: str, workers: int,
+                  job_ids: List[str]) -> List[JobWorkerOutcome]:
+        """Drain ``job_ids`` through one pool; BrokenExecutor escapes."""
+        outcomes: List[JobWorkerOutcome] = []
+        collect = self.telemetry is not None
+        with _make_pool(mode, workers) as pool:
+            active = {pool.submit(execute_job, self.store.root, job_id,
+                                  collect): job_id
+                      for job_id in job_ids}
+            while active:
+                done, _ = wait(set(active), return_when=FIRST_COMPLETED)
+                for future in done:
+                    job_id = active.pop(future)
+                    try:
+                        outcomes.append(future.result())
+                    except BrokenExecutor:
+                        raise
+                    except Exception as error:  # noqa: BLE001
+                        # execute_job converts ordinary failures into
+                        # job state itself; reaching here means the
+                        # worker blew up outside that boundary (e.g. an
+                        # unpicklable payload). Fail the job explicitly
+                        # rather than leaving it running forever.
+                        outcomes.append(self._fail_out_of_band(
+                            job_id, error))
+        return outcomes
+
+    def _fail_out_of_band(self, job_id: str,
+                          error: Exception) -> JobWorkerOutcome:
+        record = self.store.get(job_id)
+        message = f"worker error: {type(error).__name__}: {error}"
+        if not record.terminal:
+            if record.running:
+                self.store.transition(record, JobState.SUBMITTED,
+                                      reason="worker error")
+            record.error = message
+            self.store.transition(record, JobState.FAILED,
+                                  reason="worker error")
+        return JobWorkerOutcome(job_id=job_id, state=record.state,
+                                error=message)
+
+    @staticmethod
+    def _finished(job_id: str,
+                  outcomes: List[JobWorkerOutcome]) -> bool:
+        return any(outcome.job_id == job_id for outcome in outcomes)
+
+    def _count_degradation(self, from_mode: str, to_mode: str) -> None:
+        self.store.registry.counter(
+            "ditto_fleet_scheduler_degradations_total",
+            "fleet pool degradations after a broken worker pool",
+            ("from_mode", "to_mode"),
+        ).inc(1, from_mode=from_mode, to_mode=to_mode)

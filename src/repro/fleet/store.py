@@ -1,0 +1,345 @@
+"""The persistent, digest-keyed job store behind the fleet control plane.
+
+One directory holds everything a fleet needs to survive a crash:
+
+```
+<root>/
+  jobs/<job_id>.rec        job record (digest-stamped envelope)
+  jobs/<job_id>.claim      O_EXCL allocation marker (job-id uniqueness)
+  jobs/<job_id>.lease      "a worker owns this" (JSON: pid + wall time)
+  jobs/<job_id>.cancel     cancellation marker (observed at phase edges)
+  profiles/<digest>.pkl    profiling sessions keyed by *spec* digest
+  results/<job_id>.pkl     published JobResult envelope
+  results/<job_id>.fidelity.json   FidelityReport document (CI artifact)
+  results/<job_id>.bundle.json     shareable clone bundle
+  checkpoints/<job_id>/    per-tier TierCheckpoint directory
+  cache/                   fleet-wide SharedExperimentCache entries
+```
+
+Every record/result/profile write goes through
+:mod:`repro.validation.integrity` envelopes — atomic replace, digest
+trailer, quarantine-on-corruption — so a killed worker can never leave
+a half-written record, and a corrupted one is moved aside (and counted)
+instead of being trusted. Profiles are keyed by the *spec* digest, not
+the job id: a second job with an identical spec reuses the first job's
+profiling session outright.
+
+Leases make crash recovery explicit: a job in a running state whose
+lease is missing, unreadable, or names a dead pid is requeued to
+``submitted`` by :meth:`JobStore.recover` and resumes from its tier
+checkpoints on the next run.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import time
+from typing import Iterable, List, Optional
+
+from repro.fleet.job import (
+    RUNNING_STATES,
+    CloneJobRecord,
+    CloneJobSpec,
+    JobResult,
+    JobState,
+)
+from repro.profiling.collector import ApplicationProfile
+from repro.telemetry.context import current_session
+from repro.telemetry.registry import MetricsRegistry
+from repro.util.errors import ArtifactIntegrityError, ConfigurationError
+from repro.validation import integrity
+
+__all__ = ["JobStore"]
+
+#: envelope schemas (and their payload versions) the store writes
+RECORD_SCHEMA = "fleet-job-record"
+RESULT_SCHEMA = "fleet-job-result"
+PROFILE_SCHEMA = "fleet-profile"
+SCHEMA_VERSION = 1
+
+#: registry metric names the store accounts through
+STORE_METRICS = {
+    "submitted": ("ditto_fleet_jobs_submitted_total",
+                  "fleet jobs accepted into the store", ()),
+    "transitions": ("ditto_fleet_job_transitions_total",
+                    "fleet job state-machine edges taken",
+                    ("from_state", "to_state")),
+    "recovered": ("ditto_fleet_jobs_recovered_total",
+                  "orphaned running jobs requeued after a crash", ()),
+    "profile_reuse": ("ditto_fleet_profile_reuse_total",
+                      "jobs that reused a stored profiling session", ()),
+}
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe (signal 0)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+class JobStore:
+    """Durable job state under one root directory (see module doc)."""
+
+    def __init__(self, root: str, *,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        if not isinstance(root, str) or not root:
+            raise ConfigurationError(
+                f"store root must be a path string, got {root!r}")
+        self.root = root
+        self.jobs_dir = os.path.join(root, "jobs")
+        self.profiles_dir = os.path.join(root, "profiles")
+        self.results_dir = os.path.join(root, "results")
+        self.checkpoints_dir = os.path.join(root, "checkpoints")
+        #: the fleet-wide shared experiment cache directory
+        self.cache_dir = os.path.join(root, "cache")
+        for directory in (self.jobs_dir, self.profiles_dir,
+                          self.results_dir, self.checkpoints_dir,
+                          self.cache_dir):
+            os.makedirs(directory, exist_ok=True)
+        if registry is None:
+            session = current_session()
+            registry = (session.registry if session is not None
+                        else MetricsRegistry())
+        self.registry = registry
+        self._counters = {
+            key: registry.counter(name, help_text, labels)
+            for key, (name, help_text, labels) in STORE_METRICS.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # paths
+    # ------------------------------------------------------------------ #
+    def record_path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, f"{job_id}.rec")
+
+    def lease_path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, f"{job_id}.lease")
+
+    def cancel_path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, f"{job_id}.cancel")
+
+    def profile_path(self, spec_digest: str) -> str:
+        return os.path.join(self.profiles_dir, f"{spec_digest[:32]}.pkl")
+
+    def result_path(self, job_id: str) -> str:
+        return os.path.join(self.results_dir, f"{job_id}.pkl")
+
+    def fidelity_path(self, job_id: str) -> str:
+        return os.path.join(self.results_dir, f"{job_id}.fidelity.json")
+
+    def bundle_path(self, job_id: str) -> str:
+        return os.path.join(self.results_dir, f"{job_id}.bundle.json")
+
+    def checkpoint_dir(self, job_id: str) -> str:
+        return os.path.join(self.checkpoints_dir, job_id)
+
+    # ------------------------------------------------------------------ #
+    # submission / persistence
+    # ------------------------------------------------------------------ #
+    def submit(self, spec: CloneJobSpec) -> CloneJobRecord:
+        """Allocate a job id for ``spec`` and persist its record.
+
+        Ids are ``<spec-digest-prefix>-<n>``: the digest groups jobs by
+        experiment identity, the suffix distinguishes resubmissions.
+        Allocation uses an ``O_EXCL`` claim file, so two concurrent
+        submitters can never mint the same id.
+        """
+        if not isinstance(spec, CloneJobSpec):
+            raise ConfigurationError(
+                f"submit takes a CloneJobSpec, got {spec!r}")
+        digest = spec.digest()
+        for n in range(10_000):
+            job_id = f"{digest[:12]}-{n}"
+            claim = os.path.join(self.jobs_dir, f"{job_id}.claim")
+            try:
+                fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            break
+        else:  # pragma: no cover — 10k resubmissions of one spec
+            raise ConfigurationError(
+                f"could not allocate a job id for digest {digest[:12]}")
+        now = time.time()
+        record = CloneJobRecord(job_id=job_id, spec=spec,
+                                spec_digest=digest, created_at=now,
+                                updated_at=now)
+        self.save(record)
+        self._counters["submitted"].inc()
+        return record
+
+    def save(self, record: CloneJobRecord) -> None:
+        """Persist ``record`` atomically (envelope write)."""
+        integrity.save_object(self.record_path(record.job_id), record,
+                              schema=RECORD_SCHEMA, version=SCHEMA_VERSION)
+
+    def get(self, job_id: str) -> CloneJobRecord:
+        """Load one record; corruption quarantines and raises."""
+        return integrity.load_object(self.record_path(job_id),
+                                     schema=RECORD_SCHEMA,
+                                     max_version=SCHEMA_VERSION)
+
+    def list(self, states: Optional[Iterable[JobState]] = None,
+             ) -> List[CloneJobRecord]:
+        """All readable records, oldest first (corrupt files skipped).
+
+        A corrupted record is quarantined by the integrity layer (and
+        counted in ``ditto_artifact_quarantines_total``) but does not
+        poison the listing — the rest of the store stays usable.
+        """
+        wanted = tuple(states) if states is not None else None
+        records = []
+        for path in sorted(glob.glob(os.path.join(self.jobs_dir, "*.rec"))):
+            try:
+                record = self.get(os.path.basename(path)[:-len(".rec")])
+            except (ArtifactIntegrityError, FileNotFoundError):
+                continue
+            if wanted is None or record.state in wanted:
+                records.append(record)
+        records.sort(key=lambda r: (r.created_at, r.job_id))
+        return records
+
+    def transition(self, record: CloneJobRecord, to_state: JobState, *,
+                   reason: str = "") -> None:
+        """Take one state-machine edge and persist it (counted)."""
+        from_state = record.state
+        record.transition(to_state, reason=reason)
+        self.save(record)
+        self._counters["transitions"].inc(
+            1, from_state=from_state.value, to_state=to_state.value)
+
+    # ------------------------------------------------------------------ #
+    # leases (worker ownership + crash detection)
+    # ------------------------------------------------------------------ #
+    def claim_lease(self, job_id: str, *, pid: Optional[int] = None) -> bool:
+        """Claim exclusive ownership; False when someone already holds it."""
+        try:
+            fd = os.open(self.lease_path(job_id),
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump({"pid": pid if pid is not None else os.getpid(),
+                       "at": time.time()}, handle)
+        return True
+
+    def release_lease(self, job_id: str) -> None:
+        try:
+            os.unlink(self.lease_path(job_id))
+        except FileNotFoundError:
+            pass
+
+    def lease_pid(self, job_id: str) -> Optional[int]:
+        """The pid holding the lease, or None (missing/unreadable)."""
+        try:
+            with open(self.lease_path(job_id), encoding="utf-8") as handle:
+                return int(json.load(handle)["pid"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def recover(self) -> List[str]:
+        """Requeue running jobs whose owner died; returns their ids.
+
+        A job in ``profiling``/``tuning``/``validating`` should always
+        have a live lease. No lease, an unreadable lease, or a dead pid
+        means the worker crashed — the record goes back to
+        ``submitted`` (reason ``"recovered"``) and the next run resumes
+        from its tier checkpoints, reproducing the same bundle.
+        """
+        requeued: List[str] = []
+        for record in self.list(RUNNING_STATES):
+            pid = self.lease_pid(record.job_id)
+            if pid is not None and _pid_alive(pid):
+                continue
+            self.release_lease(record.job_id)
+            self.transition(record, JobState.SUBMITTED, reason="recovered")
+            self._counters["recovered"].inc()
+            requeued.append(record.job_id)
+        return requeued
+
+    # ------------------------------------------------------------------ #
+    # cancellation
+    # ------------------------------------------------------------------ #
+    def request_cancel(self, job_id: str) -> CloneJobRecord:
+        """Ask for ``job_id`` to stop; returns the (possibly updated) record.
+
+        A job that has not started (``submitted``, no lease) cancels
+        immediately. A running job gets a marker the worker observes at
+        its next phase boundary; terminal jobs are left untouched.
+        """
+        record = self.get(job_id)
+        if record.terminal:
+            return record
+        if record.state is JobState.SUBMITTED \
+                and self.claim_lease(job_id):
+            try:
+                self.transition(record, JobState.CANCELLED,
+                                reason="cancelled before start")
+                record.error = "cancelled before start"
+                self.save(record)
+            finally:
+                self.release_lease(job_id)
+            return record
+        with open(self.cancel_path(job_id), "w", encoding="utf-8") as handle:
+            handle.write(f"{time.time()}\n")
+        return record
+
+    def cancel_requested(self, job_id: str) -> bool:
+        return os.path.exists(self.cancel_path(job_id))
+
+    # ------------------------------------------------------------------ #
+    # profiles (keyed by spec digest — cross-job reuse)
+    # ------------------------------------------------------------------ #
+    def save_profile(self, spec_digest: str,
+                     profile: ApplicationProfile) -> None:
+        """Persist a profiling session for every job sharing this spec."""
+        path = self.profile_path(spec_digest)
+        if not os.path.exists(path):
+            integrity.save_object(path, profile, schema=PROFILE_SCHEMA,
+                                  version=SCHEMA_VERSION)
+
+    def load_profile(self, spec_digest: str) -> Optional[ApplicationProfile]:
+        """A stored profile for this spec, or None (miss/corruption)."""
+        try:
+            profile = integrity.load_object(self.profile_path(spec_digest),
+                                            schema=PROFILE_SCHEMA,
+                                            max_version=SCHEMA_VERSION)
+        except (FileNotFoundError, ArtifactIntegrityError):
+            return None
+        self._counters["profile_reuse"].inc()
+        return profile
+
+    # ------------------------------------------------------------------ #
+    # results
+    # ------------------------------------------------------------------ #
+    def save_result(self, result: JobResult) -> None:
+        """Persist a published clone + its FidelityReport JSON artifact."""
+        integrity.save_object(self.result_path(result.job_id), result,
+                              schema=RESULT_SCHEMA, version=SCHEMA_VERSION)
+        if result.fidelity is not None:
+            document = integrity.stamp_json({
+                "format": "ditto-fleet-fidelity/1",
+                "job_id": result.job_id,
+                "report": result.fidelity,
+            })
+            scratch = f"{self.fidelity_path(result.job_id)}.tmp-{os.getpid()}"
+            with open(scratch, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2, sort_keys=True)
+            os.replace(scratch, self.fidelity_path(result.job_id))
+
+    def result(self, job_id: str) -> JobResult:
+        """Load a published job's result (raises when absent/corrupt)."""
+        return integrity.load_object(self.result_path(job_id),
+                                     schema=RESULT_SCHEMA,
+                                     max_version=SCHEMA_VERSION)

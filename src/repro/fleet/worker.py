@@ -1,0 +1,205 @@
+"""One fleet job, executed end to end (the scheduler's unit of work).
+
+:func:`execute_job` is a module-level function of picklable arguments —
+``(store_root, job_id)`` — so the scheduler can run it in-process, in a
+thread, or in a process-pool worker interchangeably. It loads the job
+record, replays the clone through :class:`~repro.core.cloner.DittoCloner`
+with the store wired in as infrastructure:
+
+- a :class:`_StoreObserver` turns the cloner's phase boundaries into
+  persisted state-machine transitions (and raises
+  :class:`~repro.util.errors.JobCancelledError` when a cancel marker
+  appears, so cancellation lands on a clean phase edge);
+- the job's checkpoint directory makes tier progress durable
+  (:class:`~repro.core.pipeline.TierCheckpoint`), so a crashed job
+  resumes instead of restarting;
+- the store's ``cache/`` directory becomes the fleet-wide
+  :class:`~repro.runtime.expcache.SharedExperimentCache`, so identical
+  specs reuse each other's tuning measurements;
+- profiling sessions are saved keyed by spec digest and reused outright
+  by later jobs with the same spec.
+
+Tiers run serially *within* a job — the fleet parallelises across jobs,
+and nesting a process pool inside a pool worker would deadlock. Output
+is bit-identical to the one-shot path: the executor mode and cache
+placement are not inputs to any random stream.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.cloner import CloneObserver, DittoCloner
+from repro.fleet.job import JobResult, JobState
+from repro.fleet.store import JobStore
+from repro.telemetry.context import current_session
+from repro.telemetry.session import Telemetry, WorkerTelemetry
+from repro.util.errors import JobCancelledError
+from repro.util.spec_hash import stable_digest
+from repro.validation.remediate import RemediationStep
+
+__all__ = ["JobWorkerOutcome", "execute_job"]
+
+#: cloner phase → job state the observer drives the record into
+_PHASE_STATES = {
+    "profiling": JobState.PROFILING,
+    "tuning": JobState.TUNING,
+    "validating": JobState.VALIDATING,
+}
+
+
+@dataclass
+class JobWorkerOutcome:
+    """What one worker invocation reports back (picklable)."""
+
+    job_id: str
+    state: JobState
+    error: str = ""
+    result_digest: str = ""
+    #: remediation rungs climbed during this invocation
+    attempts: int = 0
+    #: spans + counters recorded by the worker-local session (None when
+    #: the job ran under the scheduler's own ambient session)
+    telemetry: Optional[WorkerTelemetry] = None
+
+
+class _StoreObserver(CloneObserver):
+    """Persist the cloner's phase boundaries as job transitions."""
+
+    def __init__(self, store: JobStore, record) -> None:
+        self.store = store
+        self.record = record
+
+    def on_phase(self, phase: str, *, attempt: int = 0,
+                 reason: str = "") -> None:
+        if self.store.cancel_requested(self.record.job_id):
+            raise JobCancelledError(
+                f"job {self.record.job_id} cancelled "
+                f"(marker observed entering {phase!r})",
+                job_id=self.record.job_id)
+        target = _PHASE_STATES.get(phase)
+        if target is None:
+            return
+        if self.record.state is target:
+            if target is not JobState.TUNING or attempt == 0:
+                return  # idempotent re-entry; only remediation loops
+        self.store.transition(self.record, target, reason=reason or phase)
+
+    def on_remediation(self, step: RemediationStep) -> None:
+        self.record.attempts += 1
+        self.store.save(self.record)
+
+
+def execute_job(store_root: str, job_id: str,
+                collect_telemetry: bool = True) -> JobWorkerOutcome:
+    """Run one job to a terminal-or-requeued state; never raises on
+    ordinary failure (the failure becomes the job's state).
+
+    ``BaseException`` (a kill signal, ``KeyboardInterrupt``) does
+    propagate — that is the crash the lease/recovery machinery exists
+    for, and the record deliberately stays in its running state so
+    :meth:`~repro.fleet.store.JobStore.recover` can requeue it.
+    """
+    worker_session: Optional[Telemetry] = None
+    ambient = current_session()
+    foreign = ambient is None or ambient.pid != os.getpid()
+    if collect_telemetry and foreign:
+        worker_session = Telemetry.for_worker()
+        worker_session.activate()
+    try:
+        outcome = _execute(store_root, job_id)
+    finally:
+        if worker_session is not None:
+            worker_session.deactivate()
+    if worker_session is not None:
+        outcome.telemetry = worker_session.payload()
+    return outcome
+
+
+def _execute(store_root: str, job_id: str) -> JobWorkerOutcome:
+    store = JobStore(store_root)
+    record = store.get(job_id)
+    if record.terminal:
+        return JobWorkerOutcome(job_id=job_id, state=record.state,
+                                error=record.error,
+                                result_digest=record.result_digest)
+    if record.running:
+        # Re-dispatched after a pool degradation (or a requeue the
+        # scheduler missed): rewind to submitted so the phase
+        # transitions replay legally; tier checkpoints keep it cheap.
+        store.transition(record, JobState.SUBMITTED, reason="resume")
+    attempts_before = record.attempts
+    request = record.spec.request
+    observer = _StoreObserver(store, record)
+    cloner = DittoCloner.for_request(
+        request,
+        observer=observer,
+        checkpoint_dir=store.checkpoint_dir(job_id),
+        shared_cache_dir=store.cache_dir,
+        executor="serial",
+    )
+    profile = store.load_profile(record.spec_digest)
+    try:
+        if profile is not None:
+            result = cloner.clone_from_profile(profile, request=request)
+        else:
+            result = cloner.clone(request)
+    except JobCancelledError as error:
+        record.error = str(error)
+        store.transition(record, JobState.CANCELLED, reason="cancelled")
+        return JobWorkerOutcome(job_id=job_id, state=JobState.CANCELLED,
+                                error=record.error,
+                                attempts=record.attempts - attempts_before)
+    except Exception as error:  # noqa: BLE001 — failures become job state
+        record.error = f"{type(error).__name__}: {error}"
+        store.transition(record, JobState.FAILED,
+                         reason=type(error).__name__)
+        return JobWorkerOutcome(job_id=job_id, state=JobState.FAILED,
+                                error=record.error,
+                                attempts=record.attempts - attempts_before)
+    report = result.report
+    if profile is None and report.profile is not None:
+        store.save_profile(record.spec_digest, report.profile)
+    tuned: Dict[str, object] = {
+        name: tuning.knobs for name, tuning in report.tuning.items()}
+    result_digest = stable_digest({
+        "synthetic": result.synthetic, "tuned_knobs": tuned})
+    job_result = JobResult(
+        job_id=job_id,
+        synthetic=result.synthetic,
+        fidelity=(report.fidelity.to_dict()
+                  if report.fidelity is not None else None),
+        remediation=[step.reason for step in report.remediation],
+        executor=report.executor,
+        cache_stats=report.cache_stats,
+        result_digest=result_digest,
+        tuning_iterations={name: tuning.iterations
+                           for name, tuning in report.tuning.items()},
+    )
+    store.save_result(job_result)
+    _save_bundle(store, job_id, result)
+    record.result_digest = result_digest
+    record.error = ""
+    store.transition(record, JobState.PUBLISHED,
+                     reason=("gate passed" if report.fidelity is not None
+                             else "published"))
+    return JobWorkerOutcome(job_id=job_id, state=JobState.PUBLISHED,
+                            result_digest=result_digest,
+                            attempts=record.attempts - attempts_before)
+
+
+def _save_bundle(store: JobStore, job_id: str, result) -> None:
+    """Write the shareable clone bundle next to the result."""
+    from repro.core.bundle import save_bundle
+    report = result.report
+    save_bundle(
+        report.features,
+        store.bundle_path(job_id),
+        entry_service=result.synthetic.entry_service,
+        placements={p.service: p.node
+                    for p in result.synthetic.placements},
+        tuned_knobs={name: tuning.knobs
+                     for name, tuning in report.tuning.items()},
+    )

@@ -29,6 +29,7 @@ unchanged.
 from __future__ import annotations
 
 import copy
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import List, Optional
@@ -42,7 +43,7 @@ from repro.telemetry.registry import MetricsRegistry
 from repro.util.errors import ConfigurationError
 from repro.util.spec_hash import stable_digest
 
-__all__ = ["CacheStats", "ExperimentCache"]
+__all__ = ["CacheStats", "ExperimentCache", "SharedExperimentCache"]
 
 #: default number of memoized runs an :class:`ExperimentCache` retains
 DEFAULT_CACHE_ENTRIES = 256
@@ -54,6 +55,13 @@ CACHE_METRICS = {
     "misses": "ditto_expcache_misses_total",
     "bypasses": "ditto_expcache_bypasses_total",
     "evictions": "ditto_expcache_evictions_total",
+}
+
+#: registry metric names for the fleet-wide shared store (disk tier of
+#: :class:`SharedExperimentCache`; ``cache`` label = the cache's name)
+SHARED_CACHE_METRICS = {
+    "disk_hits": "ditto_fleet_shared_cache_hits_total",
+    "disk_stores": "ditto_fleet_shared_cache_stores_total",
 }
 
 
@@ -176,18 +184,29 @@ class ExperimentCache:
             self._count("bypasses")
             return run_experiment(deployment, load, config)
         key = self.key(deployment, load, config)
-        cached = self._entries.get(key)
+        cached = self._lookup(key)
         if cached is not None:
-            self._entries.move_to_end(key)
             self._count("hits")
-            return copy.deepcopy(cached)
+            return cached
         self._count("misses")
         result = run_experiment(deployment, load, config)
+        self._insert(key, result)
+        return result
+
+    def _lookup(self, key: str) -> Optional[RunResult]:
+        """Fetch ``key`` or ``None``; a hit returns a private deep copy."""
+        cached = self._entries.get(key)
+        if cached is None:
+            return None
+        self._entries.move_to_end(key)
+        return copy.deepcopy(cached)
+
+    def _insert(self, key: str, result: RunResult) -> None:
+        """Store ``result`` under ``key``, evicting LRU entries."""
         self._entries[key] = copy.deepcopy(result)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self._count("evictions")
-        return result
 
     def sweep(
         self,
@@ -201,3 +220,77 @@ class ExperimentCache:
     def clear(self) -> None:
         """Drop all cached results (stats are retained)."""
         self._entries.clear()
+
+
+class SharedExperimentCache(ExperimentCache):
+    """An :class:`ExperimentCache` backed by a fleet-wide on-disk store.
+
+    The in-memory LRU tier behaves exactly like the base class; behind
+    it sits a directory of digest-keyed result files, one envelope per
+    key (written via :mod:`repro.validation.integrity`, so entries are
+    atomic and self-verifying). Several jobs — in the same process or
+    not — point at the same directory and reuse each other's
+    measurements: a second job with an identical spec finds the first
+    job's simulations already on disk.
+
+    Disk traffic is accounted separately from the LRU counters
+    (``ditto_fleet_shared_cache_{hits,stores}_total{cache=...}``): a
+    disk hit still counts as an ordinary cache hit, the extra counter
+    records that it was served by the shared store rather than this
+    process's memory. Corrupt entries are quarantined by the integrity
+    layer and treated as misses, so a torn write can cost a repeat
+    simulation but never wrong results.
+    """
+
+    #: envelope schema for one memoized :class:`RunResult`
+    SCHEMA = "fleet-exp-result"
+    SCHEMA_VERSION = 1
+
+    def __init__(self, directory: str, *,
+                 max_entries: int = DEFAULT_CACHE_ENTRIES,
+                 registry: Optional[MetricsRegistry] = None,
+                 name: str = "fleet") -> None:
+        super().__init__(max_entries=max_entries, registry=registry,
+                         name=name)
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._shared_counters = {
+            field: self.registry.counter(
+                metric_name,
+                f"fleet shared experiment cache {field}", ("cache",))
+            for field, metric_name in SHARED_CACHE_METRICS.items()
+        }
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def _lookup(self, key: str) -> Optional[RunResult]:
+        cached = super()._lookup(key)
+        if cached is not None:
+            return cached
+        # Lazy import: runtime/ must not depend on validation/ at module
+        # load (validation's gate imports runtime for replay).
+        from repro.validation import integrity
+        path = self._path(key)
+        try:
+            result = integrity.load_object(
+                path, schema=self.SCHEMA, max_version=self.SCHEMA_VERSION)
+        except FileNotFoundError:
+            return None
+        except integrity.ArtifactIntegrityError:
+            # Quarantined by the loader; behave as a miss and re-measure.
+            return None
+        self._shared_counters["disk_hits"].inc(1, cache=self.name)
+        # Warm the in-memory tier so repeat lookups in this process stay
+        # off the disk; count evictions as usual.
+        super()._insert(key, result)
+        return result
+
+    def _insert(self, key: str, result: RunResult) -> None:
+        super()._insert(key, result)
+        from repro.validation import integrity
+        path = self._path(key)
+        if not os.path.exists(path):
+            integrity.save_object(path, result, schema=self.SCHEMA,
+                                  version=self.SCHEMA_VERSION)
+            self._shared_counters["disk_stores"].inc(1, cache=self.name)

@@ -32,6 +32,10 @@ simulation failures.  The full tree (documented in DESIGN.md):
     - ``FidelityGateError`` — a finished clone failed its acceptance
       gate after the remediation ladder was exhausted; carries the
       per-metric ``FidelityReport`` and the (failing) clone result
+    - ``JobStateError`` — an illegal fleet-job lifecycle transition was
+      requested (e.g. publishing a cancelled job)
+    - ``JobCancelledError`` — a fleet job was cancelled while running;
+      raised at the next phase boundary to unwind the worker cleanly
 """
 
 from typing import Any, Dict, Optional
@@ -161,6 +165,23 @@ class FidelityGateError(ReproError):
         self.report = report
         self.result = result
         self.attempts = attempts
+
+
+class JobStateError(ReproError):
+    """An illegal fleet-job lifecycle transition was requested."""
+
+
+class JobCancelledError(ReproError):
+    """A fleet job was cancelled while its worker was running.
+
+    Raised at the next phase boundary (profiling/tuning/validating) so
+    the worker unwinds without writing a result; ``job_id`` names the
+    job the cancellation hit.
+    """
+
+    def __init__(self, message: str, *, job_id: str = "") -> None:
+        super().__init__(message)
+        self.job_id = job_id
 
 
 class TierExecutionError(ReproError):

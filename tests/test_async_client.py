@@ -4,7 +4,7 @@ import pytest
 
 from repro.app.skeleton import ClientNetworkModel
 from repro.app.workloads.asyncgw import async_gateway_deployment
-from repro.core import DittoCloner
+from repro.core import CloneRequest, DittoCloner
 from repro.hw import PLATFORM_A
 from repro.loadgen import LoadSpec
 from repro.profiling import ProfilingBudget, profile_deployment, \
@@ -82,8 +82,9 @@ class TestAsyncDetectionAndCloning:
         cloner = DittoCloner(fine_tune_tiers=False, budget=FAST_BUDGET)
         config = ExperimentConfig(platform=PLATFORM_A, duration_s=0.02,
                                   seed=6)
-        synthetic, _report = cloner.clone(deployment,
-                                          LoadSpec.open_loop(3000), config)
+        synthetic = cloner.clone(CloneRequest(
+            deployment=deployment, load=LoadSpec.open_loop(3000),
+            config=config)).synthetic
         skeleton = synthetic.services["gateway"].skeleton
         assert skeleton.client_model is ClientNetworkModel.ASYNCHRONOUS
         # And the synthetic keeps the async capacity advantage.

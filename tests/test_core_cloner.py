@@ -5,7 +5,7 @@ import pytest
 from repro.analysis import compare_metrics
 from repro.app.service import Deployment
 from repro.app.workloads import build_memcached, build_nginx, build_redis
-from repro.core import DittoCloner, GeneratorConfig, fine_tune
+from repro.core import CloneRequest, DittoCloner, GeneratorConfig, fine_tune
 from repro.core.features import extract_service_features
 from repro.hw import PLATFORM_A, PLATFORM_B
 from repro.loadgen import LoadSpec
@@ -27,8 +27,9 @@ def memcached_clone():
     config = ExperimentConfig(platform=PLATFORM_A, duration_s=0.02, seed=5)
     cloner = DittoCloner(fine_tune_tiers=True, max_tune_iterations=6,
                          budget=FAST_BUDGET)
-    synthetic, report = cloner.clone(deployment, load, config)
-    return deployment, synthetic, report, load
+    result = cloner.clone(CloneRequest(deployment=deployment, load=load,
+                                       config=config))
+    return deployment, result.synthetic, result.report, load
 
 
 class TestFineTune:
@@ -139,7 +140,9 @@ class TestNginxClone:
         config = ExperimentConfig(platform=PLATFORM_A, duration_s=0.02,
                                   seed=5)
         cloner = DittoCloner(fine_tune_tiers=False, budget=FAST_BUDGET)
-        synthetic, _report = cloner.clone(deployment, load, config)
+        result = cloner.clone(CloneRequest(deployment=deployment, load=load,
+                                           config=config))
+        synthetic = result.synthetic
         skeleton = synthetic.services["nginx"].skeleton
         assert skeleton.worker_threads() == 1
         # Saturation behaviour carries over: one worker caps throughput.

@@ -122,11 +122,12 @@ class TestCloneResultApi:
         assert isinstance(result, CloneResult)
         assert isinstance(report, CloneReport)
 
-    def test_clone_returns_clone_result(self):
+    def test_legacy_positional_clone_warns_but_works(self):
         deployment = Deployment.single(build_memcached())
         cloner = DittoCloner(fine_tune_tiers=False, budget=FAST_BUDGET)
-        result = cloner.clone(deployment, LoadSpec.open_loop(100000),
-                              SOCIALNET_CONFIG)
+        with pytest.warns(DeprecationWarning, match="CloneRequest"):
+            result = cloner.clone(deployment, LoadSpec.open_loop(100000),
+                                  SOCIALNET_CONFIG)
         assert isinstance(result, CloneResult)
         assert result.report.executor == "serial"  # single tier
 

@@ -1,0 +1,135 @@
+"""Crash recovery: a worker killed mid-tuning resumes to the same bundle.
+
+The scenario the lease/checkpoint machinery exists for: a scheduler
+process dies (kill -9, OOM, ctrl-C) while a job is fine-tuning its
+tiers. The job record stays in ``tuning`` with an orphaned lease;
+:meth:`JobStore.recover` requeues it, and the re-run resumes from the
+tiers' :class:`~repro.core.pipeline.TierCheckpoint` files instead of
+redoing their fine-tuning — and publishes a result bit-identical to a
+never-crashed control run.
+"""
+
+import json
+import os
+
+import pytest
+
+import repro.core.pipeline as pipeline
+from repro import CloneRequest, ExperimentConfig, LoadSpec, PLATFORM_A
+from repro.app.workloads import two_tier_deployment
+from repro.fleet import CloneJobSpec, FleetScheduler, JobState, JobStore
+from repro.profiling import ProfilingBudget
+
+FAST_BUDGET = ProfilingBudget(
+    sampled_requests=6, max_accesses_per_spec=384,
+    max_istream_per_block=1024, branch_outcomes_per_site=96,
+    max_sites_per_population=6, dep_samples_per_block=32,
+    profile_duration_s=0.012,
+)
+
+
+def _request():
+    return CloneRequest(
+        deployment=two_tier_deployment(),
+        load=LoadSpec.open_loop(2000),
+        config=ExperimentConfig(platform=PLATFORM_A, duration_s=0.015,
+                                seed=5),
+        seed=17, budget=FAST_BUDGET, fine_tune_tiers=True,
+        max_tune_iterations=1,
+    )
+
+
+class _CountingFineTune:
+    """Wrap the pipeline's fine_tune; optionally die on the Nth call."""
+
+    def __init__(self, inner, crash_on_call=None):
+        self.inner = inner
+        self.crash_on_call = crash_on_call
+        self.calls = 0
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        if self.calls == self.crash_on_call:
+            raise KeyboardInterrupt("worker killed mid-tuning")
+        return self.inner(*args, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def control(tmp_path_factory):
+    """A never-crashed run of the same spec: the reference bundle."""
+    store = JobStore(str(tmp_path_factory.mktemp("control")))
+    record = store.submit(CloneJobSpec(request=_request()))
+    outcomes = FleetScheduler(store, executor="serial").run_until_idle()
+    assert [o.state for o in outcomes] == [JobState.PUBLISHED]
+    return store, store.get(record.job_id)
+
+
+def test_crash_mid_tuning_resumes_to_identical_bundle(
+        tmp_path, monkeypatch, control):
+    control_store, control_record = control
+    store = JobStore(str(tmp_path))
+    record = store.submit(CloneJobSpec(request=_request()))
+
+    # --- crash: the second tier's fine-tune dies as if kill -9'd. ----- #
+    dying = _CountingFineTune(pipeline.fine_tune, crash_on_call=2)
+    monkeypatch.setattr(pipeline, "fine_tune", dying)
+    with pytest.raises(KeyboardInterrupt):
+        FleetScheduler(store, executor="serial").run_until_idle()
+    assert dying.calls == 2  # tier one finished, tier two died
+
+    # The record is still in its running state — the crash deliberately
+    # does NOT mark it failed — and the scheduler released its lease on
+    # the way down, so recovery can see the orphan.
+    crashed = store.get(record.job_id)
+    assert crashed.state is JobState.TUNING
+    assert not os.path.exists(store.lease_path(record.job_id))
+    # Tier one's checkpoint survived the crash.
+    checkpoints = os.listdir(store.checkpoint_dir(record.job_id))
+    assert len(checkpoints) == 1
+
+    # --- recover: the orphan is requeued to submitted. ---------------- #
+    assert store.recover() == [record.job_id]
+    requeued = store.get(record.job_id)
+    assert requeued.state is JobState.SUBMITTED
+    assert requeued.history[-1].reason == "recovered"
+
+    # --- resume: tier one comes from its checkpoint, tier two is the
+    # only fine-tune that runs again. ---------------------------------- #
+    counting = _CountingFineTune(pipeline.fine_tune)
+    monkeypatch.setattr(pipeline, "fine_tune", counting)
+    outcomes = FleetScheduler(store, executor="serial").run_until_idle()
+    assert [o.state for o in outcomes] == [JobState.PUBLISHED]
+    assert counting.calls == 1
+
+    # --- fidelity: byte-for-byte the same published artifact as the
+    # never-crashed control run. --------------------------------------- #
+    final = store.get(record.job_id)
+    assert final.state is JobState.PUBLISHED
+    assert final.result_digest == control_record.result_digest
+    resumed_bundle = json.load(open(store.bundle_path(record.job_id)))
+    control_bundle = json.load(
+        open(control_store.bundle_path(control_record.job_id)))
+    assert resumed_bundle == control_bundle
+
+
+def test_recovered_job_history_keeps_the_crash_visible(
+        tmp_path, monkeypatch, control):
+    """The audit trail shows crash → recovery → resume, not a clean run."""
+    store = JobStore(str(tmp_path))
+    record = store.submit(CloneJobSpec(request=_request()))
+    dying = _CountingFineTune(pipeline.fine_tune, crash_on_call=1)
+    monkeypatch.setattr(pipeline, "fine_tune", dying)
+    with pytest.raises(KeyboardInterrupt):
+        FleetScheduler(store, executor="serial").run_until_idle()
+    monkeypatch.setattr(pipeline, "fine_tune",
+                        _CountingFineTune(dying.inner))
+    store.recover()
+    FleetScheduler(store, executor="serial").run_until_idle()
+    reasons = [edge.reason for edge in store.get(record.job_id).history]
+    assert "recovered" in reasons
+    states = [edge.to_state for edge in store.get(record.job_id).history]
+    # profiling appears twice: once before the crash, once on resume
+    # (the profile is only persisted on success, but tier checkpoints
+    # still spare the finished tiers' tuning).
+    assert states.count(JobState.PROFILING) == 2
+    assert states[-1] is JobState.PUBLISHED

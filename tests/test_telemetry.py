@@ -5,13 +5,9 @@ import os
 
 import pytest
 
-from repro.app.program import ComputeOp, Handler, Program, RpcOp, SyscallOp
-from repro.app.service import Deployment, Placement, ServiceSpec
-from repro.app.workloads import build_memcached
-from repro.app.workloads.common import parse_block
-from repro.core import DittoCloner
+from repro.app.workloads import two_tier_deployment
+from repro.core import CloneRequest, DittoCloner
 from repro.hw import PLATFORM_A
-from repro.kernelsim.syscalls import SyscallInvocation
 from repro.loadgen import LoadSpec
 from repro.profiling import ProfilingBudget
 from repro.runtime import ExperimentConfig
@@ -39,38 +35,12 @@ TWO_TIER_CONFIG = ExperimentConfig(platform=PLATFORM_A, duration_s=0.015,
                                    seed=5)
 
 
-def two_tier_deployment() -> Deployment:
-    """A minimal frontend -> memcached chain (process-pool acceptance)."""
-    backend = build_memcached(worker_threads=2)
-    frontend = ServiceSpec(
-        name="frontend",
-        skeleton=backend.skeleton,
-        program=Program(
-            handlers={"get": Handler("get", (
-                SyscallOp(SyscallInvocation("recv", nbytes=64)),
-                ComputeOp(parse_block("fe_parse", instructions=1600,
-                                      buffer_bytes=1024)),
-                RpcOp("memcached", 60, 4096, handler="get"),
-                SyscallOp(SyscallInvocation("sendmsg", nbytes=4096)),
-            ))},
-            hot_code_bytes=64 * 1024,
-            resident_bytes=32 * 1024 * 1024,
-        ),
-        request_mix={"get": 1.0},
-    )
-    return Deployment(
-        services={"frontend": frontend, "memcached": backend},
-        placements=[Placement("frontend", "node0"),
-                    Placement("memcached", "node0")],
-        entry_service="frontend",
-    )
-
-
 def _clone(**kwargs):
     cloner = DittoCloner(budget=FAST_BUDGET, max_tune_iterations=1,
                          seed=17, **kwargs)
-    return cloner.clone(two_tier_deployment(), TWO_TIER_LOAD,
-                        TWO_TIER_CONFIG)
+    return cloner.clone(CloneRequest(deployment=two_tier_deployment(),
+                                     load=TWO_TIER_LOAD,
+                                     config=TWO_TIER_CONFIG))
 
 
 @pytest.fixture(scope="module")

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro import (
+    CloneRequest,
     Deployment,
     DittoCloner,
     ExperimentConfig,
@@ -35,7 +36,8 @@ def original():
 def gated_clone(original):
     cloner = DittoCloner(validate=True, executor="serial",
                          max_tune_iterations=3)
-    return cloner.clone(original, LOAD, CONFIG)
+    return cloner.clone(CloneRequest(deployment=original, load=LOAD,
+                                     config=CONFIG))
 
 
 def _counters(ipc=1.0, branch=0.02, l1i=0.1, l1d=0.1, l2=0.2, llc=0.3):
@@ -86,7 +88,8 @@ class TestFidelityGate:
         cloner = DittoCloner(
             fine_tune_tiers=False, executor="serial",
             generator_config=GeneratorConfig(knobs=bad_knobs))
-        mistuned = cloner.clone(original, LOAD, CONFIG)
+        mistuned = cloner.clone(CloneRequest(deployment=original,
+                                             load=LOAD, config=CONFIG))
         baseline = run_experiment(original, LOAD, CONFIG)
         distorted = run_experiment(mistuned.synthetic, LOAD, CONFIG)
         report = FidelityGate().compare_runs(baseline, distorted)
@@ -187,7 +190,8 @@ class TestRemediation:
             validate=impossible, fine_tune_tiers=False, executor="serial",
             remediation=RemediationPolicy(max_attempts=1))
         with pytest.raises(FidelityGateError) as excinfo:
-            cloner.clone(original, LOAD, CONFIG)
+            cloner.clone(CloneRequest(deployment=original, load=LOAD,
+                                      config=CONFIG))
         error = excinfo.value
         assert error.attempts == 2  # original + one remediation rung
         assert error.report is not None and not error.report.passed
