@@ -15,9 +15,13 @@ submit, watch, list and cancel.
   fleet-wide experiment cache;
 - :class:`~repro.fleet.scheduler.FleetScheduler` — process/thread/
   serial fan-out with the tier pipeline's degradation ladder;
-- :class:`~repro.fleet.client.FleetClient` — the user-facing handle.
+- :class:`~repro.fleet.client.FleetClient` — the user-facing handle;
+- :mod:`repro.fleet.obs` — the observability surface: flight recorder,
+  live ``/metrics``/``/jobs`` endpoint, fidelity-drift monitor and the
+  ``top`` dashboard.
 
-See DESIGN.md ("Fleet job state machine") for the lifecycle diagram.
+See DESIGN.md ("Fleet job state machine" and "Flight recorder & drift
+monitoring") for the lifecycle diagram and the event log's guarantees.
 """
 
 from repro.fleet.client import FleetClient
@@ -28,6 +32,11 @@ from repro.fleet.job import (
     JobState,
     TransitionRecord,
 )
+from repro.fleet.obs import (
+    FleetStatusServer,
+    FlightRecorder,
+    read_flight_log,
+)
 from repro.fleet.scheduler import FleetScheduler
 from repro.fleet.store import JobStore
 from repro.fleet.worker import JobWorkerOutcome, execute_job
@@ -37,10 +46,13 @@ __all__ = [
     "CloneJobSpec",
     "FleetClient",
     "FleetScheduler",
+    "FleetStatusServer",
+    "FlightRecorder",
     "JobResult",
     "JobState",
     "JobStore",
     "JobWorkerOutcome",
     "TransitionRecord",
     "execute_job",
+    "read_flight_log",
 ]

@@ -8,12 +8,19 @@
         [--tune-iterations N] [--no-finetune] [--name NAME]
         [--priority P]
     python -m repro.fleet run    --store DIR [--executor auto]
-        [--max-workers N] [--telemetry]
+        [--max-workers N] [--telemetry] [--save RUN.json] [--flight]
+        [--serve [HOST]:PORT] [--serve-linger SECONDS]
     python -m repro.fleet list   --store DIR [--state submitted ...]
     python -m repro.fleet watch  --store DIR JOB [--timeout 300]
     python -m repro.fleet show   --store DIR JOB
     python -m repro.fleet cancel --store DIR JOB
     python -m repro.fleet retire --store DIR JOB
+    python -m repro.fleet top    --store DIR [--interval 2]
+        [--iterations 1]
+    python -m repro.fleet drift  --store DIR [--warn 0.8] [--window 3]
+        [--strict] [--json] [--limit N]
+    python -m repro.fleet trace  --store DIR --out TRACE.json
+        [--run RUN.json]
 
 ``submit`` prints the new job id (the only stdout line, so shell
 scripts can capture it). ``watch`` exits **0** when the job publishes,
@@ -21,12 +28,25 @@ scripts can capture it). ``watch`` exits **0** when the job publishes,
 ``run`` drains the queue and exits 0 unless some job failed. The store
 directory is shared state: submit from one shell, run the scheduler in
 another, watch from a third.
+
+Observability: ``--flight`` (on ``submit`` or ``run``) enables the
+store's flight recorder — every later process sharing the store joins
+the log automatically. ``run --serve :9090`` serves ``/metrics``,
+``/jobs`` and ``/healthz`` while draining (``--serve-linger`` keeps it
+up afterwards, e.g. for CI to curl). ``run --telemetry`` prints the
+full telemetry report for the drained fleet; ``top`` renders the live
+dashboard, ``drift`` the fidelity-drift table (exit 1 with ``--strict``
+when any series is DRIFTING), and ``trace`` exports the flight log —
+optionally merged with a saved telemetry run's spans — as a Perfetto/
+``chrome://tracing`` file.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import Dict, List, Optional
 
 from repro.app.service import Deployment
@@ -102,7 +122,9 @@ def _build_request(args: argparse.Namespace) -> CloneRequest:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    client = FleetClient(args.store)
+    from repro.fleet.store import JobStore
+    store = JobStore(args.store, flight=True if args.flight else None)
+    client = FleetClient(store)
     record = client.submit(_build_request(args), name=args.name,
                            priority=args.priority)
     print(record.job_id)
@@ -110,32 +132,52 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.fleet.scheduler import FleetScheduler
+    from repro.fleet.store import JobStore
     from repro.telemetry.session import Telemetry
     session = Telemetry(label="fleet") if args.telemetry else None
-    client = FleetClient(args.store)
-    outcomes = client.run_until_idle(executor=args.executor,
-                                     max_workers=args.max_workers,
-                                     telemetry=session)
-    failed = 0
-    for outcome in outcomes:
-        line = f"{outcome.job_id}  {outcome.state.value}"
-        if outcome.error:
-            line += f"  [{outcome.error}]"
-        print(line, file=sys.stderr)
-        if outcome.state is JobState.FAILED:
-            failed += 1
-    print(f"{len(outcomes)} job(s) finished, {failed} failed",
-          file=sys.stderr)
-    if session is not None:
-        def total(name: str) -> int:
-            metric = session.registry.get(name)
-            return int(metric.total()) if metric is not None else 0
-        print("telemetry: shared-cache hits="
-              f"{total('ditto_fleet_shared_cache_hits_total')} "
-              f"stores={total('ditto_fleet_shared_cache_stores_total')} "
-              "profile reuses="
-              f"{total('ditto_fleet_profile_reuse_total')}",
+    store = JobStore(args.store,
+                     registry=session.registry if session else None,
+                     flight=True if args.flight else None)
+    scheduler = FleetScheduler(store, executor=args.executor,
+                               max_workers=args.max_workers,
+                               telemetry=session,
+                               serve_metrics=args.serve)
+    if scheduler.status_server is not None:
+        print(f"serving fleet status on {scheduler.status_server.url}",
               file=sys.stderr)
+    try:
+        outcomes = scheduler.run_until_idle()
+        failed = 0
+        for outcome in outcomes:
+            line = f"{outcome.job_id}  {outcome.state.value}"
+            if outcome.error:
+                line += f"  [{outcome.error}]"
+            print(line, file=sys.stderr)
+            if outcome.state is JobState.FAILED:
+                failed += 1
+        print(f"{len(outcomes)} job(s) finished, {failed} failed",
+              file=sys.stderr)
+        if session is not None:
+            def total(name: str) -> int:
+                metric = session.registry.get(name)
+                return int(metric.total()) if metric is not None else 0
+            print("telemetry: shared-cache hits="
+                  f"{total('ditto_fleet_shared_cache_hits_total')} "
+                  f"stores={total('ditto_fleet_shared_cache_stores_total')} "
+                  "profile reuses="
+                  f"{total('ditto_fleet_profile_reuse_total')}",
+                  file=sys.stderr)
+            from repro.telemetry.report import render_report
+            print(render_report(session.snapshot()), file=sys.stderr)
+            if args.save:
+                session.save(args.save)
+                print(f"saved telemetry run to {args.save}",
+                      file=sys.stderr)
+        if args.serve_linger and scheduler.status_server is not None:
+            time.sleep(args.serve_linger)
+    finally:
+        scheduler.close()
     return 1 if failed else 0
 
 
@@ -177,9 +219,81 @@ def _cmd_show(args: argparse.Namespace) -> int:
             return 0
         print(f"  executor: {result.executor}; cache hits/misses "
               f"{result.cache_stats.hits}/{result.cache_stats.misses}")
+        if result.remediation:
+            print("  remediation ladder:")
+            for rung, reason in enumerate(result.remediation, 1):
+                print(f"    {rung}. {reason}")
         if result.fidelity is not None:
             print(f"  fidelity: "
                   f"{'PASS' if result.fidelity.get('passed') else 'FAIL'}")
+            from repro.validation.gate import FidelityReport
+            report = FidelityReport.from_dict(result.fidelity)
+            for line in report.summary().splitlines():
+                print(f"    {line}")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.fleet.obs.flight import read_flight_log
+    from repro.fleet.obs.top import render_top
+    from repro.fleet.store import JobStore
+    store = JobStore(args.store, flight=False)
+    for iteration in range(max(1, args.iterations)):
+        if iteration:
+            time.sleep(args.interval)
+            print()
+        flight = read_flight_log(store.flight_path)
+        print(render_top(store, flight))
+    return 0
+
+
+def _cmd_drift(args: argparse.Namespace) -> int:
+    from repro.fleet.obs.drift import (
+        analyze_drift,
+        load_fidelity_history,
+        render_drift_report,
+    )
+    from repro.fleet.store import JobStore
+    store = JobStore(args.store, flight=False)
+    histories = load_fidelity_history(store.fidelity_dir)
+    report = analyze_drift(histories, warn_fraction=args.warn,
+                           trend_window=args.window)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_drift_report(report, store_root=args.store,
+                                  limit=args.limit))
+    return 1 if (args.strict and report.drifting()) else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.fleet.obs.flight import chrome_events, read_flight_log
+    from repro.fleet.store import JobStore
+    from repro.telemetry.chrometrace import chrome_trace
+    from repro.telemetry.spans import SpanRecord
+    store = JobStore(args.store, flight=False)
+    flight = read_flight_log(store.flight_path)
+    if not flight.events:
+        print("no flight events recorded — enable the recorder with "
+              "'run --flight' first", file=sys.stderr)
+        return 1
+    spans = []
+    if args.run:
+        from repro.telemetry.report import load_run
+        spans = [SpanRecord.from_dict(entry)
+                 for entry in load_run(args.run).get("spans", [])]
+    doc = chrome_trace(spans,
+                       extra_events=chrome_events(flight.events),
+                       metadata={"source": "ditto fleet flight recorder",
+                                 "store": args.store})
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle)
+    merged = f" merged with {len(spans)} pipeline spans" if spans else ""
+    print(f"wrote {args.out}: {len(flight.events)} flight events"
+          f"{merged}"
+          + (f" ({flight.skipped} corrupt lines skipped)"
+             if flight.skipped else ""),
+          file=sys.stderr)
     return 0
 
 
@@ -224,6 +338,8 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--no-finetune", action="store_true")
     submit.add_argument("--name", default="")
     submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--flight", action="store_true",
+                        help="enable the store's flight recorder")
     submit.set_defaults(func=_cmd_submit)
 
     run = commands.add_parser("run", parents=[common],
@@ -232,7 +348,19 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("auto", "process", "thread", "serial"))
     run.add_argument("--max-workers", type=int, default=None)
     run.add_argument("--telemetry", action="store_true",
-                     help="aggregate fleet telemetry while running")
+                     help="aggregate fleet telemetry while running and "
+                     "print the full report")
+    run.add_argument("--save", default="", metavar="RUN.json",
+                     help="with --telemetry: save the session document")
+    run.add_argument("--flight", action="store_true",
+                     help="enable the store's flight recorder")
+    run.add_argument("--serve", nargs="?", const=True, default=None,
+                     metavar="[HOST]:PORT",
+                     help="serve /metrics, /jobs and /healthz while "
+                     "draining (no value = ephemeral localhost port)")
+    run.add_argument("--serve-linger", type=float, default=0.0,
+                     metavar="SECONDS",
+                     help="keep the status endpoint up after draining")
     run.set_defaults(func=_cmd_run)
 
     list_cmd = commands.add_parser("list", parents=[common],
@@ -262,6 +390,36 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="retire a published clone")
     retire.add_argument("job_id")
     retire.set_defaults(func=_cmd_retire)
+
+    top = commands.add_parser("top", parents=[common],
+                              help="textual fleet dashboard")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes")
+    top.add_argument("--iterations", type=int, default=1,
+                     help="frames to render (default: one snapshot)")
+    top.set_defaults(func=_cmd_top)
+
+    drift = commands.add_parser("drift", parents=[common],
+                                help="fidelity-drift report")
+    drift.add_argument("--warn", type=float, default=0.8,
+                       help="tolerance fraction flagged as DRIFTING")
+    drift.add_argument("--window", type=int, default=3,
+                       help="jobs a widening trend must span for WATCH")
+    drift.add_argument("--limit", type=int, default=0,
+                       help="show at most N series (0 = all)")
+    drift.add_argument("--json", action="store_true",
+                       help="machine-readable report document")
+    drift.add_argument("--strict", action="store_true",
+                       help="exit 1 when any series is DRIFTING")
+    drift.set_defaults(func=_cmd_drift)
+
+    trace = commands.add_parser("trace", parents=[common],
+                                help="export the flight log as a "
+                                "Perfetto/chrome trace")
+    trace.add_argument("--out", required=True, metavar="TRACE.json")
+    trace.add_argument("--run", default="", metavar="RUN.json",
+                       help="merge spans from a saved telemetry run")
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

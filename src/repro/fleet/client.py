@@ -84,6 +84,16 @@ class FleetClient:
                                    telemetry=telemetry)
         return scheduler.run_until_idle()
 
+    def flight_log(self):
+        """The store's parsed flight log (empty when never enabled)."""
+        from repro.fleet.obs.flight import read_flight_log
+        return read_flight_log(self.store.flight_path)
+
+    def drift_report(self, **kwargs):
+        """Fidelity-drift verdicts over the store's gated history."""
+        from repro.fleet.obs.drift import analyze_drift
+        return analyze_drift(self.store.fidelity_history(), **kwargs)
+
     def watch(self, job_id: str, *, timeout_s: float = 300.0,
               poll_s: float = 0.2) -> CloneJobRecord:
         """Poll until ``job_id`` reaches a terminal state (or time out).

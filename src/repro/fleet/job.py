@@ -183,6 +183,9 @@ class JobResult:
 
     job_id: str
     synthetic: Deployment
+    #: the spec digest the job ran under (keys the fidelity-drift
+    #: history: successive jobs of one spec share a series)
+    spec_digest: str = ""
     #: :meth:`FidelityReport.to_dict` of the accepted clone (None when
     #: the job ran ungated)
     fidelity: Optional[dict] = None

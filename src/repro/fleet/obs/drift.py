@@ -1,0 +1,252 @@
+"""Fidelity-drift monitoring: see the §6 envelope eroding before gates fail.
+
+Every published *gated* job appends its per-metric
+:class:`~repro.validation.gate.FidelityReport` deltas to a digest-keyed
+history (``<store>/fidelity/<spec-digest>.jsonl`` — one line per
+published job, same crash-tolerant append discipline as the flight
+recorder). This module reads those histories back and answers the
+operator question the gate itself cannot: *is this metric trending
+toward its tolerance across successive jobs of the same spec?*
+
+Per (spec, metric, service) series we track the **tolerance fraction**
+— the worst observed error divided by its acceptance bound (relative
+bound when one is set, absolute slack otherwise) — so 1.0 always means
+"the gate would fail now", whatever the metric's units. Verdicts:
+
+- ``DRIFTING``: the latest fraction is at or past ``--warn`` (default
+  0.8) — envelope nearly spent;
+- ``WATCH``: the fraction widened monotonically across the last
+  ``--window`` jobs (default 3) and has crossed half the warn level —
+  early erosion, worth a look before it pages anyone;
+- ``OK``: everything else.
+
+``python -m repro.fleet drift`` renders the table; ``--strict`` makes
+DRIFTING a non-zero exit for CI gating.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "DriftFlag",
+    "DriftReport",
+    "analyze_drift",
+    "load_fidelity_history",
+    "render_drift_report",
+]
+
+#: latest tolerance fraction at/above which a series is DRIFTING
+DEFAULT_WARN_FRACTION = 0.8
+#: monotonic-widening run length that earns a WATCH verdict
+DEFAULT_TREND_WINDOW = 3
+
+
+@dataclass(frozen=True)
+class DriftFlag:
+    """One (spec, metric, service) series and its drift verdict."""
+
+    spec_digest: str
+    label: str
+    metric: str
+    service: str
+    platform: str
+    #: jobs contributing a sample, oldest first
+    jobs: Tuple[str, ...]
+    #: per-job worst relative error for this metric
+    errors: Tuple[float, ...]
+    #: per-job tolerance fraction (1.0 = at the gate's bound)
+    fractions: Tuple[float, ...]
+    verdict: str = "OK"
+
+    @property
+    def latest_fraction(self) -> float:
+        return self.fractions[-1] if self.fractions else 0.0
+
+    @property
+    def widening(self) -> bool:
+        """Strictly non-decreasing with a net increase over the series."""
+        if len(self.fractions) < 2:
+            return False
+        pairs = zip(self.fractions, self.fractions[1:])
+        return (all(later >= earlier for earlier, later in pairs)
+                and self.fractions[-1] > self.fractions[0])
+
+    def to_dict(self) -> dict:
+        return {
+            "spec_digest": self.spec_digest, "label": self.label,
+            "metric": self.metric, "service": self.service,
+            "platform": self.platform, "jobs": list(self.jobs),
+            "errors": [e if math.isfinite(e) else "inf"
+                       for e in self.errors],
+            "fractions": [f if math.isfinite(f) else "inf"
+                          for f in self.fractions],
+            "verdict": self.verdict,
+        }
+
+
+@dataclass
+class DriftReport:
+    """Every tracked series, worst first."""
+
+    series: List[DriftFlag] = field(default_factory=list)
+
+    def flagged(self) -> List[DriftFlag]:
+        return [s for s in self.series if s.verdict != "OK"]
+
+    def drifting(self) -> List[DriftFlag]:
+        return [s for s in self.series if s.verdict == "DRIFTING"]
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "ditto-fleet-drift/1",
+            "series": [s.to_dict() for s in self.series],
+            "flagged": len(self.flagged()),
+            "drifting": len(self.drifting()),
+        }
+
+
+def load_fidelity_history(fidelity_dir: str,
+                          spec_digest: Optional[str] = None,
+                          ) -> Dict[str, List[dict]]:
+    """Read per-spec fidelity histories (corrupt lines skipped).
+
+    Returns ``{spec_digest_prefix: [entry, ...]}`` with entries ordered
+    as appended (publication order). Each entry is the document written
+    by :meth:`repro.fleet.store.JobStore.save_result`.
+    """
+    histories: Dict[str, List[dict]] = {}
+    pattern = (f"{spec_digest[:32]}.jsonl" if spec_digest
+               else "*.jsonl")
+    for path in sorted(glob.glob(os.path.join(fidelity_dir, pattern))):
+        digest = os.path.basename(path)[:-len(".jsonl")]
+        entries: List[dict] = []
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # torn tail after a crash — skip, keep rest
+                if isinstance(entry, dict) and entry.get("checks"):
+                    entries.append(entry)
+        if entries:
+            histories[digest] = entries
+    return histories
+
+
+def _tolerance_fraction(check: dict) -> float:
+    """Worst-case error as a fraction of its acceptance bound."""
+    error = check.get("error", 0.0)
+    error = math.inf if error == "inf" else float(error)
+    relative = float(check.get("relative_tolerance", 0.0))
+    absolute = float(check.get("absolute_tolerance", 0.0))
+    if relative > 0.0 and math.isfinite(error):
+        fraction = error / relative
+        if absolute > 0.0:
+            # The absolute slack floor forgives small deltas outright;
+            # honour it so near-zero metrics do not cry wolf.
+            delta = abs(float(check.get("clone", 0.0))
+                        - float(check.get("original", 0.0)))
+            fraction = min(fraction, delta / absolute)
+        return fraction
+    delta = abs(float(check.get("clone", 0.0))
+                - float(check.get("original", 0.0)))
+    if absolute > 0.0:
+        return delta / absolute
+    return math.inf if (error > 0 or delta > 0) else 0.0
+
+
+def analyze_drift(histories: Dict[str, List[dict]], *,
+                  warn_fraction: float = DEFAULT_WARN_FRACTION,
+                  trend_window: int = DEFAULT_TREND_WINDOW,
+                  ) -> DriftReport:
+    """Turn raw per-spec histories into verdicts, worst series first."""
+    report = DriftReport()
+    for digest, entries in sorted(histories.items()):
+        series: Dict[Tuple[str, str], List[Tuple[str, float, float]]] = {}
+        label = ""
+        platform = ""
+        for entry in entries:
+            label = entry.get("label") or label
+            platform = entry.get("platform") or platform
+            for check in entry.get("checks", []):
+                key = (check.get("metric", ""),
+                       check.get("service", ""))
+                error = check.get("error", 0.0)
+                error = math.inf if error == "inf" else float(error)
+                series.setdefault(key, []).append(
+                    (entry.get("job_id", ""), error,
+                     _tolerance_fraction(check)))
+        for (metric, service), samples in sorted(series.items()):
+            fractions = tuple(fraction for _, _, fraction in samples)
+            flag = DriftFlag(
+                spec_digest=digest, label=label, metric=metric,
+                service=service, platform=platform,
+                jobs=tuple(job for job, _, _ in samples),
+                errors=tuple(error for _, error, _ in samples),
+                fractions=fractions,
+            )
+            verdict = "OK"
+            if flag.latest_fraction >= warn_fraction:
+                verdict = "DRIFTING"
+            elif (len(fractions) >= trend_window and flag.widening
+                  and flag.latest_fraction >= warn_fraction / 2):
+                verdict = "WATCH"
+            report.series.append(
+                DriftFlag(**{**flag.__dict__, "verdict": verdict}))
+    report.series.sort(
+        key=lambda s: (-(s.latest_fraction
+                         if math.isfinite(s.latest_fraction)
+                         else 1e9),
+                       s.spec_digest, s.metric, s.service))
+    return report
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.1%}" if math.isfinite(value) else "inf"
+
+
+def render_drift_report(report: DriftReport, *, store_root: str = "",
+                        limit: int = 0) -> str:
+    """The operator-facing drift table."""
+    lines = [f"fidelity drift — {store_root or 'fleet store'}"]
+    if not report.series:
+        lines.append("(no gated fidelity history — submit jobs with "
+                     "--validate to record one)")
+        return "\n".join(lines)
+    shown = report.series[:limit] if limit else report.series
+    current = None
+    for flag in shown:
+        if flag.spec_digest != current:
+            current = flag.spec_digest
+            name = f" ({flag.label})" if flag.label else ""
+            lines.append(f"\nspec {flag.spec_digest[:12]}{name}  "
+                         f"platform={flag.platform or '?'}  "
+                         f"jobs={len(flag.jobs)}")
+            lines.append(f"  {'metric':<14} {'service':<16} "
+                         f"{'first':>8} {'latest':>8} {'tol-used':>9}  "
+                         f"trend      verdict")
+        trend = ("widening" if flag.widening
+                 else ("stable" if len(flag.errors) > 1 else "n/a"))
+        lines.append(
+            f"  {flag.metric:<14} {flag.service or '(run)':<16} "
+            f"{_fmt(flag.errors[0]):>8} {_fmt(flag.errors[-1]):>8} "
+            f"{_fmt(flag.latest_fraction):>9}  {trend:<9}  "
+            f"{flag.verdict}")
+    if limit and len(report.series) > limit:
+        lines.append(f"  ... {len(report.series) - limit} more series "
+                     f"(raise --limit)")
+    flagged = report.flagged()
+    lines.append(
+        f"\n{len(report.series)} series tracked; "
+        f"{len(flagged)} flagged "
+        f"({len(report.drifting())} drifting)")
+    return "\n".join(lines)

@@ -14,6 +14,12 @@ Priority: higher ``CloneJobSpec.priority`` first, ties broken by
 submission time. Worker telemetry payloads are absorbed into the
 scheduler's session when one is given, so one registry shows the whole
 fleet (including each job's shared-cache hits).
+
+``serve_metrics=`` starts a :class:`~repro.fleet.obs.httpd.
+FleetStatusServer` for the store — ``/metrics``, ``/jobs`` and
+``/healthz`` stay live while the fleet drains (and after, until
+:meth:`FleetScheduler.close`). Scrapes see the scheduler's registry
+(worker payloads included, as they are absorbed round by round).
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from typing import List, Optional, Union
 # degrade process → thread → serial exactly like tiers do.
 from repro.core.pipeline import _DEGRADATION, _make_pool, resolve_executor
 from repro.fleet.job import JobState
+from repro.fleet.obs.httpd import FleetStatusServer, parse_serve_address
 from repro.fleet.store import JobStore
 from repro.fleet.worker import JobWorkerOutcome, execute_job
 from repro.telemetry.session import Telemetry
@@ -48,6 +55,7 @@ class FleetScheduler:
         executor: str = "auto",
         max_workers: Optional[int] = None,
         telemetry: Union[bool, Telemetry, None] = None,
+        serve_metrics: Union[bool, int, str, None] = None,
     ) -> None:
         self.store = store if isinstance(store, JobStore) else JobStore(store)
         self.executor = executor
@@ -67,6 +75,19 @@ class FleetScheduler:
         self._completed = self.store.registry.counter(
             "ditto_fleet_jobs_completed_total",
             "fleet jobs that reached a terminal state", ("state",))
+        #: live status endpoint (None unless ``serve_metrics`` asked)
+        self.status_server: Optional[FleetStatusServer] = None
+        if parse_serve_address(serve_metrics) is not None:
+            registries = ((self.telemetry.registry,)
+                          if self.telemetry is not None else ())
+            self.status_server = FleetStatusServer(
+                self.store, registries=registries, address=serve_metrics)
+
+    def close(self) -> None:
+        """Stop the status endpoint, if one is serving (idempotent)."""
+        if self.status_server is not None:
+            self.status_server.close()
+            self.status_server = None
 
     # ------------------------------------------------------------------ #
     # public API
@@ -226,3 +247,5 @@ class FleetScheduler:
             "fleet pool degradations after a broken worker pool",
             ("from_mode", "to_mode"),
         ).inc(1, from_mode=from_mode, to_mode=to_mode)
+        self.store._emit("pool_degraded", from_mode=from_mode,
+                         to_mode=to_mode)

@@ -14,6 +14,8 @@ One directory holds everything a fleet needs to survive a crash:
   results/<job_id>.bundle.json     shareable clone bundle
   checkpoints/<job_id>/    per-tier TierCheckpoint directory
   cache/                   fleet-wide SharedExperimentCache entries
+  flight/events.jsonl      flight-recorder event log (opt-in, see below)
+  fidelity/<digest>.jsonl  per-spec fidelity-drift history
 ```
 
 Every record/result/profile write goes through
@@ -28,23 +30,37 @@ Leases make crash recovery explicit: a job in a running state whose
 lease is missing, unreadable, or names a dead pid is requeued to
 ``submitted`` by :meth:`JobStore.recover` and resumes from its tier
 checkpoints on the next run.
+
+The store is also the fleet's observability tap. With the flight
+recorder enabled (``flight=True``, or auto-enabled whenever
+``<root>/flight/`` exists so pool workers opening the same root join
+in) every submit, state edge, lease claim/release, recovery, cancel
+request, profile reuse and published result is appended to the flight
+log (:mod:`repro.fleet.obs.flight`). Published gated results
+additionally append to the per-spec fidelity-drift history and set
+``ditto_fidelity_error{metric,platform}`` gauges. All of it is
+wall-clock-side bookkeeping — no random stream is touched, so clone
+digests are bit-identical with observability on or off.
 """
 
 from __future__ import annotations
 
 import glob
 import json
+import math
 import os
 import time
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.fleet.job import (
     RUNNING_STATES,
+    TERMINAL_STATES,
     CloneJobRecord,
     CloneJobSpec,
     JobResult,
     JobState,
 )
+from repro.fleet.obs.flight import FlightRecorder
 from repro.profiling.collector import ApplicationProfile
 from repro.telemetry.context import current_session
 from repro.telemetry.registry import MetricsRegistry
@@ -70,7 +86,17 @@ STORE_METRICS = {
                   "orphaned running jobs requeued after a crash", ()),
     "profile_reuse": ("ditto_fleet_profile_reuse_total",
                       "jobs that reused a stored profiling session", ()),
+    "published": ("ditto_fleet_jobs_published_total",
+                  "fleet jobs that reached the published state", ()),
+    "failed": ("ditto_fleet_jobs_failed_total",
+               "fleet jobs that reached the failed state", ()),
 }
+
+#: terminal-latency histogram buckets (seconds from submission to a
+#: terminal state — fleet jobs span milliseconds in tests to minutes
+#: on real sweeps)
+JOB_DURATION_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+                        10.0, 30.0, 60.0, 300.0, 1800.0)
 
 
 def _pid_alive(pid: int) -> bool:
@@ -92,7 +118,8 @@ class JobStore:
     """Durable job state under one root directory (see module doc)."""
 
     def __init__(self, root: str, *,
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 flight: Optional[bool] = None) -> None:
         if not isinstance(root, str) or not root:
             raise ConfigurationError(
                 f"store root must be a path string, got {root!r}")
@@ -103,9 +130,13 @@ class JobStore:
         self.checkpoints_dir = os.path.join(root, "checkpoints")
         #: the fleet-wide shared experiment cache directory
         self.cache_dir = os.path.join(root, "cache")
+        #: per-spec fidelity-drift histories (one JSONL per digest)
+        self.fidelity_dir = os.path.join(root, "fidelity")
+        #: flight-recorder home (existence doubles as the enable flag)
+        self.flight_dir = os.path.join(root, "flight")
         for directory in (self.jobs_dir, self.profiles_dir,
                           self.results_dir, self.checkpoints_dir,
-                          self.cache_dir):
+                          self.cache_dir, self.fidelity_dir):
             os.makedirs(directory, exist_ok=True)
         if registry is None:
             session = current_session()
@@ -116,6 +147,34 @@ class JobStore:
             key: registry.counter(name, help_text, labels)
             for key, (name, help_text, labels) in STORE_METRICS.items()
         }
+        self._duration = registry.histogram(
+            "ditto_fleet_job_duration_seconds",
+            "submission-to-terminal-state latency per outcome",
+            ("state",), buckets=JOB_DURATION_BUCKETS)
+        self._fidelity_error = registry.gauge(
+            "ditto_fidelity_error",
+            "latest per-metric relative fidelity error of a published "
+            "job", ("metric", "platform"))
+        # ``flight=None`` means "follow the store": a directory created
+        # once (by ``flight=True``, the CLI, or a test) enables the
+        # recorder for every later process opening the same root — this
+        # is how pickled pool workers join the log without threading a
+        # flag through the executor.
+        if flight is True:
+            os.makedirs(self.flight_dir, exist_ok=True)
+        enabled = (flight if flight is not None
+                   else os.path.isdir(self.flight_dir))
+        self.flight: Optional[FlightRecorder] = (
+            FlightRecorder(self.flight_path) if enabled else None)
+
+    @property
+    def flight_path(self) -> str:
+        return os.path.join(self.flight_dir, "events.jsonl")
+
+    def _emit(self, kind: str, *, job_id: str = "", **data) -> None:
+        """Flight-record one event (no-op when the recorder is off)."""
+        if self.flight is not None:
+            self.flight.emit(kind, job_id=job_id, **data)
 
     # ------------------------------------------------------------------ #
     # paths
@@ -140,6 +199,10 @@ class JobStore:
 
     def bundle_path(self, job_id: str) -> str:
         return os.path.join(self.results_dir, f"{job_id}.bundle.json")
+
+    def fidelity_history_path(self, spec_digest: str) -> str:
+        return os.path.join(self.fidelity_dir,
+                            f"{spec_digest[:32]}.jsonl")
 
     def checkpoint_dir(self, job_id: str) -> str:
         return os.path.join(self.checkpoints_dir, job_id)
@@ -177,6 +240,8 @@ class JobStore:
                                 updated_at=now)
         self.save(record)
         self._counters["submitted"].inc()
+        self._emit("job_submitted", job_id=job_id, digest=digest,
+                   name=spec.name, priority=spec.priority)
         return record
 
     def save(self, record: CloneJobRecord) -> None:
@@ -218,6 +283,17 @@ class JobStore:
         self.save(record)
         self._counters["transitions"].inc(
             1, from_state=from_state.value, to_state=to_state.value)
+        if to_state in TERMINAL_STATES:
+            self._duration.observe(
+                max(0.0, record.updated_at - record.created_at),
+                state=to_state.value)
+            if to_state is JobState.PUBLISHED:
+                self._counters["published"].inc()
+            elif to_state is JobState.FAILED:
+                self._counters["failed"].inc()
+        self._emit("job_state", job_id=record.job_id,
+                   **{"from": from_state.value, "to": to_state.value,
+                      "reason": reason})
 
     # ------------------------------------------------------------------ #
     # leases (worker ownership + crash detection)
@@ -229,16 +305,18 @@ class JobStore:
                          os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
             return False
+        owner = pid if pid is not None else os.getpid()
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump({"pid": pid if pid is not None else os.getpid(),
-                       "at": time.time()}, handle)
+            json.dump({"pid": owner, "at": time.time()}, handle)
+        self._emit("lease_claimed", job_id=job_id, owner_pid=owner)
         return True
 
     def release_lease(self, job_id: str) -> None:
         try:
             os.unlink(self.lease_path(job_id))
         except FileNotFoundError:
-            pass
+            return
+        self._emit("lease_released", job_id=job_id)
 
     def lease_pid(self, job_id: str) -> Optional[int]:
         """The pid holding the lease, or None (missing/unreadable)."""
@@ -262,6 +340,9 @@ class JobStore:
             pid = self.lease_pid(record.job_id)
             if pid is not None and _pid_alive(pid):
                 continue
+            self._emit("job_recovered", job_id=record.job_id,
+                       dead_pid=pid or 0,
+                       from_state=record.state.value)
             self.release_lease(record.job_id)
             self.transition(record, JobState.SUBMITTED, reason="recovered")
             self._counters["recovered"].inc()
@@ -293,6 +374,8 @@ class JobStore:
             return record
         with open(self.cancel_path(job_id), "w", encoding="utf-8") as handle:
             handle.write(f"{time.time()}\n")
+        self._emit("cancel_requested", job_id=job_id,
+                   state=record.state.value)
         return record
 
     def cancel_requested(self, job_id: str) -> bool:
@@ -318,13 +401,19 @@ class JobStore:
         except (FileNotFoundError, ArtifactIntegrityError):
             return None
         self._counters["profile_reuse"].inc()
+        self._emit("profile_reused", digest=spec_digest[:32])
         return profile
 
     # ------------------------------------------------------------------ #
     # results
     # ------------------------------------------------------------------ #
     def save_result(self, result: JobResult) -> None:
-        """Persist a published clone + its FidelityReport JSON artifact."""
+        """Persist a published clone + its FidelityReport JSON artifact.
+
+        Gated results additionally feed the drift monitor: one line in
+        the spec's fidelity history and a refresh of the
+        ``ditto_fidelity_error{metric,platform}`` gauges.
+        """
         integrity.save_object(self.result_path(result.job_id), result,
                               schema=RESULT_SCHEMA, version=SCHEMA_VERSION)
         if result.fidelity is not None:
@@ -337,9 +426,57 @@ class JobStore:
             with open(scratch, "w", encoding="utf-8") as handle:
                 json.dump(document, handle, indent=2, sort_keys=True)
             os.replace(scratch, self.fidelity_path(result.job_id))
+            if result.spec_digest:
+                self._append_fidelity_history(result)
+            self._record_fidelity_gauges(result.fidelity)
+        self._emit("result_published", job_id=result.job_id,
+                   result_digest=result.result_digest,
+                   gated=result.fidelity is not None,
+                   fidelity_passed=bool((result.fidelity or {})
+                                        .get("passed", True)),
+                   remediation=len(result.remediation))
+
+    def _append_fidelity_history(self, result: JobResult) -> None:
+        """One O_APPEND line per published gated job (crash-tolerant,
+        same single-``write(2)`` discipline as the flight log)."""
+        report: Dict = result.fidelity or {}
+        entry = {
+            "job_id": result.job_id,
+            "at": time.time(),
+            "label": report.get("label", ""),
+            "platform": report.get("platform", ""),
+            "mode": report.get("mode", ""),
+            "passed": report.get("passed", True),
+            "mean_error": report.get("mean_error", 0.0),
+            "checks": report.get("checks", []),
+        }
+        line = json.dumps(entry, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        fd = os.open(self.fidelity_history_path(result.spec_digest),
+                     os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def _record_fidelity_gauges(self, report: dict) -> None:
+        platform = report.get("platform", "") or "?"
+        for check in report.get("checks", []):
+            error = check.get("error", 0.0)
+            if error == "inf" or not math.isfinite(float(error)):
+                continue  # exposition format cannot carry inf usefully
+            self._fidelity_error.set(float(error),
+                                     metric=check.get("metric", ""),
+                                     platform=platform)
 
     def result(self, job_id: str) -> JobResult:
         """Load a published job's result (raises when absent/corrupt)."""
         return integrity.load_object(self.result_path(job_id),
                                      schema=RESULT_SCHEMA,
                                      max_version=SCHEMA_VERSION)
+
+    def fidelity_history(self, spec_digest: Optional[str] = None,
+                         ) -> Dict[str, List[dict]]:
+        """Parsed drift histories, ``{digest: [entry, ...]}``."""
+        from repro.fleet.obs.drift import load_fidelity_history
+        return load_fidelity_history(self.fidelity_dir, spec_digest)

@@ -90,6 +90,8 @@ class _StoreObserver(CloneObserver):
     def on_remediation(self, step: RemediationStep) -> None:
         self.record.attempts += 1
         self.store.save(self.record)
+        self.store._emit("remediation", job_id=self.record.job_id,
+                         rung=self.record.attempts, reason=step.reason)
 
 
 def execute_job(store_root: str, job_id: str,
@@ -166,9 +168,13 @@ def _execute(store_root: str, job_id: str) -> JobWorkerOutcome:
         name: tuning.knobs for name, tuning in report.tuning.items()}
     result_digest = stable_digest({
         "synthetic": result.synthetic, "tuned_knobs": tuned})
+    cache = report.cache_stats
+    store._emit("job_cache", job_id=job_id, hits=cache.hits,
+                misses=cache.misses, bypasses=cache.bypasses)
     job_result = JobResult(
         job_id=job_id,
         synthetic=result.synthetic,
+        spec_digest=record.spec_digest,
         fidelity=(report.fidelity.to_dict()
                   if report.fidelity is not None else None),
         remediation=[step.reason for step in report.remediation],

@@ -37,10 +37,12 @@ def _metadata(name: str, pid: int, tid: int, value: str) -> dict:
 
 
 def _span_events(records: Sequence[SpanRecord],
-                 main_pid: Optional[int]) -> List[dict]:
+                 main_pid: Optional[int],
+                 base_us: Optional[int] = None) -> List[dict]:
     if not records:
         return []
-    base_us = min(record.ts_us for record in records)
+    if base_us is None:
+        base_us = min(record.ts_us for record in records)
     events: List[dict] = []
     named_pids: Dict[int, None] = {}
     named_tids: Dict[tuple, None] = {}
@@ -111,9 +113,27 @@ def chrome_trace(
     *,
     main_pid: Optional[int] = None,
     metadata: Optional[Dict[str, Any]] = None,
+    extra_events: Sequence[dict] = (),
 ) -> dict:
-    """Build the trace-event document for spans and/or a sim timeline."""
-    events = _span_events(list(spans), main_pid)
+    """Build the trace-event document for spans and/or a sim timeline.
+
+    ``extra_events`` are preformatted trace events on the *wall-clock*
+    axis (``ts`` in absolute epoch microseconds, like
+    :attr:`SpanRecord.ts_us`); they are rebased together with the spans
+    so externally recorded timelines — the fleet flight recorder — line
+    up with the pipeline spans in one merged Perfetto view. Metadata
+    ("M") events pass through untouched.
+    """
+    span_list = list(spans)
+    extras = [dict(event) for event in extra_events]
+    bases = [record.ts_us for record in span_list]
+    bases += [event["ts"] for event in extras if event.get("ph") != "M"]
+    base_us = min(bases) if bases else None
+    events = _span_events(span_list, main_pid, base_us)
+    for event in extras:
+        if event.get("ph") != "M":
+            event["ts"] -= base_us
+    events.extend(extras)
     if timeline is not None:
         events.extend(_sim_events(timeline))
     doc: Dict[str, Any] = {

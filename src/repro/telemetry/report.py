@@ -1,4 +1,4 @@
-"""Text summary of a saved telemetry run.
+"""Text summary of a saved telemetry run (or a fleet's artifacts).
 
 ``python -m repro.telemetry.report run.json`` prints where a clone run
 spent its time (wall-clock stages aggregated from pipeline spans),
@@ -6,20 +6,33 @@ experiment-cache effectiveness, the leading metrics, and what the
 simulated-time timeline recorded. ``--prometheus`` additionally dumps
 the raw registry in text exposition format.
 
-The input is the document produced by
-:meth:`repro.telemetry.session.Telemetry.save`.
+Inputs are detected per path:
+
+- a :meth:`repro.telemetry.session.Telemetry.save` document → the
+  classic run summary;
+- a fleet fidelity artifact (``ditto-fleet-fidelity/1``, written next
+  to every gated published job) → the per-metric fidelity table;
+- a fleet store *directory* → one section per job (state history,
+  remediation ladder, fidelity verdict) plus the flight-log summary.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 from typing import Dict, List, Optional
 
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.spans import SpanRecord
 
-__all__ = ["load_run", "main", "render_report"]
+__all__ = [
+    "load_run",
+    "main",
+    "render_fidelity_artifact",
+    "render_fleet_report",
+    "render_report",
+]
 
 #: how many metric series the "top metrics" section shows
 TOP_METRICS = 15
@@ -162,23 +175,100 @@ def render_report(doc: dict) -> str:
     return "\n".join(sections)
 
 
+def render_fidelity_artifact(doc: dict) -> str:
+    """Summarize one fleet fidelity artifact (per-metric table)."""
+    from repro.validation.gate import FidelityReport
+    report = FidelityReport.from_dict(doc.get("report", doc))
+    job_id = doc.get("job_id", "")
+    header = (f"fleet fidelity artifact — job {job_id}" if job_id
+              else "fidelity artifact")
+    return header + "\n" + report.summary()
+
+
+def render_fleet_report(store_root: str) -> str:
+    """One section per fleet job, plus the flight-log summary.
+
+    Imports stay local so the telemetry layer keeps no hard dependency
+    on the fleet package (it is the fleet that builds on telemetry).
+    """
+    from repro.fleet.obs.flight import read_flight_log
+    from repro.fleet.store import JobStore
+    from repro.validation.gate import FidelityReport
+
+    store = JobStore(store_root, flight=False)
+    sections = [f"fleet report — {store_root}"]
+    records = store.list()
+    if not records:
+        sections.append("(store holds no jobs)")
+    for record in records:
+        sections.append(f"\n== job {record.job_id} "
+                        f"({record.state.value}) ==")
+        sections.append(record.spec.describe())
+        for edge in record.history:
+            reason = f"  ({edge.reason})" if edge.reason else ""
+            sections.append(f"  {edge.from_state.value} -> "
+                            f"{edge.to_state.value}{reason}")
+        if record.attempts:
+            sections.append(f"  remediation rungs climbed: "
+                            f"{record.attempts}")
+        if record.error:
+            sections.append(f"  error: {record.error}")
+        fidelity_path = store.fidelity_path(record.job_id)
+        if os.path.exists(fidelity_path):
+            try:
+                artifact = load_run(fidelity_path)
+                report = FidelityReport.from_dict(
+                    artifact.get("report", {}))
+            except (ValueError, KeyError, TypeError):
+                sections.append("  (fidelity artifact unreadable)")
+            else:
+                sections.extend("  " + line
+                                for line in report.summary().splitlines())
+    flight = read_flight_log(store.flight_path)
+    if flight.events or flight.skipped:
+        sections.append("\n== flight log ==")
+        counts = sorted(flight.counts().items(),
+                        key=lambda kv: (-kv[1], kv[0]))
+        sections.append(f"{len(flight.events)} events"
+                        + (f", {flight.skipped} corrupt skipped"
+                           if flight.skipped else ""))
+        sections.extend(f"  {kind}: {count}" for kind, count in counts)
+    return "\n".join(sections)
+
+
+def _render_any(path: str, prometheus: bool) -> None:
+    if os.path.isdir(path):
+        print(render_fleet_report(path))
+        return
+    doc = load_run(path)
+    if doc.get("format") == "ditto-fleet-fidelity/1":
+        print(render_fidelity_artifact(doc))
+        return
+    print(render_report(doc))
+    if prometheus:
+        registry = MetricsRegistry().merge(doc.get("metrics", {}))
+        print("\n== prometheus exposition ==")
+        print(registry.to_prometheus_text(), end="")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point: summarize a saved telemetry run."""
+    """CLI entry point: summarize runs, fleet artifacts, or stores."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.telemetry.report",
-        description="Summarize a saved Ditto telemetry run.")
-    parser.add_argument("run", help="path to a telemetry run JSON "
-                        "(Telemetry.save output)")
+        description="Summarize saved Ditto telemetry runs and fleet "
+                    "artifacts.")
+    parser.add_argument("run", nargs="+",
+                        help="telemetry run JSON (Telemetry.save "
+                        "output), fleet fidelity artifact, or a fleet "
+                        "store directory")
     parser.add_argument("--prometheus", action="store_true",
                         help="also dump the metrics registry in "
                         "Prometheus text exposition format")
     args = parser.parse_args(argv)
-    doc = load_run(args.run)
-    print(render_report(doc))
-    if args.prometheus:
-        registry = MetricsRegistry().merge(doc.get("metrics", {}))
-        print("\n== prometheus exposition ==")
-        print(registry.to_prometheus_text(), end="")
+    for index, path in enumerate(args.run):
+        if index:
+            print()
+        _render_any(path, args.prometheus)
     return 0
 
 

@@ -126,6 +126,21 @@ class MetricCheck:
             "passed": self.passed,
         }
 
+    @classmethod
+    def from_dict(cls, doc: dict) -> "MetricCheck":
+        """Inverse of :meth:`to_dict` (fleet artifacts round-trip)."""
+        error = doc["error"]
+        return cls(
+            metric=doc["metric"], service=doc.get("service", ""),
+            original=float(doc["original"]), clone=float(doc["clone"]),
+            error=(math.inf if error == "inf" else float(error)),
+            tolerance=MetricTolerance(
+                doc["metric"],
+                relative=float(doc.get("relative_tolerance", 0.0)),
+                absolute=float(doc.get("absolute_tolerance", 0.0))),
+            passed=bool(doc["passed"]),
+        )
+
 
 @dataclass
 class FidelityReport:
@@ -169,6 +184,25 @@ class FidelityReport:
                            if math.isfinite(self.mean_error) else "inf"),
             "checks": [check.to_dict() for check in self.checks],
         }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FidelityReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        The serialization hook behind the fleet's fidelity artifacts:
+        ``python -m repro.fleet show``/``drift`` and the telemetry
+        report CLI reload persisted reports through here, so they can
+        reuse :meth:`summary`/:meth:`failures` instead of re-implementing
+        the table over raw JSON.
+        """
+        return cls(
+            checks=[MetricCheck.from_dict(entry)
+                    for entry in doc.get("checks", [])],
+            label=doc.get("label", ""),
+            platform=doc.get("platform", ""),
+            seed=int(doc.get("seed", 0)),
+            mode=doc.get("mode", "runs"),
+        )
 
     def summary(self) -> str:
         """Human-readable per-metric table."""

@@ -112,6 +112,73 @@ def test_crash_mid_tuning_resumes_to_identical_bundle(
     assert resumed_bundle == control_bundle
 
 
+def test_flight_log_reconstructs_crash_lifecycle(
+        tmp_path, monkeypatch, control):
+    """The black box: after crash + recovery + resume, the flight log
+    alone reconstructs the job's whole lifecycle — including the crash
+    requeue — and enabling it leaves the published digest untouched."""
+    from repro.fleet.obs.flight import read_flight_log
+
+    control_store, control_record = control
+    store = JobStore(str(tmp_path), flight=True)
+    record = store.submit(CloneJobSpec(request=_request()))
+    dying = _CountingFineTune(pipeline.fine_tune, crash_on_call=1)
+    monkeypatch.setattr(pipeline, "fine_tune", dying)
+    with pytest.raises(KeyboardInterrupt):
+        FleetScheduler(store, executor="serial").run_until_idle()
+    monkeypatch.setattr(pipeline, "fine_tune",
+                        _CountingFineTune(dying.inner))
+    store.recover()
+    FleetScheduler(store, executor="serial").run_until_idle()
+
+    log = read_flight_log(store.flight_path)
+    assert log.skipped == 0
+    assert log.job_ids() == [record.job_id]
+
+    # Full lifecycle from the log alone: submitted, a first attempt up
+    # to the crash, the recovery requeue, the resume, publication.
+    lifecycle = log.lifecycle(record.job_id)
+    assert lifecycle[0] == "submitted"
+    assert lifecycle[-1] == "published"
+    assert "submitted" in lifecycle[1:-1]       # the crash requeue
+    requeues = [event for event
+                in log.filter(job_id=record.job_id, kind="job_state")
+                if event.data["to"] == "submitted"]
+    assert any(event.data["reason"] == "recovered"
+               for event in requeues)
+    recovered = log.filter(job_id=record.job_id, kind="job_recovered")
+    assert len(recovered) == 1
+
+    # Both attempts claimed and released the lease; the result was
+    # published exactly once, by the resumed attempt.
+    assert len(log.filter(kind="lease_claimed")) == 2
+    assert len(log.filter(kind="lease_released")) == 2
+    assert len(log.filter(kind="result_published")) == 1
+
+    # Recording never perturbs the clone: same digest as the
+    # flight-disabled control run.
+    assert (store.get(record.job_id).result_digest
+            == control_record.result_digest)
+
+
+def test_flight_log_survives_a_torn_tail(tmp_path, monkeypatch, control):
+    """A log truncated mid-line (the crash case) still yields every
+    complete event — the torn tail is skipped and counted."""
+    from repro.fleet.obs.flight import read_flight_log
+
+    store = JobStore(str(tmp_path), flight=True)
+    record = store.submit(CloneJobSpec(request=_request()))
+    intact = read_flight_log(store.flight_path)
+    assert [e.kind for e in intact.events] == ["job_submitted"]
+
+    with open(store.flight_path, "a", encoding="utf-8") as handle:
+        handle.write('{"format":"ditto-flight/1","seq":9')  # torn write
+    torn = read_flight_log(store.flight_path)
+    assert torn.skipped == 1
+    assert [e.kind for e in torn.events] == ["job_submitted"]
+    assert torn.events[0].job_id == record.job_id
+
+
 def test_recovered_job_history_keeps_the_crash_visible(
         tmp_path, monkeypatch, control):
     """The audit trail shows crash → recovery → resume, not a clean run."""

@@ -257,6 +257,52 @@ class TestWorkerRoundTrip:
         assert parent.registry.counter("work_total").value() == 4
         assert [r.name for r in parent.spans.records] == ["tier:w"]
 
+    def test_absorb_merge_semantics_per_metric_type(self):
+        """Counter adds, gauge last-write-wins, histogram bucket-merges —
+        including label collisions where parent and workers all wrote
+        the same series (the fleet's process-pool shape)."""
+        parent = Telemetry()
+        parent.registry.counter("jobs_total", "", ("state",)).inc(
+            2, state="done")
+        parent.registry.gauge("queue_depth").set(7)
+        parent.registry.histogram(
+            "job_seconds", buckets=(1.0, 2.0)).observe(0.5)
+
+        payloads = []
+        for value in (1.5, 5.0):
+            worker = Telemetry.for_worker()
+            with worker:
+                counter = worker.registry.counter("jobs_total", "",
+                                                  ("state",))
+                counter.inc(1, state="done")    # collides with parent
+                counter.inc(1, state="failed")  # new series
+                worker.registry.gauge("queue_depth").set(value)
+                worker.registry.histogram(
+                    "job_seconds", buckets=(1.0, 2.0)).observe(value)
+            payloads.append(worker.payload())
+        for payload in payloads:
+            parent.absorb(payload)
+
+        counter = parent.registry.get("jobs_total")
+        assert counter.value(state="done") == 4     # 2 + 1 + 1
+        assert counter.value(state="failed") == 2
+        # gauges: the last absorbed payload's value sticks
+        assert parent.registry.get("queue_depth").value() == 5.0
+        histogram = parent.registry.get("job_seconds")
+        assert histogram.count() == 3
+        assert histogram.sum() == pytest.approx(0.5 + 1.5 + 5.0)
+        # one observation per bucket: 0.5 ≤ 1.0 < 1.5 ≤ 2.0 < 5.0
+        assert histogram.bucket_counts() == [1, 1, 1]
+
+    def test_absorb_rejects_histogram_bucket_mismatch(self):
+        worker = Telemetry.for_worker()
+        with worker:
+            worker.registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        parent = Telemetry()
+        parent.registry.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        with pytest.raises(ConfigurationError):
+            parent.absorb(worker.payload())
+
 
 class TestReportCli:
     def test_cli_renders_saved_run(self, tmp_path, capsys):
