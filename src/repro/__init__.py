@@ -68,7 +68,7 @@ from repro.faults import (
     NodeCrashFault,
     PacketLossFault,
 )
-from repro.fleet import CloneJobSpec, FleetClient, JobState
+from repro.fleet import ChaosPlan, CloneJobSpec, FleetClient, JobState
 from repro.hw import PLATFORM_A, PLATFORM_B, PLATFORM_C, platform_by_name
 from repro.loadgen import LoadSpec
 from repro.runtime import (
@@ -97,6 +97,7 @@ __all__ = [
     "CloneJobSpec",
     "CloneRequest",
     "CloneResult",
+    "ChaosPlan",
     "CpuStealFault",
     "Deployment",
     "DiskErrorFault",

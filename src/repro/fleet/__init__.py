@@ -16,6 +16,9 @@ submit, watch, list and cancel.
 - :class:`~repro.fleet.scheduler.FleetScheduler` — process/thread/
   serial fan-out with the tier pipeline's degradation ladder;
 - :class:`~repro.fleet.client.FleetClient` — the user-facing handle;
+- :mod:`repro.fleet.chaos` — seeded crashpoint injection
+  (:class:`~repro.fleet.chaos.ChaosPlan`) for chaos-testing the
+  control plane's crash recovery;
 - :mod:`repro.fleet.obs` — the observability surface: flight recorder,
   live ``/metrics``/``/jobs`` endpoint, fidelity-drift monitor and the
   ``top`` dashboard.
@@ -24,6 +27,12 @@ See DESIGN.md ("Fleet job state machine" and "Flight recorder & drift
 monitoring") for the lifecycle diagram and the event log's guarantees.
 """
 
+from repro.fleet.chaos import (
+    CRASHPOINTS,
+    ChaosAction,
+    ChaosKill,
+    ChaosPlan,
+)
 from repro.fleet.client import FleetClient
 from repro.fleet.job import (
     CloneJobRecord,
@@ -42,6 +51,10 @@ from repro.fleet.store import JobStore
 from repro.fleet.worker import JobWorkerOutcome, execute_job
 
 __all__ = [
+    "CRASHPOINTS",
+    "ChaosAction",
+    "ChaosKill",
+    "ChaosPlan",
     "CloneJobRecord",
     "CloneJobSpec",
     "FleetClient",

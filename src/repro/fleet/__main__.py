@@ -6,10 +6,13 @@
         [--qps 2000] [--duration 0.015] [--platform A] [--seed 17]
         [--validate] [--tolerance METRIC=REL ...] [--fast]
         [--tune-iterations N] [--no-finetune] [--name NAME]
-        [--priority P]
+        [--priority P] [--max-crashes N]
     python -m repro.fleet run    --store DIR [--executor auto]
         [--max-workers N] [--telemetry] [--save RUN.json] [--flight]
         [--serve [HOST]:PORT] [--serve-linger SECONDS]
+        [--chaos PLAN.json]
+    python -m repro.fleet dlq    --store DIR list
+    python -m repro.fleet dlq    --store DIR retry JOB
     python -m repro.fleet list   --store DIR [--state submitted ...]
     python -m repro.fleet watch  --store DIR JOB [--timeout 300]
     python -m repro.fleet show   --store DIR JOB
@@ -24,10 +27,20 @@
 
 ``submit`` prints the new job id (the only stdout line, so shell
 scripts can capture it). ``watch`` exits **0** when the job publishes,
-**1** when it fails, **2** when it was cancelled and **3** on timeout.
-``run`` drains the queue and exits 0 unless some job failed. The store
-directory is shared state: submit from one shell, run the scheduler in
-another, watch from a third.
+**1** when it fails or is dead-lettered, **2** when it was cancelled
+and **3** on timeout. ``run`` drains the queue and exits 0 unless some
+job failed; SIGTERM/SIGINT drain it gracefully (in-flight jobs finish,
+the rest stay queued; a second signal hard-stops). The store directory
+is shared state: submit from one shell, run the scheduler in another,
+watch from a third.
+
+Chaos: ``run --chaos PLAN.json`` installs a crashpoint plan (see
+``repro.fleet.chaos``) for the whole run — a ``kill`` action exits the
+process with status **70** at the named crashpoint, leaving the store
+for the next ``run`` to recover. A job that keeps killing its workers
+exhausts its crash budget (``submit --max-crashes``, default from the
+store config) and lands in the dead-letter queue: ``dlq list`` shows
+it, ``dlq retry JOB`` requeues it with a fresh budget.
 
 Observability: ``--flight`` (on ``submit`` or ``run``) enables the
 store's flight recorder — every later process sharing the store joins
@@ -71,7 +84,8 @@ FAST_BUDGET = ProfilingBudget(
 )
 
 WATCH_EXIT = {JobState.PUBLISHED: 0, JobState.RETIRED: 0,
-              JobState.FAILED: 1, JobState.CANCELLED: 2}
+              JobState.FAILED: 1, JobState.DEAD_LETTERED: 1,
+              JobState.CANCELLED: 2}
 
 
 def _workload_names() -> List[str]:
@@ -126,12 +140,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     store = JobStore(args.store, flight=True if args.flight else None)
     client = FleetClient(store)
     record = client.submit(_build_request(args), name=args.name,
-                           priority=args.priority)
+                           priority=args.priority,
+                           max_crashes=args.max_crashes)
     print(record.job_id)
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.fleet.chaos import ChaosPlan
     from repro.fleet.scheduler import FleetScheduler
     from repro.fleet.store import JobStore
     from repro.telemetry.session import Telemetry
@@ -139,14 +155,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     store = JobStore(args.store,
                      registry=session.registry if session else None,
                      flight=True if args.flight else None)
-    scheduler = FleetScheduler(store, executor=args.executor,
-                               max_workers=args.max_workers,
-                               telemetry=session,
-                               serve_metrics=args.serve)
-    if scheduler.status_server is not None:
-        print(f"serving fleet status on {scheduler.status_server.url}",
-              file=sys.stderr)
-    try:
+    chaos = ChaosPlan.from_file(args.chaos) if args.chaos else None
+    with FleetScheduler(store, executor=args.executor,
+                        max_workers=args.max_workers,
+                        telemetry=session, serve_metrics=args.serve,
+                        chaos=chaos) as scheduler:
+        if scheduler.status_server is not None:
+            print(f"serving fleet status on "
+                  f"{scheduler.status_server.url}", file=sys.stderr)
         outcomes = scheduler.run_until_idle()
         failed = 0
         for outcome in outcomes:
@@ -156,8 +172,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(line, file=sys.stderr)
             if outcome.state is JobState.FAILED:
                 failed += 1
-        print(f"{len(outcomes)} job(s) finished, {failed} failed",
-              file=sys.stderr)
+        drained = " (drained)" if scheduler.draining else ""
+        print(f"{len(outcomes)} job(s) finished, {failed} failed"
+              f"{drained}", file=sys.stderr)
         if session is not None:
             def total(name: str) -> int:
                 metric = session.registry.get(name)
@@ -174,11 +191,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 session.save(args.save)
                 print(f"saved telemetry run to {args.save}",
                       file=sys.stderr)
-        if args.serve_linger and scheduler.status_server is not None:
+        if args.serve_linger and scheduler.status_server is not None \
+                and not scheduler.draining:
             time.sleep(args.serve_linger)
-    finally:
-        scheduler.close()
     return 1 if failed else 0
+
+
+def _cmd_dlq(args: argparse.Namespace) -> int:
+    client = FleetClient(args.store)
+    if args.action == "list":
+        records = client.dead_letters()
+        for record in records:
+            print(f"{record.describe()}  "
+                  f"(crashes: {record.crash_count})")
+        if not records:
+            print("dead-letter queue is empty", file=sys.stderr)
+        return 0
+    if not args.job_id:
+        print("error: dlq retry takes a job id", file=sys.stderr)
+        return 2
+    record = client.retry_dead_letter(args.job_id)
+    print(record.describe())
+    return 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -207,6 +241,8 @@ def _cmd_show(args: argparse.Namespace) -> int:
     print(record.describe())
     print(f"  spec digest: {record.spec_digest}")
     print(f"  remediation attempts: {record.attempts}")
+    if record.crash_count:
+        print(f"  crashes survived: {record.crash_count}")
     if record.result_digest:
         print(f"  result digest: {record.result_digest}")
     for edge in record.history:
@@ -338,6 +374,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--no-finetune", action="store_true")
     submit.add_argument("--name", default="")
     submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--max-crashes", type=int, default=None,
+                        help="crash budget before dead-lettering "
+                        "(default: the store's)")
     submit.add_argument("--flight", action="store_true",
                         help="enable the store's flight recorder")
     submit.set_defaults(func=_cmd_submit)
@@ -361,7 +400,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--serve-linger", type=float, default=0.0,
                      metavar="SECONDS",
                      help="keep the status endpoint up after draining")
+    run.add_argument("--chaos", default="", metavar="PLAN.json",
+                     help="install a chaos crashpoint plan for the run")
     run.set_defaults(func=_cmd_run)
+
+    dlq = commands.add_parser("dlq", parents=[common],
+                              help="inspect or retry dead-lettered jobs")
+    dlq.add_argument("action", choices=("list", "retry"))
+    dlq.add_argument("job_id", nargs="?", default="")
+    dlq.set_defaults(func=_cmd_dlq)
 
     list_cmd = commands.add_parser("list", parents=[common],
                                    help="list jobs in the store")
@@ -424,9 +471,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.fleet.chaos import ChaosKill
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except ChaosKill as error:
+        # A chaos kill action fired: die the way a real crash would
+        # (leases and records left in place for the next run's
+        # recovery), but with a distinct status for harnesses.
+        print(f"chaos: {error}", file=sys.stderr)
+        return 70
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

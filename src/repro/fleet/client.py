@@ -39,11 +39,13 @@ class FleetClient:
         self.store = store if isinstance(store, JobStore) else JobStore(store)
 
     def submit(self, request: Union[CloneRequest, CloneJobSpec], *,
-               name: str = "", priority: int = 0) -> CloneJobRecord:
+               name: str = "", priority: int = 0,
+               max_crashes: Optional[int] = None) -> CloneJobRecord:
         """Queue one clone job; returns its persisted record."""
         if isinstance(request, CloneRequest):
             spec = CloneJobSpec(request=request, name=name,
-                                priority=priority)
+                                priority=priority,
+                                max_crashes=max_crashes)
         elif isinstance(request, CloneJobSpec):
             spec = request
         else:
@@ -73,6 +75,14 @@ class FleetClient:
         record = self.store.get(job_id)
         self.store.transition(record, JobState.RETIRED, reason="retired")
         return record
+
+    def dead_letters(self) -> List[CloneJobRecord]:
+        """Jobs that exhausted their crash budget (the DLQ)."""
+        return self.store.list((JobState.DEAD_LETTERED,))
+
+    def retry_dead_letter(self, job_id: str) -> CloneJobRecord:
+        """Requeue a dead-lettered job with a fresh crash budget."""
+        return self.store.retry_dead_letter(job_id)
 
     def run_until_idle(self, *, executor: str = "auto",
                        max_workers: Optional[int] = None,

@@ -9,7 +9,11 @@ states rather than stack traces:
   ladder is exhausted, or any other :class:`Exception` → ``failed``;
 - a crashed worker (process killed, machine lost) leaves the record in
   its running state with a dead lease — recovery requeues it to
-  ``submitted`` and the next run resumes from its tier checkpoints.
+  ``submitted`` (after an exponential crash backoff) and the next run
+  resumes from its tier checkpoints;
+- a job that keeps crashing its worker exhausts its crash budget
+  (``max_crashes``) and lands in ``dead_lettered`` — terminal until an
+  operator requeues it with ``fleet dlq retry``.
 
 Remediation rungs (re-seed, widened tune budget, degraded executor)
 show up as ``validating → tuning`` self-healing transitions, so the
@@ -53,6 +57,7 @@ class JobState(str, Enum):
     FAILED = "failed"
     CANCELLED = "cancelled"
     RETIRED = "retired"
+    DEAD_LETTERED = "dead_lettered"
 
     def __str__(self) -> str:  # "published", not "JobState.PUBLISHED"
         return self.value
@@ -63,25 +68,31 @@ class JobState(str, Enum):
 #: ``running state → submitted`` the crash-recovery requeue.
 TRANSITIONS: Dict[JobState, Tuple[JobState, ...]] = {
     JobState.SUBMITTED: (JobState.PROFILING, JobState.TUNING,
-                         JobState.CANCELLED, JobState.FAILED),
+                         JobState.CANCELLED, JobState.FAILED,
+                         JobState.DEAD_LETTERED),
     JobState.PROFILING: (JobState.TUNING, JobState.CANCELLED,
-                         JobState.FAILED, JobState.SUBMITTED),
+                         JobState.FAILED, JobState.SUBMITTED,
+                         JobState.DEAD_LETTERED),
     JobState.TUNING: (JobState.VALIDATING, JobState.PUBLISHED,
                       JobState.TUNING, JobState.CANCELLED,
-                      JobState.FAILED, JobState.SUBMITTED),
+                      JobState.FAILED, JobState.SUBMITTED,
+                      JobState.DEAD_LETTERED),
     JobState.VALIDATING: (JobState.PUBLISHED, JobState.TUNING,
                           JobState.CANCELLED, JobState.FAILED,
-                          JobState.SUBMITTED),
+                          JobState.SUBMITTED, JobState.DEAD_LETTERED),
     JobState.PUBLISHED: (JobState.RETIRED,),
     JobState.FAILED: (JobState.SUBMITTED,),
     JobState.CANCELLED: (),
     JobState.RETIRED: (),
+    JobState.DEAD_LETTERED: (JobState.SUBMITTED,),
 }
 
 #: states a job never leaves on its own (``failed`` jobs additionally
-#: accept an explicit resubmit)
+#: accept an explicit resubmit; ``dead_lettered`` an explicit
+#: ``dlq retry``)
 TERMINAL_STATES = (JobState.PUBLISHED, JobState.FAILED,
-                   JobState.CANCELLED, JobState.RETIRED)
+                   JobState.CANCELLED, JobState.RETIRED,
+                   JobState.DEAD_LETTERED)
 
 #: states that mean "a worker owns this job right now"
 RUNNING_STATES = (JobState.PROFILING, JobState.TUNING, JobState.VALIDATING)
@@ -112,6 +123,9 @@ class CloneJobSpec:
     name: str = ""
     #: higher runs first; ties break by submission order
     priority: int = 0
+    #: per-job crash budget before dead-lettering (None = the store's
+    #: default); scheduling metadata, excluded from the spec digest
+    max_crashes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.request, CloneRequest):
@@ -121,6 +135,19 @@ class CloneJobSpec:
                 or isinstance(self.priority, bool):
             raise ConfigurationError(
                 f"priority must be an int, got {self.priority!r}")
+        if self.max_crashes is not None and (
+                not isinstance(self.max_crashes, int)
+                or isinstance(self.max_crashes, bool)
+                or self.max_crashes < 0):
+            raise ConfigurationError(
+                f"max_crashes must be an int >= 0 or None, "
+                f"got {self.max_crashes!r}")
+
+    def __setstate__(self, state: dict) -> None:
+        # Records pickled before the crash-budget fields existed
+        # deserialize with the defaults backfilled.
+        self.__dict__.update({"max_crashes": None})
+        self.__dict__.update(state)
 
     def digest(self) -> str:
         """The experiment identity (= the request digest)."""
@@ -148,6 +175,18 @@ class CloneJobRecord:
     result_digest: str = ""
     created_at: float = 0.0
     updated_at: float = 0.0
+    #: crash requeues survived so far (persisted across recoveries;
+    #: past ``max_crashes`` the job is dead-lettered)
+    crash_count: int = 0
+    #: wall-clock gate the scheduler honours after a crash requeue
+    #: (exponential backoff; 0 = runnable immediately)
+    next_attempt_at: float = 0.0
+
+    def __setstate__(self, state: dict) -> None:
+        # Backfill crash-tracking fields for records persisted before
+        # they existed, so an old store survives an upgrade.
+        self.__dict__.update({"crash_count": 0, "next_attempt_at": 0.0})
+        self.__dict__.update(state)
 
     def transition(self, to_state: JobState, *, reason: str = "") -> None:
         """Take one edge; raises :class:`JobStateError` on illegal moves."""

@@ -72,6 +72,7 @@ def _job_entry(record) -> dict:
         "spec_digest": record.spec_digest,
         "result_digest": record.result_digest,
         "remediation_attempts": record.attempts,
+        "crashes": record.crash_count,
         "transitions": len(record.history),
         "error": record.error,
         "created_at": record.created_at,

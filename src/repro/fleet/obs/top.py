@@ -24,7 +24,7 @@ __all__ = ["render_top"]
 _STATE_ORDER = [
     JobState.SUBMITTED, JobState.PROFILING, JobState.TUNING,
     JobState.VALIDATING, JobState.PUBLISHED, JobState.FAILED,
-    JobState.CANCELLED, JobState.RETIRED,
+    JobState.CANCELLED, JobState.RETIRED, JobState.DEAD_LETTERED,
 ]
 
 

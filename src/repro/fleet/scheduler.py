@@ -6,35 +6,55 @@ inside one clone — same executor modes (``process``/``thread``/
 breaks mid-run (a worker killed) degrades process → thread → serial and
 re-runs only the jobs that did not finish. Ownership is tracked with
 store leases (claimed before dispatch, released afterwards — on *any*
-exit, including a crash unwinding through the scheduler), so a job
+exit, including a crash unwinding through the scheduler), each claim
+carrying a fencing epoch the workers heartbeat and re-check, so a job
 whose owner truly died is requeued by
-:meth:`~repro.fleet.store.JobStore.recover` at the top of every round.
+:meth:`~repro.fleet.store.JobStore.recover` at the top of every round
+while a zombie owner can no longer publish. Jobs requeued after a
+crash are honoured only once their exponential backoff
+(``next_attempt_at``) has elapsed.
 
 Priority: higher ``CloneJobSpec.priority`` first, ties broken by
 submission time. Worker telemetry payloads are absorbed into the
 scheduler's session when one is given, so one registry shows the whole
 fleet (including each job's shared-cache hits).
 
+**Graceful drain**: while ``run_until_idle`` runs on the main thread,
+SIGTERM/SIGINT request a drain — no new rounds or jobs are claimed,
+in-flight jobs finish, unstarted ones stay ``submitted``, and every
+lease is released on the way out. A second signal is a hard stop:
+pending pool futures are cancelled and the scheduler stops waiting
+(still-running workers are fenced off by the next claim's epoch).
+Previous signal dispositions are restored when the drain completes.
+The scheduler is also a context manager — ``with FleetScheduler(...)
+as s: s.run_until_idle()`` guarantees :meth:`close` (and with it the
+status endpoint's socket) even when the run raises.
+
 ``serve_metrics=`` starts a :class:`~repro.fleet.obs.httpd.
 FleetStatusServer` for the store — ``/metrics``, ``/jobs`` and
 ``/healthz`` stay live while the fleet drains (and after, until
-:meth:`FleetScheduler.close`). Scrapes see the scheduler's registry
-(worker payloads included, as they are absorbed round by round).
+:meth:`FleetScheduler.close`). ``chaos=`` installs a
+:class:`~repro.fleet.chaos.ChaosPlan` for the duration of
+``run_until_idle`` and forwards it to pool workers.
 """
 
 from __future__ import annotations
 
 import os
+import signal
+import threading
+import time
 from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
     wait,
 )
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Set, Union
 
 # The tier pipeline's pool plumbing is deliberately reused — jobs
 # degrade process → thread → serial exactly like tiers do.
 from repro.core.pipeline import _DEGRADATION, _make_pool, resolve_executor
+from repro.fleet.chaos import ChaosPlan, crashpoint, maybe_active
 from repro.fleet.job import JobState
 from repro.fleet.obs.httpd import FleetStatusServer, parse_serve_address
 from repro.fleet.store import JobStore
@@ -56,6 +76,7 @@ class FleetScheduler:
         max_workers: Optional[int] = None,
         telemetry: Union[bool, Telemetry, None] = None,
         serve_metrics: Union[bool, int, str, None] = None,
+        chaos: Optional[ChaosPlan] = None,
     ) -> None:
         self.store = store if isinstance(store, JobStore) else JobStore(store)
         self.executor = executor
@@ -72,6 +93,12 @@ class FleetScheduler:
                 f"telemetry must be a Telemetry session or a bool, "
                 f"got {telemetry!r}")
         self.telemetry = telemetry
+        if chaos is not None and not isinstance(chaos, ChaosPlan):
+            raise ConfigurationError(
+                f"chaos must be a ChaosPlan, got {chaos!r}")
+        self.chaos = chaos
+        self._drain = threading.Event()
+        self._abort = threading.Event()
         self._completed = self.store.registry.counter(
             "ditto_fleet_jobs_completed_total",
             "fleet jobs that reached a terminal state", ("state",))
@@ -89,6 +116,53 @@ class FleetScheduler:
             self.status_server.close()
             self.status_server = None
 
+    def __enter__(self) -> "FleetScheduler":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------ #
+    # graceful drain
+    # ------------------------------------------------------------------ #
+    @property
+    def draining(self) -> bool:
+        return self._drain.is_set()
+
+    @property
+    def aborted(self) -> bool:
+        return self._abort.is_set()
+
+    def request_drain(self, *, hard: bool = False) -> None:
+        """Stop claiming work; in-flight jobs finish (``hard=True``
+        also stops waiting: pending pool futures are cancelled)."""
+        if hard:
+            self._abort.set()
+        if not self._drain.is_set():
+            self._drain.set()
+            self.store._emit("drain_requested", hard=hard)
+            self.store.registry.counter(
+                "ditto_fleet_drains_total",
+                "graceful-drain requests observed by the scheduler",
+                ()).inc()
+
+    def _handle_signal(self, signum, frame) -> None:
+        # First signal: drain. Second: hard stop.
+        self.request_drain(hard=self._drain.is_set())
+
+    def _install_signal_handlers(self) -> Dict[int, object]:
+        if threading.current_thread() is not threading.main_thread():
+            return {}  # signal.signal only works on the main thread
+        restore: Dict[int, object] = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                restore[signum] = signal.signal(signum,
+                                                self._handle_signal)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        return restore
+
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
@@ -97,21 +171,29 @@ class FleetScheduler:
 
         Each round: requeue crash-orphaned jobs, resolve cancellations
         that arrived before dispatch, claim leases on the runnable
-        queue, and drain it through the pool. New submissions landing
-        between rounds are picked up by the next round.
+        queue (skipping crash backoffs that have not elapsed), and
+        drain it through the pool. New submissions landing between
+        rounds are picked up by the next round; a drain request ends
+        the loop after the current round.
         """
         outcomes: List[JobWorkerOutcome] = []
+        restore = self._install_signal_handlers()
         if self.telemetry is not None:
             self.telemetry.activate()
         try:
-            while True:
-                batch = self._run_round()
-                if batch is None:
-                    break
-                outcomes.extend(batch)
+            with maybe_active(self.chaos):
+                while True:
+                    batch = self._run_round()
+                    if batch is None:
+                        break
+                    outcomes.extend(batch)
+                    if self._drain.is_set():
+                        break
         finally:
             if self.telemetry is not None:
                 self.telemetry.deactivate()
+            for signum, previous in restore.items():
+                signal.signal(signum, previous)
         return outcomes
 
     # ------------------------------------------------------------------ #
@@ -119,37 +201,61 @@ class FleetScheduler:
     # ------------------------------------------------------------------ #
     def _run_round(self) -> Optional[List[JobWorkerOutcome]]:
         """One claim-and-drain cycle; None when the queue is empty."""
+        if self._drain.is_set():
+            return None
         self.store.recover()
-        runnable = []
+        now = time.time()
+        runnable, backing_off = [], []
         for record in self.store.list((JobState.SUBMITTED,)):
             if self.store.cancel_requested(record.job_id):
                 self._cancel_before_start(record)
                 continue
+            if record.next_attempt_at > now:
+                backing_off.append(record)
+                continue
             runnable.append(record)
         if not runnable:
+            if backing_off and not self._drain.is_set():
+                # Wait out the earliest crash backoff (in small slices
+                # so drain signals stay responsive), then go again.
+                delay = (min(r.next_attempt_at for r in backing_off)
+                         - time.time())
+                if delay > 0:
+                    time.sleep(min(delay, 0.2))
+                return []
             return None
         runnable.sort(key=lambda r: (-r.spec.priority, r.created_at,
                                      r.job_id))
-        claimed = [record.job_id for record in runnable
-                   if self.store.claim_lease(record.job_id)]
-        if not claimed:
+        crashpoint("scheduler.round.pre_claim")
+        claims: Dict[str, int] = {}
+        for record in runnable:
+            epoch = self.store.claim_lease(record.job_id)
+            if epoch is not None:
+                claims[record.job_id] = epoch
+        if not claims:
             return None  # another scheduler owns the whole queue
+        crashpoint("scheduler.round.post_claim")
         try:
-            outcomes = self._run_batch(claimed)
+            outcomes = self._run_batch(claims)
         finally:
             # Leases must die with this invocation — even when a crash
             # (KeyboardInterrupt, a kill unwinding through a pool) is
-            # propagating — so recovery sees orphaned jobs, not zombies.
-            for job_id in claimed:
-                self.store.release_lease(job_id)
+            # propagating — so recovery sees orphaned jobs, not
+            # zombies. Epoch-checked: a newer claim minted after a
+            # false requeue is never clobbered.
+            for job_id, epoch in claims.items():
+                self.store.release_lease(job_id, epoch=epoch)
         for outcome in outcomes:
             if self.telemetry is not None:
                 self.telemetry.absorb(outcome.telemetry)
+            if outcome.fenced:
+                continue  # the job belongs to a newer claim now
             self._completed.inc(1, state=outcome.state.value)
         return outcomes
 
     def _cancel_before_start(self, record) -> None:
-        if not self.store.claim_lease(record.job_id):
+        epoch = self.store.claim_lease(record.job_id)
+        if epoch is None:
             return
         try:
             self.store.transition(record, JobState.CANCELLED,
@@ -157,57 +263,78 @@ class FleetScheduler:
             record.error = "cancelled before start"
             self.store.save(record)
         finally:
-            self.store.release_lease(record.job_id)
+            self.store.release_lease(record.job_id, epoch=epoch)
 
     # ------------------------------------------------------------------ #
     # batch execution (executor + degradation ladder)
     # ------------------------------------------------------------------ #
-    def _run_batch(self, job_ids: List[str]) -> List[JobWorkerOutcome]:
+    def _run_batch(self, claims: Dict[str, int]
+                   ) -> List[JobWorkerOutcome]:
+        job_ids = list(claims)
         mode = resolve_executor(self.executor, n_tasks=len(job_ids),
                                 max_workers=self.max_workers)
         if mode == "serial":
-            return [self._run_one(job_id) for job_id in job_ids]
+            outcomes = []
+            for job_id in job_ids:
+                if self._drain.is_set():
+                    break  # unstarted claims release; records stay queued
+                outcomes.append(self._run_one(job_id, claims[job_id]))
+            return outcomes
         workers = (self.max_workers if self.max_workers is not None
                    else (os.cpu_count() or 1))
         workers = max(1, min(workers, len(job_ids)))
         outcomes: List[JobWorkerOutcome] = []
+        finished: Set[str] = set()
         pending = list(job_ids)
         ladder = _DEGRADATION[mode]
         for rung, current in enumerate(ladder):
-            if not pending:
+            if not pending or self._drain.is_set():
                 break
             if current == "serial":
-                outcomes.extend(self._run_one(job_id)
-                                for job_id in pending)
-                pending = []
+                for job_id in pending:
+                    if self._drain.is_set():
+                        break
+                    outcomes.append(self._run_one(job_id, claims[job_id]))
+                    finished.add(job_id)
                 break
             try:
-                outcomes.extend(self._run_pool(current, workers, pending))
-                pending = []
+                outcomes.extend(self._run_pool(current, workers, pending,
+                                               claims, finished))
                 break
             except BrokenExecutor:
                 self._count_degradation(current, ladder[rung + 1])
                 pending = [job_id for job_id in pending
-                           if not self._finished(job_id, outcomes)]
+                           if job_id not in finished]
         return outcomes
 
-    def _run_one(self, job_id: str) -> JobWorkerOutcome:
+    def _run_one(self, job_id: str, epoch: int) -> JobWorkerOutcome:
         return execute_job(self.store.root, job_id,
-                           collect_telemetry=self.telemetry is not None)
+                           collect_telemetry=self.telemetry is not None,
+                           epoch=epoch, chaos=self.chaos)
 
-    def _run_pool(self, mode: str, workers: int,
-                  job_ids: List[str]) -> List[JobWorkerOutcome]:
-        """Drain ``job_ids`` through one pool; BrokenExecutor escapes."""
+    def _run_pool(self, mode: str, workers: int, job_ids: List[str],
+                  claims: Dict[str, int],
+                  finished: Set[str]) -> List[JobWorkerOutcome]:
+        """Drain ``job_ids`` through one pool; BrokenExecutor escapes.
+
+        ``finished`` accrues job ids as their futures resolve, so a
+        degradation rung re-runs only the unfinished remainder (and a
+        drain knows what it can still cancel).
+        """
         outcomes: List[JobWorkerOutcome] = []
         collect = self.telemetry is not None
-        with _make_pool(mode, workers) as pool:
+        pool = _make_pool(mode, workers)
+        try:
             active = {pool.submit(execute_job, self.store.root, job_id,
-                                  collect): job_id
+                                  collect, epoch=claims[job_id],
+                                  chaos=self.chaos): job_id
                       for job_id in job_ids}
             while active:
-                done, _ = wait(set(active), return_when=FIRST_COMPLETED)
+                done, _ = wait(set(active),
+                               return_when=FIRST_COMPLETED, timeout=0.2)
                 for future in done:
                     job_id = active.pop(future)
+                    finished.add(job_id)
                     try:
                         outcomes.append(future.result())
                     except BrokenExecutor:
@@ -220,6 +347,18 @@ class FleetScheduler:
                         # rather than leaving it running forever.
                         outcomes.append(self._fail_out_of_band(
                             job_id, error))
+                if self._drain.is_set() and active:
+                    # Drain: in-flight futures run to completion,
+                    # unstarted ones are cancelled (their jobs stay
+                    # submitted and their leases release upstream).
+                    for future in list(active):
+                        if future.cancel():
+                            finished.add(active.pop(future))
+                if self._abort.is_set():
+                    break  # hard stop: give up on running futures too
+        finally:
+            pool.shutdown(wait=not self._abort.is_set(),
+                          cancel_futures=True)
         return outcomes
 
     def _fail_out_of_band(self, job_id: str,
@@ -227,19 +366,16 @@ class FleetScheduler:
         record = self.store.get(job_id)
         message = f"worker error: {type(error).__name__}: {error}"
         if not record.terminal:
+            # Persist the message *before* the FAILED edge so show,
+            # /jobs and the flight log all carry it.
+            record.error = message
             if record.running:
                 self.store.transition(record, JobState.SUBMITTED,
                                       reason="worker error")
-            record.error = message
             self.store.transition(record, JobState.FAILED,
-                                  reason="worker error")
+                                  reason=message[:160])
         return JobWorkerOutcome(job_id=job_id, state=record.state,
                                 error=message)
-
-    @staticmethod
-    def _finished(job_id: str,
-                  outcomes: List[JobWorkerOutcome]) -> bool:
-        return any(outcome.job_id == job_id for outcome in outcomes)
 
     def _count_degradation(self, from_mode: str, to_mode: str) -> None:
         self.store.registry.counter(

@@ -4,9 +4,15 @@ One directory holds everything a fleet needs to survive a crash:
 
 ```
 <root>/
+  fleet.json               durable store tuning (lease timeout, crash
+                           backoff, heartbeat interval, crash budget)
   jobs/<job_id>.rec        job record (digest-stamped envelope)
   jobs/<job_id>.claim      O_EXCL allocation marker (job-id uniqueness)
-  jobs/<job_id>.lease      "a worker owns this" (JSON: pid + wall time)
+  jobs/<job_id>.lease      "a worker owns this" (JSON: pid + fencing
+                           epoch + heartbeat; appears atomically with
+                           its full payload via link(tmp, lease))
+  jobs/<job_id>.epoch      monotonic fencing-epoch counter (persisted
+                           *before* the lease it fences)
   jobs/<job_id>.cancel     cancellation marker (observed at phase edges)
   profiles/<digest>.pkl    profiling sessions keyed by *spec* digest
   results/<job_id>.pkl     published JobResult envelope
@@ -26,10 +32,24 @@ instead of being trusted. Profiles are keyed by the *spec* digest, not
 the job id: a second job with an identical spec reuses the first job's
 profiling session outright.
 
-Leases make crash recovery explicit: a job in a running state whose
-lease is missing, unreadable, or names a dead pid is requeued to
-``submitted`` by :meth:`JobStore.recover` and resumes from its tier
-checkpoints on the next run.
+Leases make crash recovery explicit — and *fenced*. Every claim mints
+a monotonic per-job fencing epoch (persisted before the lease exists),
+and workers refresh a heartbeat timestamp inside the lease while they
+run. :meth:`JobStore.recover` decides deadness from the lease itself:
+missing/unreadable, a provably dead pid, or a heartbeat older than
+``lease_timeout_s`` — never from pid liveness alone, because pids are
+recycled. A worker that was falsely declared dead is *fenced*: its
+epoch no longer matches the lease, so :meth:`check_fence` stops it
+before any terminal transition or artifact publish
+(:class:`~repro.util.errors.LeaseFencedError`). Crash requeues carry a
+persisted ``crash_count`` with exponential backoff; a job that keeps
+killing its worker exceeds ``max_crashes`` and lands in the terminal
+``dead_lettered`` state until :meth:`retry_dead_letter`.
+
+Store/worker mutations are bracketed by named chaos crashpoints
+(:mod:`repro.fleet.chaos`) — no-ops unless a chaos plan is installed;
+the chaos matrix test kills the fleet at every one of them and asserts
+recovery reproduces the bit-identical bundle.
 
 The store is also the fleet's observability tap. With the flight
 recorder enabled (``flight=True``, or auto-enabled whenever
@@ -52,6 +72,7 @@ import os
 import time
 from typing import Dict, Iterable, List, Optional
 
+from repro.fleet.chaos import crashpoint
 from repro.fleet.job import (
     RUNNING_STATES,
     TERMINAL_STATES,
@@ -64,7 +85,12 @@ from repro.fleet.obs.flight import FlightRecorder
 from repro.profiling.collector import ApplicationProfile
 from repro.telemetry.context import current_session
 from repro.telemetry.registry import MetricsRegistry
-from repro.util.errors import ArtifactIntegrityError, ConfigurationError
+from repro.util.errors import (
+    ArtifactIntegrityError,
+    ConfigurationError,
+    JobStateError,
+    LeaseFencedError,
+)
 from repro.validation import integrity
 
 __all__ = ["JobStore"]
@@ -90,6 +116,19 @@ STORE_METRICS = {
                   "fleet jobs that reached the published state", ()),
     "failed": ("ditto_fleet_jobs_failed_total",
                "fleet jobs that reached the failed state", ()),
+    "dead_lettered": ("ditto_fleet_jobs_dead_lettered_total",
+                      "jobs dead-lettered after exhausting their "
+                      "crash budget", ()),
+}
+
+#: durable store tuning (persisted to ``<root>/fleet.json`` when a
+#: constructor overrides them, so worker processes opening the same
+#: root agree on timeouts without threading arguments through pools)
+DEFAULT_STORE_CONFIG = {
+    "lease_timeout_s": 30.0,      # heartbeat staleness → owner is dead
+    "heartbeat_interval_s": 2.0,  # worker beat cadence (0 = no beat)
+    "crash_backoff_s": 0.5,       # base of the crash-requeue backoff
+    "max_crashes": 3,             # crash budget before dead-lettering
 }
 
 #: terminal-latency histogram buckets (seconds from submission to a
@@ -119,11 +158,20 @@ class JobStore:
 
     def __init__(self, root: str, *,
                  registry: Optional[MetricsRegistry] = None,
-                 flight: Optional[bool] = None) -> None:
+                 flight: Optional[bool] = None,
+                 lease_timeout_s: Optional[float] = None,
+                 heartbeat_interval_s: Optional[float] = None,
+                 crash_backoff_s: Optional[float] = None,
+                 max_crashes: Optional[int] = None) -> None:
         if not isinstance(root, str) or not root:
             raise ConfigurationError(
                 f"store root must be a path string, got {root!r}")
         self.root = root
+        self.config_path = os.path.join(root, "fleet.json")
+        self._load_config(lease_timeout_s=lease_timeout_s,
+                          heartbeat_interval_s=heartbeat_interval_s,
+                          crash_backoff_s=crash_backoff_s,
+                          max_crashes=max_crashes)
         self.jobs_dir = os.path.join(root, "jobs")
         self.profiles_dir = os.path.join(root, "profiles")
         self.results_dir = os.path.join(root, "results")
@@ -167,6 +215,56 @@ class JobStore:
         self.flight: Optional[FlightRecorder] = (
             FlightRecorder(self.flight_path) if enabled else None)
 
+    def _load_config(self, **overrides) -> None:
+        """Resolve store tuning: defaults ← ``fleet.json`` ← overrides.
+
+        Explicit constructor values are persisted (atomically) so every
+        later process opening the same root — notably pickled pool
+        workers — recovers and heartbeats with the same timeouts. A
+        plain ``JobStore(root)`` writes nothing.
+        """
+        try:
+            with open(self.config_path, encoding="utf-8") as handle:
+                stored = json.load(handle)
+        except (OSError, ValueError):
+            stored = {}
+        if not isinstance(stored, dict):
+            stored = {}
+        merged = dict(DEFAULT_STORE_CONFIG)
+        merged.update({key: stored[key] for key in DEFAULT_STORE_CONFIG
+                       if key in stored})
+        given = {key: value for key, value in overrides.items()
+                 if value is not None}
+        merged.update(given)
+        for key in ("lease_timeout_s", "heartbeat_interval_s",
+                    "crash_backoff_s"):
+            try:
+                merged[key] = float(merged[key])
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"{key} must be a number, got {merged[key]!r}"
+                    ) from None
+            if merged[key] < 0:
+                raise ConfigurationError(
+                    f"{key} cannot be negative, got {merged[key]!r}")
+        if not isinstance(merged["max_crashes"], int) \
+                or isinstance(merged["max_crashes"], bool) \
+                or merged["max_crashes"] < 0:
+            raise ConfigurationError(
+                f"max_crashes must be an int >= 0, "
+                f"got {merged['max_crashes']!r}")
+        self.lease_timeout_s = merged["lease_timeout_s"]
+        self.heartbeat_interval_s = merged["heartbeat_interval_s"]
+        self.crash_backoff_s = merged["crash_backoff_s"]
+        self.max_crashes = merged["max_crashes"]
+        if given and any(stored.get(key) != merged[key]
+                         for key in DEFAULT_STORE_CONFIG):
+            os.makedirs(self.root, exist_ok=True)
+            scratch = f"{self.config_path}.tmp-{os.getpid()}"
+            with open(scratch, "w", encoding="utf-8") as handle:
+                json.dump(merged, handle, indent=2, sort_keys=True)
+            os.replace(scratch, self.config_path)
+
     @property
     def flight_path(self) -> str:
         return os.path.join(self.flight_dir, "events.jsonl")
@@ -184,6 +282,9 @@ class JobStore:
 
     def lease_path(self, job_id: str) -> str:
         return os.path.join(self.jobs_dir, f"{job_id}.lease")
+
+    def epoch_path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, f"{job_id}.epoch")
 
     def cancel_path(self, job_id: str) -> str:
         return os.path.join(self.jobs_dir, f"{job_id}.cancel")
@@ -234,6 +335,7 @@ class JobStore:
         else:  # pragma: no cover — 10k resubmissions of one spec
             raise ConfigurationError(
                 f"could not allocate a job id for digest {digest[:12]}")
+        crashpoint("store.submit.post_claim", job_id=job_id)
         now = time.time()
         record = CloneJobRecord(job_id=job_id, spec=spec,
                                 spec_digest=digest, created_at=now,
@@ -246,8 +348,13 @@ class JobStore:
 
     def save(self, record: CloneJobRecord) -> None:
         """Persist ``record`` atomically (envelope write)."""
-        integrity.save_object(self.record_path(record.job_id), record,
-                              schema=RECORD_SCHEMA, version=SCHEMA_VERSION)
+        path = self.record_path(record.job_id)
+        crashpoint("store.save.pre_write", job_id=record.job_id,
+                   path=path)
+        integrity.save_object(path, record, schema=RECORD_SCHEMA,
+                              version=SCHEMA_VERSION)
+        crashpoint("store.save.post_write", job_id=record.job_id,
+                   path=path)
 
     def get(self, job_id: str) -> CloneJobRecord:
         """Load one record; corruption quarantines and raises."""
@@ -281,6 +388,7 @@ class JobStore:
         from_state = record.state
         record.transition(to_state, reason=reason)
         self.save(record)
+        crashpoint("store.transition.post_save", job_id=record.job_id)
         self._counters["transitions"].inc(
             1, from_state=from_state.value, to_state=to_state.value)
         if to_state in TERMINAL_STATES:
@@ -291,63 +399,227 @@ class JobStore:
                 self._counters["published"].inc()
             elif to_state is JobState.FAILED:
                 self._counters["failed"].inc()
+            elif to_state is JobState.DEAD_LETTERED:
+                self._counters["dead_lettered"].inc()
         self._emit("job_state", job_id=record.job_id,
                    **{"from": from_state.value, "to": to_state.value,
                       "reason": reason})
 
     # ------------------------------------------------------------------ #
-    # leases (worker ownership + crash detection)
+    # leases (worker ownership + fencing + crash detection)
     # ------------------------------------------------------------------ #
-    def claim_lease(self, job_id: str, *, pid: Optional[int] = None) -> bool:
-        """Claim exclusive ownership; False when someone already holds it."""
-        try:
-            fd = os.open(self.lease_path(job_id),
-                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
-            return False
-        owner = pid if pid is not None else os.getpid()
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump({"pid": owner, "at": time.time()}, handle)
-        self._emit("lease_claimed", job_id=job_id, owner_pid=owner)
-        return True
+    def claim_lease(self, job_id: str, *,
+                    pid: Optional[int] = None) -> Optional[int]:
+        """Claim exclusive ownership of ``job_id``.
 
-    def release_lease(self, job_id: str) -> None:
+        Returns the claim's **fencing epoch** (monotonic per job, > 0)
+        or None when someone already holds the lease. The epoch counter
+        is persisted *before* the lease is linked, so two claims can
+        never share an epoch (a crash in between merely skips one).
+        The lease file appears atomically with its complete JSON
+        payload — ``link(tmp, lease)`` after the tmp is fully written —
+        so a concurrent :meth:`recover` can never read a half-written
+        lease and requeue a live job.
+        """
+        lease = self.lease_path(job_id)
+        if os.path.exists(lease):
+            return None
+        epoch = self._mint_epoch(job_id)
+        crashpoint("lease.claim.pre_persist", job_id=job_id)
+        owner = pid if pid is not None else os.getpid()
+        now = time.time()
+        scratch = f"{lease}.tmp-{os.getpid()}"
+        with open(scratch, "w", encoding="utf-8") as handle:
+            json.dump({"pid": owner, "epoch": epoch, "heartbeat": now,
+                       "at": now}, handle)
+        try:
+            os.link(scratch, lease)
+        except FileExistsError:
+            return None
+        finally:
+            os.unlink(scratch)
+        crashpoint("lease.claim.post_create", job_id=job_id, path=lease)
+        self._emit("lease_claimed", job_id=job_id, owner_pid=owner,
+                   epoch=epoch)
+        return epoch
+
+    def _mint_epoch(self, job_id: str) -> int:
+        path = self.epoch_path(job_id)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                last = int(handle.read().strip() or 0)
+        except (OSError, ValueError):
+            last = 0
+        epoch = last + 1
+        scratch = f"{path}.tmp-{os.getpid()}"
+        with open(scratch, "w", encoding="utf-8") as handle:
+            handle.write(str(epoch))
+        os.replace(scratch, path)
+        return epoch
+
+    def release_lease(self, job_id: str, *,
+                      epoch: Optional[int] = None) -> None:
+        """Drop the lease. With ``epoch`` given, only when it still
+        matches — a scheduler unwinding *after* a false requeue must
+        not clobber the new owner's lease."""
+        if epoch is not None:
+            info = self.lease_info(job_id)
+            if info is None or info["epoch"] != epoch:
+                return
+        crashpoint("lease.release.pre_unlink", job_id=job_id)
         try:
             os.unlink(self.lease_path(job_id))
         except FileNotFoundError:
             return
         self._emit("lease_released", job_id=job_id)
 
-    def lease_pid(self, job_id: str) -> Optional[int]:
-        """The pid holding the lease, or None (missing/unreadable)."""
+    def lease_info(self, job_id: str) -> Optional[dict]:
+        """The parsed lease — pid, epoch, heartbeat, at — or None.
+
+        Tolerates pre-epoch leases (epoch 0, heartbeat = claim time);
+        anything unreadable is None, which recovery treats as dead.
+        """
         try:
             with open(self.lease_path(job_id), encoding="utf-8") as handle:
-                return int(json.load(handle)["pid"])
-        except (OSError, ValueError, KeyError, TypeError):
+                payload = json.load(handle)
+        except (OSError, ValueError):
             return None
+        if not isinstance(payload, dict):
+            return None
+        try:
+            pid = int(payload["pid"])
+            at = float(payload.get("at", 0.0))
+            epoch = int(payload.get("epoch", 0))
+            heartbeat = float(payload.get("heartbeat", at))
+        except (KeyError, TypeError, ValueError):
+            return None
+        return {"pid": pid, "epoch": epoch, "heartbeat": heartbeat,
+                "at": at}
+
+    def lease_pid(self, job_id: str) -> Optional[int]:
+        """The pid holding the lease, or None (missing/unreadable)."""
+        info = self.lease_info(job_id)
+        return None if info is None else info["pid"]
+
+    def heartbeat(self, job_id: str, epoch: int) -> bool:
+        """Refresh the lease's heartbeat timestamp (atomic replace).
+
+        False means stop: the lease is gone or was re-claimed at a
+        newer epoch — the caller has been fenced and the fence checks
+        in its main path will refuse any further mutation.
+        """
+        info = self.lease_info(job_id)
+        if info is None or info["epoch"] != epoch:
+            return False
+        info["heartbeat"] = time.time()
+        lease = self.lease_path(job_id)
+        scratch = f"{lease}.tmp-hb-{os.getpid()}"
+        with open(scratch, "w", encoding="utf-8") as handle:
+            json.dump(info, handle)
+        crashpoint("lease.heartbeat.pre_replace", job_id=job_id,
+                   path=lease)
+        os.replace(scratch, lease)
+        return True
+
+    def check_fence(self, job_id: str, epoch: int) -> None:
+        """Raise :class:`LeaseFencedError` unless ``epoch`` still owns
+        the lease. Workers call this before every terminal transition
+        and artifact publish, so a zombie resumed after a false requeue
+        can never double-publish."""
+        info = self.lease_info(job_id)
+        current = None if info is None else info["epoch"]
+        if current != epoch:
+            raise LeaseFencedError(
+                f"job {job_id}: lease epoch {epoch} superseded "
+                + ("(lease released)" if current is None
+                   else f"(current epoch {current})"),
+                job_id=job_id, epoch=epoch, current=current)
 
     def recover(self) -> List[str]:
-        """Requeue running jobs whose owner died; returns their ids.
+        """Requeue or dead-letter jobs whose owner died; returns ids.
 
-        A job in ``profiling``/``tuning``/``validating`` should always
-        have a live lease. No lease, an unreadable lease, or a dead pid
-        means the worker crashed — the record goes back to
-        ``submitted`` (reason ``"recovered"``) and the next run resumes
-        from its tier checkpoints, reproducing the same bundle.
+        Deadness is decided from the lease, never from pid liveness
+        alone: a missing/unreadable lease, a provably dead pid, or a
+        heartbeat older than ``lease_timeout_s`` all mean the owner is
+        gone. A live-looking pid with a stale heartbeat is *still*
+        dead — pids get recycled, so ``kill(pid, 0)`` succeeding proves
+        nothing; fencing makes the rare false positive safe (the
+        demoted worker can no longer publish).
+
+        Each crash bumps the record's persisted ``crash_count``:
+        within budget the job is requeued to ``submitted`` with an
+        exponential-backoff ``next_attempt_at``; beyond ``max_crashes``
+        it is dead-lettered. A crash between lease claim and the first
+        running transition leaves a ``submitted`` record with an
+        orphaned lease — reaped here too (the lease is dropped and the
+        crash counted, with no state edge to take).
         """
-        requeued: List[str] = []
-        for record in self.list(RUNNING_STATES):
-            pid = self.lease_pid(record.job_id)
-            if pid is not None and _pid_alive(pid):
-                continue
+        handled: List[str] = []
+        now = time.time()
+        for record in self.list(RUNNING_STATES + (JobState.SUBMITTED,)):
+            if record.state is JobState.SUBMITTED \
+                    and not os.path.exists(self.lease_path(record.job_id)):
+                continue  # cleanly queued, nothing to recover
+            verdict = self._lease_verdict(record.job_id, now)
+            if verdict is None:
+                continue  # owner demonstrably alive
+            info = self.lease_info(record.job_id)
             self._emit("job_recovered", job_id=record.job_id,
-                       dead_pid=pid or 0,
-                       from_state=record.state.value)
+                       dead_pid=(info["pid"] if info else 0),
+                       from_state=record.state.value, verdict=verdict)
             self.release_lease(record.job_id)
-            self.transition(record, JobState.SUBMITTED, reason="recovered")
-            self._counters["recovered"].inc()
-            requeued.append(record.job_id)
-        return requeued
+            self._requeue_or_dead_letter(record, now)
+            handled.append(record.job_id)
+        return handled
+
+    def _lease_verdict(self, job_id: str, now: float) -> Optional[str]:
+        """Why the lease's owner is dead, or None when it is alive."""
+        info = self.lease_info(job_id)
+        if info is None:
+            return "lease missing or unreadable"
+        if not _pid_alive(info["pid"]):
+            return f"owner pid {info['pid']} is dead"
+        age = now - info["heartbeat"]
+        if age > self.lease_timeout_s:
+            return (f"heartbeat stale ({age:.1f}s > "
+                    f"{self.lease_timeout_s:.1f}s)")
+        return None
+
+    def _requeue_or_dead_letter(self, record: CloneJobRecord,
+                                now: float) -> None:
+        record.crash_count += 1
+        limit = record.spec.max_crashes
+        if limit is None:
+            limit = self.max_crashes
+        if record.crash_count > limit:
+            record.error = (f"dead-lettered after {record.crash_count} "
+                            f"crashes (budget {limit})")
+            self.transition(record, JobState.DEAD_LETTERED,
+                            reason=record.error)
+            self._emit("job_dead_lettered", job_id=record.job_id,
+                       crash_count=record.crash_count, budget=limit)
+            return
+        record.next_attempt_at = now + self.crash_backoff_s * (
+            2 ** (record.crash_count - 1))
+        if record.state is JobState.SUBMITTED:
+            self.save(record)  # no self-edge; the crash fields persist
+        else:
+            self.transition(record, JobState.SUBMITTED,
+                            reason="recovered")
+        self._counters["recovered"].inc()
+
+    def retry_dead_letter(self, job_id: str) -> CloneJobRecord:
+        """Give a dead-lettered job a fresh crash budget and requeue it."""
+        record = self.get(job_id)
+        if record.state is not JobState.DEAD_LETTERED:
+            raise JobStateError(
+                f"job {job_id} is {record.state}, not dead_lettered")
+        record.crash_count = 0
+        record.next_attempt_at = 0.0
+        record.error = ""
+        self.transition(record, JobState.SUBMITTED,
+                        reason="dead-letter retry")
+        return record
 
     # ------------------------------------------------------------------ #
     # cancellation

@@ -36,6 +36,10 @@ simulation failures.  The full tree (documented in DESIGN.md):
       requested (e.g. publishing a cancelled job)
     - ``JobCancelledError`` — a fleet job was cancelled while running;
       raised at the next phase boundary to unwind the worker cleanly
+    - ``LeaseFencedError`` — a fleet worker's lease epoch was
+      superseded (the job was requeued and re-claimed while this
+      worker looked dead); raised before any terminal transition or
+      artifact publish so a zombie can never double-publish
 """
 
 from typing import Any, Dict, Optional
@@ -182,6 +186,26 @@ class JobCancelledError(ReproError):
     def __init__(self, message: str, *, job_id: str = "") -> None:
         super().__init__(message)
         self.job_id = job_id
+
+
+class LeaseFencedError(ReproError):
+    """A fleet worker's lease epoch was superseded (zombie fencing).
+
+    Raised when a worker holding fencing epoch ``epoch`` finds the
+    job's lease gone or re-claimed at a higher epoch — meaning the
+    fleet declared this worker dead and handed the job to someone
+    else. The worker must stop without touching the record or
+    publishing artifacts. ``current`` is the epoch now on the lease
+    (None when the lease is gone entirely).
+    """
+
+    def __init__(self, message: str, *, job_id: str = "",
+                 epoch: int = 0,
+                 current: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.job_id = job_id
+        self.epoch = epoch
+        self.current = current
 
 
 class TierExecutionError(ReproError):
