@@ -18,11 +18,89 @@ from typing import Dict, Generator
 
 from repro.hw.platform import NetworkSpec
 from repro.sim import Environment, Event, Resource
+from repro.sim.engine import NOOP
 from repro.util.errors import ConfigurationError
 
 
+class _NicTransmitOp:
+    """Compiled continuation equivalent of :meth:`NicDevice.transmit`.
+
+    Pushes exactly the queue entries the generator path would — same
+    bucket slots, same times, and crucially the ``nic_penalty`` fault
+    draw at the same dispatch — so runs are bit-identical (see
+    ``_CpuExecuteOp`` for the slot map) while skipping the Process
+    wrapper and generator frame per send.
+    """
+
+    __slots__ = ("device", "completion", "label", "_stage", "_nbytes",
+                 "_issued", "_penalty")
+
+    def __init__(self, device: "NicDevice", nbytes: float) -> None:
+        env = device.env
+        self.device = device
+        self.completion = Event(env)
+        self.label = f"nic-transmit on {device.name!r}"
+        self._stage = 0
+        self._nbytes = nbytes
+        self._issued = 0.0
+        self._penalty = 0.0
+        env._push(self)
+
+    def fire(self, env: Environment) -> None:
+        stage = self._stage
+        if stage == 0:
+            device = self.device
+            try:
+                if self._nbytes < 0:
+                    raise ConfigurationError("nbytes must be non-negative")
+                self._issued = env.now
+                faults = env.faults
+                self._penalty = (0.0 if faults is None
+                                 else faults.nic_penalty(device.name))
+            except Exception as error:
+                self.completion.fail(error)
+                return
+            wire = device._wire
+            if wire._in_use < wire.capacity:
+                wire._in_use += 1
+                wire.total_grants += 1
+                env._push(NOOP)
+                self._stage = 1
+                env._push(self)
+            else:
+                grant = Event(env)
+                grant.callbacks.append(self._granted)
+                wire._waiters.append((grant, env.now))
+                wire.peak_queue_length = max(wire.peak_queue_length,
+                                             len(wire._waiters))
+        elif stage == 1:
+            self._start_hold(env)
+        else:
+            device = self.device
+            device._wire.release()
+            device.tx_bytes += self._nbytes
+            timeline = device._timeline
+            if timeline is not None:
+                timeline.complete(device.name, "tx", self._issued,
+                                  env.now - self._issued,
+                                  nbytes=self._nbytes)
+            self.completion.succeed(None)
+
+    def _granted(self, grant: Event) -> None:
+        self._start_hold(self.device.env)
+
+    def _start_hold(self, env: Environment) -> None:
+        self._stage = 2
+        env._push(self, delay=self._nbytes / self.device.effective_bandwidth
+                  + self._penalty)
+
+
 class NicDevice:
-    """One node's NIC: a serialising bandwidth resource plus counters."""
+    """One node's NIC: a serialising bandwidth resource plus counters.
+
+    The telemetry timeline is bound once at construction (the
+    attach-time guard): install ``env.timeline`` before building nodes.
+    """
 
     def __init__(
         self,
@@ -38,6 +116,7 @@ class NicDevice:
         self.name = name
         self.bandwidth_share = bandwidth_share
         self._wire = Resource(env, capacity=1, name=f"{name}-wire")
+        self._timeline = env.timeline
         self.tx_bytes = 0.0
         self.rx_bytes = 0.0
 
@@ -70,10 +149,19 @@ class NicDevice:
         finally:
             self._wire.release()
         self.tx_bytes += nbytes
-        timeline = self.env.timeline
+        timeline = self._timeline
         if timeline is not None:
             timeline.complete(self.name, "tx", issued,
                               self.env.now - issued, nbytes=nbytes)
+
+    def transmit_op(self, nbytes: float) -> Event:
+        """Generator-free :meth:`transmit`: returns the completion event.
+
+        ``yield nic.transmit_op(n)`` schedules bit-identically to
+        ``yield env.process(nic.transmit(n))`` (see
+        :class:`_NicTransmitOp`) without the generator machinery.
+        """
+        return _NicTransmitOp(self, nbytes).completion
 
     def account_rx(self, nbytes: float) -> None:
         """Count received bytes (ingress is not a serialising bottleneck

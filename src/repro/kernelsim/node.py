@@ -9,7 +9,109 @@ from repro.kernelsim.filesystem import FileSystem, PageCache
 from repro.kernelsim.netstack import NicDevice
 from repro.kernelsim.scheduler import CpuDevice
 from repro.sim import Environment, Event, Resource
+from repro.sim.engine import NOOP
 from repro.util.errors import ConfigurationError
+
+
+class _DiskIoOp:
+    """Compiled continuation equivalent of :meth:`DiskDevice.io`.
+
+    Two acquire→hold phases (queue slot, then transfer channel) driven
+    as a five-stage state machine that pushes exactly the queue entries
+    the generator path would — same bucket slots, same times, fault
+    draws (``disk_check``/``disk_factor``) at the same dispatch — so
+    runs are bit-identical while skipping the generator machinery.
+    """
+
+    __slots__ = ("device", "completion", "label", "_stage", "_nbytes",
+                 "_write", "_issued", "_slowdown")
+
+    def __init__(self, device: "DiskDevice", nbytes: float,
+                 write: bool) -> None:
+        env = device.env
+        self.device = device
+        self.completion = Event(env)
+        self.label = f"disk-io on {device.name!r}"
+        self._stage = 0
+        self._nbytes = nbytes
+        self._write = write
+        self._issued = 0.0
+        self._slowdown = 1.0
+        env._push(self)
+
+    def fire(self, env: Environment) -> None:
+        stage = self._stage
+        device = self.device
+        if stage == 0:
+            try:
+                if self._nbytes < 0:
+                    raise ConfigurationError("nbytes must be non-negative")
+                self._issued = env.now
+                faults = env.faults
+                if faults is not None:
+                    faults.disk_check(device.name)
+                    self._slowdown = faults.disk_factor(device.name)
+            except Exception as error:
+                self.completion.fail(error)
+                return
+            self._acquire(env, device._queue, 1)
+        elif stage == 1:
+            self._queue_granted(env)
+        elif stage == 2:
+            self._acquire(env, device._channel, 3)
+        elif stage == 3:
+            self._channel_granted(env)
+        else:
+            device._channel.release()
+            device._queue.release()
+            device.operations += 1
+            if self._write:
+                device.write_bytes += self._nbytes
+            else:
+                device.read_bytes += self._nbytes
+            timeline = device._timeline
+            if timeline is not None:
+                timeline.complete(device.name,
+                                  "write" if self._write else "read",
+                                  self._issued, env.now - self._issued,
+                                  nbytes=self._nbytes)
+            self.completion.succeed(None)
+
+    def _acquire(self, env: Environment, resource: Resource,
+                 next_stage: int) -> None:
+        if resource._in_use < resource.capacity:
+            resource._in_use += 1
+            resource.total_grants += 1
+            env._push(NOOP)
+            self._stage = next_stage
+            env._push(self)
+        else:
+            grant = Event(env)
+            grant.callbacks.append(self._queue_grant_cb if next_stage == 1
+                                   else self._channel_grant_cb)
+            resource._waiters.append((grant, env.now))
+            resource.peak_queue_length = max(resource.peak_queue_length,
+                                             len(resource._waiters))
+
+    def _queue_grant_cb(self, grant: Event) -> None:
+        self._queue_granted(self.device.env)
+
+    def _channel_grant_cb(self, grant: Event) -> None:
+        self._channel_granted(self.device.env)
+
+    def _queue_granted(self, env: Environment) -> None:
+        spec = self.device.spec
+        latency = (spec.write_latency_s if self._write
+                   else spec.read_latency_s)
+        self._stage = 2
+        env._push(self, delay=latency * self._slowdown)
+
+    def _channel_granted(self, env: Environment) -> None:
+        device = self.device
+        xfer = self._nbytes / (device.spec.bandwidth_bytes_per_s
+                               * device.bandwidth_share)
+        self._stage = 4
+        env._push(self, delay=xfer * self._slowdown)
 
 
 class DiskDevice:
@@ -30,6 +132,7 @@ class DiskDevice:
         depth = 8 if self.spec.kind == "ssd" else 1
         self._queue = Resource(env, capacity=depth, name=name)
         self._channel = Resource(env, capacity=1, name=f"{name}-channel")
+        self._timeline = env.timeline
         self.read_bytes = 0.0
         self.write_bytes = 0.0
         self.operations = 0
@@ -74,11 +177,20 @@ class DiskDevice:
             self.write_bytes += nbytes
         else:
             self.read_bytes += nbytes
-        timeline = self.env.timeline
+        timeline = self._timeline
         if timeline is not None:
             timeline.complete(self.name, "write" if write else "read",
                               issued, self.env.now - issued,
                               nbytes=nbytes)
+
+    def io_op(self, nbytes: float, write: bool = False) -> Event:
+        """Generator-free :meth:`io`: returns the completion event.
+
+        ``yield disk.io_op(n)`` schedules bit-identically to
+        ``yield env.process(disk.io(n))`` (see :class:`_DiskIoOp`)
+        without the generator machinery.
+        """
+        return _DiskIoOp(self, nbytes, write).completion
 
 
 class Node:

@@ -14,7 +14,98 @@ from typing import Generator, Optional
 from repro.hw.core import CoreModel, ExecutionContext
 from repro.kernelsim.syscalls import context_switch_block
 from repro.sim import Environment, Event, Resource
+from repro.sim.engine import NOOP
 from repro.util.errors import ConfigurationError
+
+
+class _CpuExecuteOp:
+    """Compiled continuation equivalent of :meth:`CpuDevice.execute`.
+
+    A generator-free state machine that pushes *exactly* the queue
+    entries the ``yield env.process(cpu.execute(...))`` path would —
+    same bucket slots, same times, same fault-draw points — so a run
+    using it is bit-identical to the generator path (asserted by
+    tests/test_perf_equivalence.py) while skipping the Process wrapper,
+    the generator frame and two send() round-trips per operation.
+
+    Slot map vs the generator (T = issue time, H = hold):
+      stage 0 @ T       — process bootstrap ``_Resume``
+      NOOP @ T          — the idle-path grant event (dispatches empty)
+      stage 1 @ T       — the waiter's ``_Resume`` on the grant
+      stage 2 @ T+H     — the hold ``Timeout``
+      completion @ T+H  — the Process-completion event
+    On a busy pool there are no NOOP/stage-1 slots: the grant event is
+    pushed by ``release()`` and resumes the op from its callback, just
+    as the generator resumes inline from the grant's callback.
+    """
+
+    __slots__ = ("device", "completion", "label", "_stage", "_hold",
+                 "_switch")
+
+    def __init__(self, device: "CpuDevice", cycles: float,
+                 switch: Optional[ContextSwitchModel]) -> None:
+        env = device.env
+        self.device = device
+        self.completion = Event(env)
+        self.label = f"cpu-execute on {device.name!r}"
+        self._stage = 0
+        self._hold = cycles
+        self._switch = switch
+        env._push(self)
+
+    def fire(self, env: Environment) -> None:
+        stage = self._stage
+        if stage == 0:
+            device = self.device
+            total_cycles = self._hold
+            switch = self._switch
+            if switch is not None:
+                total_cycles += switch.cycles
+                device.context_switches += 1
+            try:
+                hold = device.seconds_for_cycles(total_cycles)
+                faults = env.faults
+                if faults is not None:
+                    faults.check_node_up(device.name)
+            except Exception as error:
+                self.completion.fail(error)
+                return
+            self._hold = hold
+            pool = device._pool
+            if pool._in_use < pool.capacity:
+                pool._in_use += 1
+                pool.total_grants += 1
+                env._push(NOOP)
+                self._stage = 1
+                env._push(self)
+            else:
+                grant = Event(env)
+                grant.callbacks.append(self._granted)
+                pool._waiters.append((grant, env.now))
+                pool.peak_queue_length = max(pool.peak_queue_length,
+                                             len(pool._waiters))
+        elif stage == 1:
+            self._start_hold(env)
+        else:
+            device = self.device
+            device._pool.release()
+            device.busy_seconds += self._hold
+            self.completion.succeed(None)
+
+    def _granted(self, grant: Event) -> None:
+        self._start_hold(self.device.env)
+
+    def _start_hold(self, env: Environment) -> None:
+        try:
+            faults = env.faults
+            if faults is not None:
+                self._hold *= faults.cpu_factor(self.device.name)
+        except Exception as error:
+            self.device._pool.release()
+            self.completion.fail(error)
+            return
+        self._stage = 2
+        env._push(self, delay=self._hold)
 
 
 class ContextSwitchModel:
@@ -118,6 +209,19 @@ class CpuDevice:
         finally:
             self._pool.release()
         self.busy_seconds += hold
+
+    def execute_op(
+        self,
+        cycles: float,
+        switch: Optional[ContextSwitchModel] = None,
+    ) -> Event:
+        """Generator-free :meth:`execute`: returns the completion event.
+
+        ``yield cpu.execute_op(c)`` schedules bit-identically to
+        ``yield env.process(cpu.execute(c))`` (see :class:`_CpuExecuteOp`)
+        but skips the generator machinery — the service-loop fast path.
+        """
+        return _CpuExecuteOp(self, cycles, switch).completion
 
     @property
     def mean_run_queue_wait(self) -> float:

@@ -176,6 +176,9 @@ class OpenLoopGenerator:
         """Start injecting; returns the injector process."""
         return self.env.process(self._inject(), name="open-loop")
 
+    #: arrivals scheduled per ``timeout_many`` pass in deterministic mode
+    ARRIVAL_TRAIN = 1024
+
     def _inject(self):
         end = self.env.now + self.duration_s
         keys, probs = self.mix.keys_and_probs()
@@ -185,11 +188,14 @@ class OpenLoopGenerator:
         cdf = np.cumsum(probs)
         cdf /= cdf[-1]
         last = len(keys) - 1
+        if self.deterministic:
+            yield from self._inject_paced(end, keys, cdf, last)
+            return
+        # Poisson arrivals interleave the gap and handler draws on one
+        # RNG stream, so they cannot be batched without perturbing the
+        # draw order — this loop stays request-at-a-time.
         while self.env.now < end:
-            if self.deterministic:
-                gap = 1.0 / self.qps
-            else:
-                gap = float(self._rng.exponential(1.0 / self.qps))
+            gap = float(self._rng.exponential(1.0 / self.qps))
             yield self.env.timeout(gap)
             if self.env.now >= end:
                 break
@@ -197,6 +203,46 @@ class OpenLoopGenerator:
                 cdf.searchsorted(self._rng.random(), side="right"), last)])
             self.recorder.issued += 1
             self.env.process(self._track(handler), name="req")
+
+    def _inject_paced(self, end, keys, cdf, last):
+        """Deterministic arrivals, scheduled as whole trains.
+
+        Fixed-gap arrivals carry no randomness in their timing, so a
+        train of them is scheduled in one
+        :meth:`~repro.sim.engine.Environment.timeout_many` insertion
+        pass; each arrival timeout carries a callback that draws the
+        handler (in chronological order, exactly like the sequential
+        loop) and issues the request — no injector wake-up and no
+        per-arrival process between requests.
+        """
+        gap = 1.0 / self.qps
+        rng = self._rng
+        recorder = self.recorder
+        env = self.env
+
+        def arrive(event: Event) -> None:
+            handler = str(keys[min(
+                cdf.searchsorted(rng.random(), side="right"), last)])
+            recorder.issued += 1
+            env.process(self._track(handler), name="req")
+
+        while True:
+            start = env.now
+            count = 0
+            delays = []
+            while count < self.ARRIVAL_TRAIN:
+                count += 1
+                if start + count * gap >= end:
+                    break
+                delays.append(count * gap)
+            if not delays:
+                return
+            train = env.timeout_many(delays)
+            for timeout in train:
+                timeout.callbacks.append(arrive)
+            # Ride the train's tail so the next one starts where this
+            # one ended (float-for-float with arrivals at start + k*gap).
+            yield train[-1]
 
     def _track(self, handler: str):
         start = self.env.now

@@ -62,6 +62,9 @@ class Request:
     arrival: float
     trace_id: int = 0
     parent_span_id: Optional[int] = None
+    #: reply handle for requests that arrived from another simulation
+    #: shard (see :mod:`repro.sim.shard`); ``None`` for local requests
+    remote: Optional[object] = None
 
 
 @dataclass
@@ -93,7 +96,19 @@ class NodeState:
 
 
 class ServiceRuntime:
-    """Executes one service's skeleton and handlers on a node."""
+    """Executes one service's skeleton and handlers on a node.
+
+    ``fast_ops`` selects the engine path for the inner device loops
+    (CPU execute, NIC transmit, disk I/O): ``True`` (the default) uses
+    the compiled generator-free continuations
+    (:meth:`~repro.kernelsim.scheduler.CpuDevice.execute_op` and
+    friends), ``False`` the original generator processes. Both schedule
+    bit-identically — the flag exists so the equivalence suite can run
+    the same workload down both paths and compare digests.
+    """
+
+    #: class-wide default for the device-op fast path (see class doc)
+    fast_ops: bool = True
 
     def __init__(
         self,
@@ -133,6 +148,24 @@ class ServiceRuntime:
         self.metrics = ServiceMetrics()
         self.active = 0
         self._started = False
+        # Telemetry timeline, bound once at construction (attach-time
+        # guard): an untimed run pays no per-request check at all.
+        self._timeline = env.timeline
+        # Device-op entry points, resolved once: the compiled
+        # continuations or the generator processes (bit-identical
+        # schedules — see the class docstring).
+        if self.fast_ops:
+            self._cpu_execute = node.cpu.execute_op
+            self._disk_io = node.disk.io_op
+            self._nic_transmit = node.nic.transmit_op
+        else:
+            self._cpu_execute = (
+                lambda cycles: env.process(node.cpu.execute(cycles)))
+            self._disk_io = (
+                lambda nbytes, write=False: env.process(
+                    node.disk.io(nbytes, write=write)))
+            self._nic_transmit = (
+                lambda nbytes: env.process(node.nic.transmit(nbytes)))
         # Static execution-state ingredients.
         program = spec.program
         syscall_names: List[str] = [spec.skeleton.wait_syscall()]
@@ -193,6 +226,7 @@ class ServiceRuntime:
         src_node: str = "client",
         trace_id: int = 0,
         parent_span_id: Optional[int] = None,
+        remote=None,
     ) -> Event:
         """Enqueue a request; returns the response event.
 
@@ -203,15 +237,24 @@ class ServiceRuntime:
         a request arriving at a full queue is shed with
         :class:`~repro.util.errors.LoadSheddedError` instead of growing
         the queue without bound.
+
+        ``remote`` is a reply handle for requests delivered from another
+        simulation shard (:mod:`repro.sim.shard`): outcomes — including
+        admission rejections — then travel back over the shard boundary
+        instead of the local response event.
         """
         self.spec.program.handler(handler)  # validate
         response = self.env.event()
         faults = self.env.faults
         if faults is not None and faults.node_down(self.node.name):
             self.metrics.failed_requests += 1
-            response.fail(FaultInjectionError(
+            error = FaultInjectionError(
                 f"{self.spec.name}: node {self.node.name} is down",
-                kind="node_down", scope=self.node.name))
+                kind="node_down", scope=self.node.name)
+            if remote is not None:
+                remote.reply(ok=False, error=error)
+            else:
+                response.fail(error)
             return response
         if (self.resilience is not None
                 and self.resilience.max_queue_depth is not None
@@ -221,9 +264,13 @@ class ServiceRuntime:
                 "ditto_requests_shed_total",
                 "requests rejected at admission by load shedding",
                 service=self.spec.name)
-            response.fail(LoadSheddedError(
+            error = LoadSheddedError(
                 f"{self.spec.name}: queue at shedding bound",
-                service=self.spec.name, queue_depth=len(self.queue)))
+                service=self.spec.name, queue_depth=len(self.queue))
+            if remote is not None:
+                remote.reply(ok=False, error=error)
+            else:
+                response.fail(error)
             return response
         request = Request(
             handler=handler,
@@ -232,6 +279,7 @@ class ServiceRuntime:
             arrival=self.env.now,
             trace_id=trace_id,
             parent_span_id=parent_span_id,
+            remote=remote,
         )
         self.queue.put(request)
         return response
@@ -288,7 +336,7 @@ class ServiceRuntime:
                 cycles += timing.cycles
             if cycles > 0:
                 try:
-                    yield self.env.process(self.node.cpu.execute(cycles))
+                    yield self._cpu_execute(cycles)
                 except FaultInjectionError:
                     # Node down: this period's background work is lost,
                     # the thread survives to run again after restart.
@@ -352,7 +400,7 @@ class ServiceRuntime:
         def flush():
             cycles, pending[0] = pending[0], 0.0
             if cycles > 0:
-                return self.env.process(self.node.cpu.execute(cycles))
+                return self._cpu_execute(cycles)
             return self.env.timeout(0.0)
 
         if cold:
@@ -415,7 +463,7 @@ class ServiceRuntime:
             self.metrics.requests += 1
         self.active -= 1
         self.node_state.active_threads -= 1
-        timeline = self.env.timeline
+        timeline = self._timeline
         if timeline is not None:
             detail = dict(queued=serve_start - request.arrival, cold=cold)
             if failure is not None:
@@ -425,7 +473,16 @@ class ServiceRuntime:
                 self.env.now - serve_start, **detail)
         if span is not None:
             span.finish(self.env.now)
-        if failure is not None:
+        if request.remote is not None:
+            # Shard-remote request: the outcome crosses the shard
+            # boundary (one cross-node latency) instead of the local
+            # response event. Successful replies land at exactly the
+            # time _delayed_reply would deliver them.
+            if failure is not None:
+                request.remote.reply(ok=False, error=failure)
+            else:
+                request.remote.reply(ok=True)
+        elif failure is not None:
             if not request.response.triggered:
                 request.response.fail(failure)
         elif request.src_node != self.node.name:
@@ -453,16 +510,14 @@ class ServiceRuntime:
                                                  invocation.nbytes)
             if miss > 0:
                 yield flush()
-                yield self.env.process(
-                    self.node.disk.io(miss, write=invocation.write))
+                yield self._disk_io(miss, write=invocation.write)
                 if invocation.write:
                     self.metrics.disk_write_bytes += miss
                 else:
                     self.metrics.disk_read_bytes += miss
         elif device == "disk" and invocation.name == "fsync":
             yield flush()
-            yield self.env.process(
-                self.node.disk.io(invocation.nbytes, write=True))
+            yield self._disk_io(invocation.nbytes, write=True)
             self.metrics.disk_write_bytes += invocation.nbytes
         elif device == "net_tx":
             self.metrics.net_tx_bytes += invocation.nbytes
@@ -471,8 +526,7 @@ class ServiceRuntime:
                 self.node.nic.tx_bytes += invocation.nbytes
             else:
                 yield flush()
-                yield self.env.process(
-                    self.node.nic.transmit(invocation.nbytes))
+                yield self._nic_transmit(invocation.nbytes)
         elif device == "net_rx":
             self.metrics.net_rx_bytes += invocation.nbytes
             self.node.nic.account_rx(invocation.nbytes)
@@ -590,23 +644,36 @@ class ServiceRuntime:
         )
         try:
             cross_node = target.node.name != self.node.name
+            remote_submit = (getattr(target, "remote_submit", None)
+                             if cross_node else None)
             self.metrics.net_tx_bytes += rpc.request_bytes
             if cross_node:
                 # Request serialisation on our NIC, then the wire.
-                yield self.env.process(
-                    self.node.nic.transmit(rpc.request_bytes))
+                yield self._nic_transmit(rpc.request_bytes)
+                if remote_submit is not None:
+                    # Target lives on another shard: ship the request
+                    # now (it arrives one wire latency from now, i.e.
+                    # exactly when the local-path submit would run)
+                    # while we wait out the same latency here.
+                    response = remote_submit(
+                        rpc.handler,
+                        src_node=self.node.name,
+                        trace_id=request.trace_id,
+                        request_bytes=rpc.request_bytes,
+                    )
                 yield self.env.timeout(self.cross_node_latency_s)
             else:
                 self.node.nic.tx_bytes += rpc.request_bytes
-            target.metrics.net_rx_bytes += rpc.request_bytes
-            target.node.nic.account_rx(rpc.request_bytes)
-            response = target.submit(
-                rpc.handler,
-                src_node=self.node.name,
-                trace_id=request.trace_id,
-                parent_span_id=(client_span.span_id
-                                if client_span is not None else None),
-            )
+            if remote_submit is None:
+                target.metrics.net_rx_bytes += rpc.request_bytes
+                target.node.nic.account_rx(rpc.request_bytes)
+                response = target.submit(
+                    rpc.handler,
+                    src_node=self.node.name,
+                    trace_id=request.trace_id,
+                    parent_span_id=(client_span.span_id
+                                    if client_span is not None else None),
+                )
             if timeout_s is None:
                 yield response
             else:

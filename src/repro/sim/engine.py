@@ -7,12 +7,21 @@ allocation economy while preserving, exactly, the scheduling semantics
 the rest of the stack depends on (see DESIGN.md "Engine invariants"):
 
 * events dispatch in (time, insertion counter) order — FIFO among
-  same-timestamp events;
+  same-timestamp events. The queue is a calendar of per-timestamp FIFO
+  buckets (a ``dict`` keyed by exact scheduled time) over a binary heap
+  of *distinct* times: one bucket per timestamp means the heap never
+  holds ties, and appending to / draining a bucket in list order *is*
+  insertion-counter order, with no counter stored per entry;
+* zero-delay entries — resumes, grants, completion events, the bulk of
+  a service simulation's queue traffic — land in the bucket currently
+  being drained and cost one list append, no heap operation at all;
+  only entries that actually advance time touch the heap;
 * a process yielding an already-triggered event resumes on the *next*
   scheduling round (via a lightweight :class:`_Resume` queue entry, not
-  a proxy ``Event``), consuming exactly one counter slot;
+  a proxy ``Event``), consuming exactly one bucket slot;
 * ``Timeout`` objects are pooled per environment and recycled only when
-  provably unreferenced, so reuse is invisible to callers;
+  provably unreferenced, so reuse is invisible to callers; the pool is
+  trimmed back after bursty phases (see :meth:`Environment.run`);
 * an empty fault plan / absent telemetry leaves the schedule untouched,
   keeping runs bit-identical.
 """
@@ -25,8 +34,18 @@ from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.util.errors import SimBudgetExceededError, SimulationError
 
-#: cap on the per-environment freelist of recycled Timeout objects
-_TIMEOUT_POOL_MAX = 1024
+#: cap on the per-environment freelist of recycled Timeout objects.
+#: Sized to cover a whole arrival train scheduled via ``timeout_many``
+#: (load generators batch thousands of arrivals at once); the trim in
+#: :meth:`Environment.run` shrinks the freelist back to
+#: ``_TIMEOUT_POOL_KEEP`` whenever the queue drains, so a burst-sized
+#: pool never outlives the burst.
+_TIMEOUT_POOL_MAX = 8192
+
+#: freelist floor kept across trims: enough for steady-state reuse
+#: without re-warming, small enough that an idle environment does not
+#: pin a burst's worth of dead Timeout objects.
+_TIMEOUT_POOL_KEEP = 32
 
 
 class Event:
@@ -118,7 +137,7 @@ class _Resume:
     """Queue entry resuming a process whose yield target already triggered.
 
     Replaces the former proxy-``Event`` mechanism: one slotted object, no
-    callback list, no closure — but the same single counter slot, so the
+    callback list, no closure — but the same single bucket slot, so the
     dispatch order is identical. ``target is None`` marks the process
     bootstrap (first ``send(None)``). ``process`` is cleared to cancel
     the entry (e.g. when an interrupt supersedes the pending resume).
@@ -182,6 +201,43 @@ class _Deferred:
 
     def fire(self, env: "Environment") -> None:
         self.callback(self.event)
+
+
+class _Noop:
+    """Queue entry that does nothing when dispatched.
+
+    The compiled device continuations (:mod:`repro.kernelsim`) push the
+    shared :data:`NOOP` instance wherever the generator path they
+    replace would have scheduled an event whose dispatch has no effect —
+    an idle-resource grant whose waiter resumed via :class:`_Resume` —
+    so both paths consume identical bucket slots and dispatch in the
+    same order.
+    """
+
+    __slots__ = ()
+
+    def fire(self, env: "Environment") -> None:
+        return
+
+
+#: the shared do-nothing queue entry (see :class:`_Noop`)
+NOOP = _Noop()
+
+
+class _Call:
+    """Queue entry invoking a plain callable at its scheduled time.
+
+    Backs :meth:`Environment.call_at` — the cheapest way to run code at
+    a future simulated time without an ``Event`` or a process.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[], None]) -> None:
+        self.fn = fn
+
+    def fire(self, env: "Environment") -> None:
+        self.fn()
 
 
 class Process(Event):
@@ -322,13 +378,24 @@ class Process(Event):
 
 
 class Environment:
-    """The simulation environment: clock plus event queue.
+    """The simulation environment: clock plus calendar event queue.
+
+    The queue is two-tiered: ``_buckets`` maps each distinct scheduled
+    time to a FIFO bucket (``[cursor, entry, entry, ...]`` — index 0 is
+    the drain cursor, entries are appended and consumed in insertion
+    order), and ``_times`` is a binary heap of the distinct times that
+    currently have a bucket. Dispatch order is therefore exactly the
+    documented ``(time, insertion counter)`` order of the former single
+    heap, bucket membership standing in for the counter.
 
     ``timeline`` is the telemetry hook point: an optional
     :class:`~repro.telemetry.timeline.TimelineRun` that instrumented
     components (service runtimes, kernel devices) emit simulated-time
     events through. It is observation-only — the engine itself never
     consults it, so a timed and an untimed run schedule identically.
+    Components bind it *once at construction* (the attach-time guard
+    that keeps an untimed run's hot paths free of per-event checks), so
+    install the timeline before building nodes and runtimes.
 
     ``faults`` is the fault-injection hook point: an optional
     :class:`~repro.faults.injector.FaultInjector` that instrumented
@@ -342,9 +409,15 @@ class Environment:
                  timeline: Optional[Any] = None,
                  faults: Optional[Any] = None) -> None:
         self._now = float(initial_time)
-        self._queue: List[tuple] = []
-        self._counter = 0
+        self._buckets: dict = {}
+        self._times: List[float] = []
         self._timeout_pool: List[Timeout] = []
+        self._pool_served = 0
+        #: queue entries dispatched over the environment's lifetime.
+        #: Maintained per drained bucket (not per entry) in the fast
+        #: drain loops, so it is exact at run() boundaries but may lag
+        #: mid-bucket; observation-only, nothing in the engine reads it.
+        self.dispatched_events = 0
         self.timeline = timeline
         self.faults = faults
 
@@ -352,6 +425,22 @@ class Environment:
     def now(self) -> float:
         """Current simulated time."""
         return self._now
+
+    @property
+    def _queue(self) -> List[float]:
+        """Back-compat truthiness shim: the heap of pending times.
+
+        Non-empty exactly when queue entries are pending (buckets are
+        created with at least one entry and deleted when drained).
+        """
+        return self._times
+
+    def queue_size(self) -> int:
+        """Number of queue entries still pending dispatch."""
+        total = 0
+        for bucket in self._buckets.values():
+            total += len(bucket) - bucket[0]
+        return total
 
     def event(self) -> Event:
         """Create a new untriggered event."""
@@ -370,15 +459,116 @@ class Environment:
             if delay < 0:
                 raise SimulationError(f"negative timeout delay: {delay}")
             timeout = pool.pop()
+            self._pool_served += 1
+            # _ok/_triggered are still True from the recycled instance's
+            # previous life: timeouts are born triggered and fail()
+            # rejects triggered events, so neither flag can have flipped.
             timeout.delay = delay
             timeout._value = value
-            timeout._ok = True
             timeout._scheduled = True
-            heapq.heappush(self._queue,
-                           (self._now + delay, self._counter, timeout))
-            self._counter += 1
+            when = self._now + delay
+            bucket = self._buckets.get(when)
+            if bucket is None:
+                self._buckets[when] = [1, timeout]
+                heapq.heappush(self._times, when)
+            else:
+                bucket.append(timeout)
             return timeout
         return Timeout(self, delay, value)
+
+    def timeout_many(self, delays: Iterable[float],
+                     value: Any = None) -> List[Timeout]:
+        """Create one timeout per delay in a single insertion pass.
+
+        Equivalent to ``[env.timeout(d, value) for d in delays]`` — same
+        pool reuse, same bucket slots in the same order — but with the
+        per-call overhead (attribute lookups, pool probing) hoisted out
+        of the loop. Load generators use this to schedule whole arrival
+        trains at once.
+        """
+        now = self._now
+        pool = self._timeout_pool
+        buckets = self._buckets
+        times = self._times
+        push = heapq.heappush
+        get_bucket = buckets.get
+        pool_pop = pool.pop
+        new = Timeout.__new__
+        out: List[Timeout] = []
+        append = out.append
+        # The pool is only mutated here for the duration of the loop (no
+        # callbacks run inside timeout_many), so a local countdown stands
+        # in for per-iteration truth tests on the list itself.
+        avail = len(pool)
+        initial = avail
+        # Trains are dominated by runs of identical timestamps (paced
+        # arrival batches, same-tick bursts); caching the last bucket's
+        # bound append skips the dict lookup and the method resolution
+        # for every repeat.
+        last_when: Optional[float] = None
+        last_append: Optional[Callable[[Timeout], None]] = None
+        for delay in delays:
+            if delay < 0:
+                self._pool_served += initial - avail
+                raise SimulationError(f"negative timeout delay: {delay}")
+            if avail:
+                avail -= 1
+                timeout = pool_pop()
+                # _ok/_triggered survive recycling still True (see
+                # Environment.timeout).
+                timeout.delay = delay
+                timeout._value = value
+                timeout._scheduled = True
+            else:
+                timeout = new(Timeout)
+                timeout.env = self
+                timeout.callbacks = []
+                timeout._value = value
+                timeout._ok = True
+                timeout._triggered = True
+                timeout._scheduled = True
+                timeout.delay = delay
+            when = now + delay
+            if when == last_when:
+                last_append(timeout)
+            else:
+                bucket = get_bucket(when)
+                if bucket is None:
+                    bucket = [1, timeout]
+                    buckets[when] = bucket
+                    push(times, when)
+                else:
+                    bucket.append(timeout)
+                last_when = when
+                last_append = bucket.append
+            append(timeout)
+        self._pool_served += initial - avail
+        return out
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Invoke ``fn()`` at simulated time ``when``.
+
+        The cheapest scheduling primitive — one bucket slot, no
+        ``Event``, nothing to wait on. The sharded-simulation router
+        uses it to inject cross-shard deliveries at their exact
+        timestamps.
+        """
+        when = float(when)
+        if when < self._now:
+            raise SimulationError(
+                f"call_at({when:g}) is in the past (now={self._now:g})")
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [1, _Call(fn)]
+            heapq.heappush(self._times, when)
+        else:
+            bucket.append(_Call(fn))
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Invoke ``fn()`` after ``delay`` time units."""
+        if delay < 0:
+            raise SimulationError(f"negative call_after delay: {delay}")
+        self.call_at(self._now + delay, fn)
 
     def process(
         self, generator: Generator[Event, Any, Any], name: str = ""
@@ -485,15 +675,40 @@ class Environment:
 
     def _push(self, entry: Any, delay: float = 0.0) -> None:
         """Schedule a raw queue entry (event or lightweight resume)."""
-        heapq.heappush(self._queue, (self._now + delay, self._counter, entry))
-        self._counter += 1
+        when = self._now + delay
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [1, entry]
+            heapq.heappush(self._times, when)
+        else:
+            bucket.append(entry)
+
+    def _push_at(self, when: float, entry: Any) -> None:
+        """Schedule a raw queue entry at an absolute time."""
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [1, entry]
+            heapq.heappush(self._times, when)
+        else:
+            bucket.append(entry)
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         if event._scheduled:
             return
         event._scheduled = True
-        heapq.heappush(self._queue, (self._now + delay, self._counter, event))
-        self._counter += 1
+        when = self._now + delay
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [1, event]
+            heapq.heappush(self._times, when)
+        else:
+            bucket.append(event)
 
     def _dispatch(self, item: Any) -> None:
         """Run one popped queue entry's effects."""
@@ -518,22 +733,69 @@ class Environment:
                 # refs remain — our parameter, the run()/step() local
                 # that passed it in, and getrefcount's own argument.
                 # Any caller still holding the timeout inflates the
-                # count and keeps it out of the pool.
+                # count and keeps it out of the pool. (The bucket slot
+                # it occupied was overwritten with None at pop time.)
                 pool = self._timeout_pool
                 if len(pool) < _TIMEOUT_POOL_MAX:
                     pool.append(item)
         else:
             item.fire(self)
 
-    def step(self) -> None:
-        """Process the single next entry in the event queue."""
-        if not self._queue:
-            raise SimulationError("step() on an empty event queue")
-        when, _, item = heapq.heappop(self._queue)
+    def _pop(self) -> Any:
+        """Remove and return the next queue entry, advancing the clock."""
+        times = self._times
+        when = times[0]
+        bucket = self._buckets[when]
+        cursor = bucket[0]
+        item = bucket[cursor]
+        bucket[cursor] = None
+        cursor += 1
+        if cursor == len(bucket):
+            del self._buckets[when]
+            heapq.heappop(times)
+        else:
+            bucket[0] = cursor
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when
-        self._dispatch(item)
+        return item
+
+    def step(self) -> None:
+        """Process the single next entry in the event queue."""
+        if not self._times:
+            raise SimulationError("step() on an empty event queue")
+        self._dispatch(self._pop())
+        self.dispatched_events += 1
+
+    def trim_timeout_pool(self) -> int:
+        """Shrink the Timeout freelist after a bursty phase.
+
+        Keeps as many instances as were actually served from the pool
+        since the last trim (a proxy for steady-state demand), floored
+        at a small warm set — so a burst that briefly inflated the pool
+        does not pin up to ``_TIMEOUT_POOL_MAX`` dead objects for the
+        life of the environment. Publishes the resulting size as the
+        ``ditto_engine_timeout_pool_size`` gauge when a telemetry
+        session is active. Returns the retained pool size.
+
+        :meth:`run` calls this automatically whenever a run drains the
+        queue; long-lived environments driven by ``run(until=horizon)``
+        windows (the sharded coordinator) may call it explicitly.
+        """
+        pool = self._timeout_pool
+        keep = max(_TIMEOUT_POOL_KEEP, self._pool_served)
+        self._pool_served = 0
+        if len(pool) > keep:
+            del pool[keep:]
+        size = len(pool)
+        from repro.telemetry.context import current_session
+        session = current_session()
+        if session is not None:
+            session.registry.gauge(
+                "ditto_engine_timeout_pool_size",
+                "recycled Timeout instances pooled by the DES engine",
+            ).set(size)
+        return size
 
     def run(
         self,
@@ -553,6 +815,10 @@ class Environment:
           ``any_of`` race, or a pending watchdog timeout) stay queued
           instead of being drained and silently advancing the clock.
         - ``until`` is None: run until no events remain.
+
+        A run that drains the queue also trims the Timeout freelist
+        (:meth:`trim_timeout_pool`), so burst-sized pools do not outlive
+        the burst.
 
         Watchdogs (all off by default; a run with none set takes the
         historical fast paths and is bit-identical):
@@ -575,35 +841,122 @@ class Environment:
                                      max_stalled_events)
         if isinstance(until, Event):
             while not until._triggered or until._scheduled:
-                if not self._queue:
+                if not self._times:
                     if until._triggered:
                         break
                     raise SimulationError(self._drained_message(until))
-                self.step()
+                self._dispatch(self._pop())
+                self.dispatched_events += 1
+            if not self._times:
+                self.trim_timeout_pool()
             if not until.ok:
                 raise until.value
             return until.value
-        queue = self._queue
-        pop = heapq.heappop
+        times = self._times
+        buckets = self._buckets
+        pop_time = heapq.heappop
         dispatch = self._dispatch
+        pool = self._timeout_pool
+        pool_append = pool.append
+        refcount = getrefcount
+        timeout_cls = Timeout
         if until is None:
-            # Drain everything: the inlined loop batches same-timestamp
-            # events without re-entering step() per event.
-            while queue:
-                when, _, item = pop(queue)
+            # Drain everything, bucket by bucket: entries pushed at the
+            # current time while draining append to the live bucket and
+            # are picked up by the same inner loop — the dominant
+            # zero-delay traffic never touches the heap. Timeout
+            # dispatch is inlined (the hottest entry kind by far); the
+            # refcount bar is 2 here — the loop local plus getrefcount's
+            # argument; the bucket slot was overwritten with None above
+            # — where _dispatch (one call deeper) requires 3.
+            pool_max = _TIMEOUT_POOL_MAX
+            while times:
+                when = times[0]
+                bucket = buckets[when]
                 if when < self._now:
                     raise SimulationError("event scheduled in the past")
                 self._now = when
-                dispatch(item)
+                cursor = bucket[0]
+                # The live cursor stays in the loop local; bucket[0] is
+                # refreshed only at batch boundaries (try/finally keeps
+                # it consistent if a callback raises). Nothing reads
+                # bucket[0] mid-drain — pushes only append.
+                try:
+                    size = len(bucket)
+                    while cursor < size:
+                        while cursor < size:
+                            item = bucket[cursor]
+                            bucket[cursor] = None
+                            cursor += 1
+                            if item.__class__ is timeout_cls:
+                                item._scheduled = False
+                                callbacks = item.callbacks
+                                if callbacks:
+                                    if len(callbacks) == 1:
+                                        callback = callbacks[0]
+                                        callbacks.clear()
+                                        callback(item)
+                                    else:
+                                        item.callbacks = []
+                                        for callback in callbacks:
+                                            callback(item)
+                                if (refcount(item) == 2
+                                        and len(pool) < pool_max):
+                                    pool_append(item)
+                            else:
+                                dispatch(item)
+                        size = len(bucket)
+                finally:
+                    bucket[0] = cursor
+                self.dispatched_events += cursor - 1
+                del buckets[when]
+                pop_time(times)
+            self.trim_timeout_pool()
             return None
         horizon = float(until)
-        while queue and queue[0][0] <= horizon:
-            when, _, item = pop(queue)
+        pool_max = _TIMEOUT_POOL_MAX
+        while times:
+            when = times[0]
+            if when > horizon:
+                break
+            bucket = buckets[when]
             if when < self._now:
                 raise SimulationError("event scheduled in the past")
             self._now = when
-            dispatch(item)
+            cursor = bucket[0]
+            try:
+                size = len(bucket)
+                while cursor < size:
+                    while cursor < size:
+                        item = bucket[cursor]
+                        bucket[cursor] = None
+                        cursor += 1
+                        if item.__class__ is timeout_cls:
+                            item._scheduled = False
+                            callbacks = item.callbacks
+                            if callbacks:
+                                if len(callbacks) == 1:
+                                    callback = callbacks[0]
+                                    callbacks.clear()
+                                    callback(item)
+                                else:
+                                    item.callbacks = []
+                                    for callback in callbacks:
+                                        callback(item)
+                            if (refcount(item) == 2
+                                    and len(pool) < pool_max):
+                                pool_append(item)
+                        else:
+                            dispatch(item)
+                    size = len(bucket)
+            finally:
+                bucket[0] = cursor
+            self.dispatched_events += cursor - 1
+            del buckets[when]
+            pop_time(times)
         self._now = max(self._now, horizon)
+        if not times:
+            self.trim_timeout_pool()
         return None
 
     def _drained_message(self, until: Event) -> str:
@@ -613,6 +966,12 @@ class Environment:
             label += f" {name!r}"
         return (f"event queue drained at t={self._now:g} before "
                 f"the awaited {label} triggered")
+
+    def _peek(self) -> tuple:
+        """The (time, entry) of the next queue entry, without popping."""
+        when = self._times[0]
+        bucket = self._buckets[when]
+        return when, bucket[bucket[0]]
 
     def _run_guarded(
         self,
@@ -628,8 +987,7 @@ class Environment:
         budget is set: unguarded runs stay on the allocation-free loops
         and their exact historical behaviour.
         """
-        queue = self._queue
-        pop = heapq.heappop
+        times = self._times
         awaited = until if isinstance(until, Event) else None
         horizon = None if (until is None or awaited is not None) \
             else float(until)
@@ -639,41 +997,38 @@ class Environment:
             if awaited is not None and awaited._triggered \
                     and not awaited._scheduled:
                 break
-            if not queue:
+            if not times:
                 if awaited is not None and not awaited._triggered:
                     raise SimulationError(self._drained_message(awaited))
                 break
-            when = queue[0][0]
+            when, head = self._peek()
             if horizon is not None and when > horizon:
                 break
             if deadline is not None and when > deadline:
                 raise SimBudgetExceededError(
                     f"sim-time deadline {deadline:g} exceeded: next entry "
-                    f"({self._entry_label(queue[0][2])}) is scheduled at "
+                    f"({self._entry_label(head)}) is scheduled at "
                     f"t={when:g} after {dispatched} event(s)",
                     budget="deadline", events=dispatched,
                     sim_time=self._now,
-                    process=self._entry_label(queue[0][2]))
+                    process=self._entry_label(head))
             if max_events is not None and dispatched >= max_events:
                 raise SimBudgetExceededError(
                     f"event budget of {max_events} dispatches exhausted at "
                     f"t={self._now:g}; next entry is "
-                    f"{self._entry_label(queue[0][2])}",
+                    f"{self._entry_label(head)}",
                     budget="max_events", events=dispatched,
                     sim_time=self._now,
-                    process=self._entry_label(queue[0][2]))
-            when, _, item = pop(queue)
-            if when < self._now:
-                raise SimulationError("event scheduled in the past")
+                    process=self._entry_label(head))
             advanced = when > self._now
             # The label must be taken before dispatch: dispatching clears
             # an event's callback list, which is how the waiting process
             # is identified.
-            label = (self._entry_label(item)
+            label = (self._entry_label(head)
                      if max_stalled_events is not None else "")
-            self._now = when
-            self._dispatch(item)
+            self._dispatch(self._pop())
             dispatched += 1
+            self.dispatched_events += 1
             if max_stalled_events is not None:
                 if advanced:
                     stalled = 0
@@ -716,4 +1071,7 @@ class Environment:
                 if isinstance(owner, Process):
                     return f"{label} waking process {owner.name!r}"
             return label
+        label = getattr(item, "label", None)
+        if label:
+            return str(label)
         return type(item).__name__

@@ -1,0 +1,560 @@
+"""Deterministic sharded simulation.
+
+Partitions a deployment's tier DAG across simulation shards — one
+:class:`~repro.sim.engine.Environment` per *node*, hosted on one or
+more worker processes — with conservative time-window synchronization
+for cross-shard RPC traffic.
+
+Design
+------
+
+**Partition = node.** Every node of the deployment gets its own
+environment, devices and service runtimes, built by the same
+:func:`~repro.runtime.experiment._build_simulation` the classic runner
+uses, regardless of which process hosts it. Services placed on other
+nodes appear in the partition's registry as
+:class:`RemoteServiceStub` proxies. Because the per-partition state is
+identical no matter how partitions are grouped onto processes, the
+result digest is independent of the shard count *by construction* —
+``shards=1`` (all partitions in-process) and ``shards=N`` (fork-based
+workers) run bit-identical simulations.
+
+**Conservative windows.** Cross-node RPC traffic pays at least one
+wire latency ``L`` (the platform's ``base_latency_s``), which is the
+lookahead: a message sent during window ``k`` — covering simulated
+time ``(k*L, (k+1)*L]`` — can only be delivered in window ``k+1``.
+Each window, every partition runs to the shared horizon, outbound
+messages are collected at the barrier, routed, and injected into the
+destination partition before the next window runs. Idle stretches are
+fast-forwarded to the window containing the earliest pending event, so
+wall-clock cost tracks busy windows, not simulated time.
+
+**Deterministic delivery.** Messages carry per-edge sequence numbers
+(one counter per directed partition pair) and are injected sorted by
+``(delivery_time, source node, sequence)`` — a total order that does
+not depend on hosting, process scheduling or pipe arrival order.
+
+Divergences from the single-process runner (documented in DESIGN.md):
+request/handler *failures* crossing a shard boundary surface to the
+caller one wire latency later than the classic runner's immediate
+local fail; successful replies land at exactly the classic time. The
+sharded digest is therefore pinned against itself (N-independence),
+not against the classic runner's digest.
+
+Unsupported in sharded mode (raises
+:class:`~repro.util.errors.ConfigurationError`): fault plans and
+explicit tracers (both are process-global), engine watchdogs, and
+platforms with zero network latency (no lookahead).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.engine import Environment, Event
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "ShardMessage",
+    "RemoteServiceStub",
+    "run_sharded_experiment",
+]
+
+
+@dataclass
+class ShardMessage:
+    """One cross-shard payload: an RPC request or its reply.
+
+    Picklable by design — multiprocess hosting ships these over pipes.
+    ``seq`` is the per-directed-edge sequence number that, together
+    with ``delivery_time`` and ``src_node``, totally orders injection.
+    """
+
+    kind: str                 # "request" | "reply"
+    src_node: str
+    dst_node: str
+    seq: int
+    send_time: float
+    delivery_time: float
+    req_id: Tuple[str, int]
+    dst_service: Optional[str] = None
+    handler: Optional[str] = None
+    nbytes: float = 0.0
+    trace_id: int = 0
+    ok: bool = True
+    error: Optional[BaseException] = None
+
+
+class _StubNode:
+    """Duck-typed stand-in for a remote :class:`Node` (name only)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+class _ShardPort:
+    """One partition's mailbox endpoint.
+
+    Senders append :class:`ShardMessage` to ``outbound``; the window
+    coordinator drains it at each barrier and routes. ``pending`` maps
+    request ids to the local response events awaiting replies.
+    """
+
+    def __init__(self, node_key: str, latency_s: float) -> None:
+        self.node_key = node_key
+        self.latency_s = latency_s
+        self.env: Optional[Environment] = None
+        self.outbound: List[ShardMessage] = []
+        self.pending: Dict[Tuple[str, int], Event] = {}
+        self._req_counter = 0
+        self._seq: Dict[str, int] = {}
+
+    def _next_seq(self, dst_node: str) -> int:
+        seq = self._seq.get(dst_node, 0) + 1
+        self._seq[dst_node] = seq
+        return seq
+
+    def submit_request(self, dst_service: str, dst_node: str,
+                       handler: str, trace_id: int,
+                       nbytes: float) -> Event:
+        """Ship one RPC request; returns the local response event."""
+        env = self.env
+        self._req_counter += 1
+        req_id = (self.node_key, self._req_counter)
+        response = Event(env)
+        self.pending[req_id] = response
+        self.outbound.append(ShardMessage(
+            kind="request",
+            src_node=self.node_key,
+            dst_node=dst_node,
+            seq=self._next_seq(dst_node),
+            send_time=env.now,
+            delivery_time=env.now + self.latency_s,
+            req_id=req_id,
+            dst_service=dst_service,
+            handler=handler,
+            nbytes=nbytes,
+            trace_id=trace_id,
+        ))
+        return response
+
+    def send_reply(self, requester_node: str, req_id: Tuple[str, int],
+                   ok: bool, error: Optional[BaseException]) -> None:
+        """Ship one RPC outcome back to the requesting partition."""
+        env = self.env
+        self.outbound.append(ShardMessage(
+            kind="reply",
+            src_node=self.node_key,
+            dst_node=requester_node,
+            seq=self._next_seq(requester_node),
+            send_time=env.now,
+            delivery_time=env.now + self.latency_s,
+            req_id=req_id,
+            ok=ok,
+            error=error,
+        ))
+
+
+class RemoteServiceStub:
+    """Registry proxy for a service hosted on another partition.
+
+    Exposes exactly what the RPC client touches: ``name``,
+    ``node.name`` (for the cross-node check) and ``remote_submit`` —
+    whose presence is how
+    :meth:`~repro.runtime.service.ServiceRuntime._rpc_attempt` detects
+    a shard boundary.
+    """
+
+    def __init__(self, name: str, node_name: str, port: _ShardPort) -> None:
+        self.name = name
+        self.node = _StubNode(node_name)
+        self._port = port
+
+    def remote_submit(self, handler: str, src_node: str, trace_id: int,
+                      request_bytes: float) -> Event:
+        """Ship the request (arriving one wire latency from now) and
+        return the local event its reply will resolve."""
+        return self._port.submit_request(
+            dst_service=self.name,
+            dst_node=self.node.name,
+            handler=handler,
+            trace_id=trace_id,
+            nbytes=request_bytes,
+        )
+
+
+class _RemoteReply:
+    """Server-side reply handle for a shard-remote request."""
+
+    __slots__ = ("_port", "_requester_node", "_req_id")
+
+    def __init__(self, port: _ShardPort, requester_node: str,
+                 req_id: Tuple[str, int]) -> None:
+        self._port = port
+        self._requester_node = requester_node
+        self._req_id = req_id
+
+    def reply(self, ok: bool, error: Optional[BaseException] = None) -> None:
+        self._port.send_reply(self._requester_node, self._req_id, ok, error)
+
+
+class _Partition:
+    """One node's simulation plus its shard port."""
+
+    def __init__(self, deployment, load, config, node_key: str) -> None:
+        from repro.runtime.experiment import _build_simulation
+
+        self.node_key = node_key
+        self.port = _ShardPort(
+            node_key, config.platform.network.base_latency_s)
+        self.build = _build_simulation(
+            deployment, load, config,
+            local_nodes=frozenset((node_key,)),
+            remote_stub=lambda service, node: RemoteServiceStub(
+                service, node, self.port),
+        )
+        self.port.env = self.build.env
+        if self.build.generator is not None:
+            self.build.generator.start()
+
+    def inject(self, messages: Sequence[ShardMessage]) -> None:
+        """Schedule delivered messages (already sorted by the caller)."""
+        env = self.build.env
+        for message in messages:
+            # Clamp an ulp of float drift from the sender's addition —
+            # deterministic (the horizon is the same on every hosting).
+            when = max(message.delivery_time, env.now)
+            if message.kind == "request":
+                env.call_at(when, self._make_request_delivery(message))
+            else:
+                env.call_at(when, self._make_reply_delivery(message))
+
+    def _make_request_delivery(self, message: ShardMessage):
+        def deliver() -> None:
+            runtime = self.build.registry[message.dst_service]
+            # Ingress accounting the local-path caller would have done.
+            runtime.metrics.net_rx_bytes += message.nbytes
+            runtime.node.nic.account_rx(message.nbytes)
+            runtime.submit(
+                message.handler,
+                src_node=message.src_node,
+                trace_id=message.trace_id,
+                remote=_RemoteReply(self.port, message.src_node,
+                                    message.req_id),
+            )
+        return deliver
+
+    def _make_reply_delivery(self, message: ShardMessage):
+        def deliver() -> None:
+            response = self.port.pending.pop(message.req_id, None)
+            if response is None or response.triggered:
+                return
+            if message.ok:
+                # Same value the classic runner's _delayed_reply sets:
+                # the simulated time the reply lands at the caller.
+                response.succeed(self.build.env.now)
+            else:
+                response.fail(message.error)
+        return deliver
+
+    def run_until(self, horizon: float) -> None:
+        self.build.env.run(until=horizon)
+
+    def drain_outbound(self) -> List[ShardMessage]:
+        out, self.port.outbound = self.port.outbound, []
+        return out
+
+    def next_time(self) -> Optional[float]:
+        times = self.build.env._times
+        return times[0] if times else None
+
+    def partial(self, duration_s: float) -> "_PartialResult":
+        from repro.runtime.experiment import (
+            _breaker_summary,
+            _device_utilisations,
+        )
+
+        self.build.env.trim_timeout_pool()
+        duration = max(duration_s, 1e-9)
+        cpu_util, disk_util = _device_utilisations(self.build.nodes,
+                                                   duration)
+        return _PartialResult(
+            services={name: rt.metrics
+                      for name, rt in self.build.registry.items()
+                      if not isinstance(rt, RemoteServiceStub)},
+            recorder=self.build.recorder,
+            node_utilisation=cpu_util,
+            disk_utilisation=disk_util,
+            breakers=_breaker_summary(self.build.registry),
+            events_dispatched=self.build.env.dispatched_events,
+        )
+
+
+@dataclass
+class _PartialResult:
+    """One partition's contribution to the merged RunResult."""
+
+    services: Dict[str, object]
+    recorder: Optional[object]
+    node_utilisation: Dict[str, float]
+    disk_utilisation: Dict[str, float]
+    breakers: Dict[str, dict] = field(default_factory=dict)
+    events_dispatched: int = 0
+
+
+# --------------------------------------------------------------------- #
+# hosting: partitions grouped in-process or behind forked workers
+# --------------------------------------------------------------------- #
+class _LocalHost:
+    """Hosts a group of partitions in the coordinator's process."""
+
+    def __init__(self, deployment, load, config,
+                 node_keys: Sequence[str]) -> None:
+        self._node_keys = list(node_keys)
+        self._partitions = {
+            key: _Partition(deployment, load, config, key)
+            for key in self._node_keys
+        }
+        self._duration_s = config.duration_s
+
+    def run_window(
+        self, horizon: float,
+        inbound: Dict[str, List[ShardMessage]],
+    ) -> Tuple[List[ShardMessage], Dict[str, Optional[float]]]:
+        outbound: List[ShardMessage] = []
+        next_times: Dict[str, Optional[float]] = {}
+        for key in self._node_keys:
+            partition = self._partitions[key]
+            partition.inject(inbound.get(key, ()))
+            partition.run_until(horizon)
+            outbound.extend(partition.drain_outbound())
+            next_times[key] = partition.next_time()
+        return outbound, next_times
+
+    def finish(self) -> Dict[str, _PartialResult]:
+        return {key: self._partitions[key].partial(self._duration_s)
+                for key in self._node_keys}
+
+
+def _shard_worker(conn, deployment, load, config,
+                  node_keys: Sequence[str]) -> None:
+    """Forked worker: hosts partitions, speaks the window protocol."""
+    try:
+        host = _LocalHost(deployment, load, config, node_keys)
+        while True:
+            command = conn.recv()
+            if command[0] == "window":
+                _, horizon, inbound = command
+                conn.send(("window_done",) + host.run_window(horizon,
+                                                             inbound))
+            elif command[0] == "finish":
+                conn.send(("result", host.finish()))
+                return
+            else:  # pragma: no cover - protocol exhaustive
+                raise ConfigurationError(
+                    f"unknown shard command {command[0]!r}")
+    except BaseException as error:  # surface crashes to the coordinator
+        try:
+            conn.send(("error", repr(error)))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+        raise
+    finally:
+        conn.close()
+
+
+class _ForkHost:
+    """Hosts a group of partitions behind a forked worker process."""
+
+    def __init__(self, ctx, deployment, load, config,
+                 node_keys: Sequence[str]) -> None:
+        self.node_keys = list(node_keys)
+        self._parent_conn, child_conn = ctx.Pipe()
+        self._process = ctx.Process(
+            target=_shard_worker,
+            args=(child_conn, deployment, load, config, self.node_keys),
+        )
+        self._process.start()
+        child_conn.close()
+
+    def send_window(self, horizon: float,
+                    inbound: Dict[str, List[ShardMessage]]) -> None:
+        self._parent_conn.send(("window", horizon, inbound))
+
+    def _recv(self, expected: str):
+        reply = self._parent_conn.recv()
+        if reply[0] == "error":
+            raise ConfigurationError(
+                f"shard worker for {self.node_keys} died: {reply[1]}")
+        if reply[0] != expected:  # pragma: no cover - protocol exhaustive
+            raise ConfigurationError(
+                f"shard worker sent {reply[0]!r}, expected {expected!r}")
+        return reply
+
+    def recv_window(
+        self,
+    ) -> Tuple[List[ShardMessage], Dict[str, Optional[float]]]:
+        _, outbound, next_times = self._recv("window_done")
+        return outbound, next_times
+
+    def finish(self) -> Dict[str, _PartialResult]:
+        self._parent_conn.send(("finish",))
+        _, partials = self._recv("result")
+        return partials
+
+    def close(self) -> None:
+        try:
+            self._parent_conn.close()
+        except Exception:  # pragma: no cover - already closed
+            pass
+        self._process.join(timeout=30)
+        if self._process.is_alive():  # pragma: no cover - stuck worker
+            self._process.terminate()
+            self._process.join()
+
+
+# --------------------------------------------------------------------- #
+# coordinator
+# --------------------------------------------------------------------- #
+def _validate(deployment, config) -> float:
+    """Check shard-mode restrictions; returns the lookahead latency."""
+    if config.fault_plan is not None and not config.fault_plan.is_empty:
+        raise ConfigurationError(
+            "sharded simulation does not support fault plans "
+            "(the injector is process-global); run with shards=None")
+    if config.tracer is not None:
+        raise ConfigurationError(
+            "sharded simulation does not support an explicit tracer "
+            "(spans would scatter across processes); run with shards=None")
+    if (config.max_sim_events is not None
+            or config.sim_deadline_s is not None
+            or config.max_stalled_events is not None):
+        raise ConfigurationError(
+            "sharded simulation does not support engine watchdogs; "
+            "run with shards=None")
+    latency = config.platform.network.base_latency_s
+    if latency <= 0:
+        raise ConfigurationError(
+            "sharded simulation needs base_latency_s > 0 "
+            "(the wire latency is the synchronization lookahead)")
+    return latency
+
+
+def _window_after_idle(min_time: float, width: float, current: int) -> int:
+    """Index of the window containing ``min_time`` (fast-forward)."""
+    index = int(math.ceil(min_time / width)) - 1
+    while (index + 1) * width < min_time:  # float-rounding guard
+        index += 1
+    return max(index, current + 1)
+
+
+def run_sharded_experiment(deployment, load, config):
+    """Run one experiment partitioned across ``config.shards`` shards.
+
+    Same signature contract as
+    :func:`~repro.runtime.experiment._run_experiment`; the merged
+    :class:`~repro.runtime.metrics.RunResult` has one entry per service
+    and node exactly like the classic runner's. The result digest is
+    identical for every shard count (``shards=1`` hosts all partitions
+    in-process; higher counts fork worker processes).
+    """
+    from repro.runtime.metrics import RunResult
+
+    latency = _validate(deployment, config)
+    node_keys = sorted(deployment.node_names())
+    shard_count = max(1, min(config.shards or 1, len(node_keys)))
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        ctx = None
+    if ctx is None:
+        shard_count = 1
+
+    groups: List[List[str]] = [[] for _ in range(shard_count)]
+    for index, key in enumerate(node_keys):
+        groups[index % shard_count].append(key)
+
+    hosts: List[object] = []
+    node_to_host: Dict[str, object] = {}
+    try:
+        for group in groups:
+            if shard_count == 1:
+                host = _LocalHost(deployment, load, config, group)
+            else:
+                host = _ForkHost(ctx, deployment, load, config, group)
+            hosts.append(host)
+            for key in group:
+                node_to_host[key] = host
+
+        window = 0
+        in_flight: List[ShardMessage] = []
+        while True:
+            horizon = (window + 1) * latency
+            inbound: Dict[object, Dict[str, List[ShardMessage]]] = {}
+            for message in sorted(
+                    in_flight,
+                    key=lambda m: (m.delivery_time, m.src_node, m.seq)):
+                host = node_to_host[message.dst_node]
+                inbound.setdefault(host, {}).setdefault(
+                    message.dst_node, []).append(message)
+            if shard_count == 1:
+                outbound, next_times = hosts[0].run_window(
+                    horizon, inbound.get(hosts[0], {}))
+                all_outbound = outbound
+                all_times = list(next_times.values())
+            else:
+                for host in hosts:
+                    host.send_window(horizon, inbound.get(host, {}))
+                all_outbound = []
+                all_times = []
+                for host in hosts:
+                    outbound, next_times = host.recv_window()
+                    all_outbound.extend(outbound)
+                    all_times.extend(next_times.values())
+            in_flight = all_outbound
+            if in_flight:
+                window += 1
+                continue
+            pending = [t for t in all_times if t is not None]
+            if not pending:
+                break
+            window = _window_after_idle(min(pending), latency, window)
+
+        partials: Dict[str, _PartialResult] = {}
+        for host in hosts:
+            partials.update(host.finish())
+    finally:
+        for host in hosts:
+            if isinstance(host, _ForkHost):
+                host.close()
+
+    services: Dict[str, object] = {}
+    node_utilisation: Dict[str, float] = {}
+    disk_utilisation: Dict[str, float] = {}
+    breakers: Dict[str, dict] = {}
+    recorder = None
+    events_dispatched = 0
+    for key in node_keys:
+        partial = partials[key]
+        services.update(partial.services)
+        node_utilisation.update(partial.node_utilisation)
+        disk_utilisation.update(partial.disk_utilisation)
+        breakers.update(partial.breakers)
+        events_dispatched += partial.events_dispatched
+        if partial.recorder is not None:
+            recorder = partial.recorder
+    return RunResult(
+        duration_s=max(config.duration_s, 1e-9),
+        services=services,
+        latency=recorder,
+        node_utilisation=node_utilisation,
+        disk_utilisation=disk_utilisation,
+        faults=None,
+        breakers=breakers,
+        events_dispatched=events_dispatched,
+    )

@@ -574,3 +574,307 @@ class TestUntilEventStopsAtTrigger:
         with pytest.raises(SimBudgetExceededError) as excinfo:
             env.run(until=proc, max_stalled_events=30)
         assert excinfo.value.budget == "livelock"
+
+
+class TestCalendarHeapEquivalence:
+    """Property test: the calendar queue dispatches in exactly the
+    (time, insertion counter) order of a reference single-heap
+    scheduler, across randomized mixed near/far workloads that also
+    schedule new entries from inside callbacks."""
+
+    class _RefHeap:
+        """Reference scheduler: one heapq of (when, seq, fn) tuples."""
+
+        def __init__(self):
+            import heapq
+
+            self._heapq = heapq
+            self._heap = []
+            self._seq = 0
+            self.now = 0.0
+
+        def call_after(self, delay, fn):
+            self._heapq.heappush(
+                self._heap, (self.now + delay, self._seq, fn))
+            self._seq += 1
+
+        def run(self):
+            while self._heap:
+                when, _, fn = self._heapq.heappop(self._heap)
+                self.now = when
+                fn()
+
+    @staticmethod
+    def _drive(scheduler, rng, order):
+        """Seed a workload whose callbacks chain further entries.
+
+        Delays mix zero (same-tick), tiny near-future, ties, and far
+        horizon values; every decision draws from ``rng`` so both
+        schedulers see the identical insertion sequence.
+        """
+        delays = [0.0, 0.0, 1e-9, 1e-9, 3e-7, 0.5, 0.5, 1e3]
+        counter = [0]
+
+        def spawn(depth):
+            label = counter[0]
+            counter[0] += 1
+
+            def fire():
+                order.append((label, scheduler.now))
+                if depth > 0:
+                    for _ in range(rng.randrange(3)):
+                        scheduler.call_after(rng.choice(delays),
+                                             spawn(depth - 1))
+
+            return fire
+
+        for _ in range(40):
+            scheduler.call_after(rng.choice(delays), spawn(3))
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_dispatch_order_matches_reference(self, seed):
+        import random
+
+        ref_order, cal_order = [], []
+        ref = self._RefHeap()
+        self._drive(ref, random.Random(seed), ref_order)
+        ref.run()
+        env = Environment()
+        self._drive(env, random.Random(seed), cal_order)
+        env.run()
+        assert cal_order == ref_order
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_timeouts_and_calls_interleave_like_reference(self, seed):
+        """Same property with Timeout entries mixed among _Call entries
+        (timeouts traverse the pool/recycling machinery)."""
+        import random
+
+        def drive_env(env, rng, order):
+            delays = [0.0, 1e-9, 1e-9, 2e-4, 7.0]
+            counter = [0]
+
+            def spawn(depth):
+                label = counter[0]
+                counter[0] += 1
+
+                def fire(_event=None):
+                    order.append((label, env.now))
+                    if depth > 0:
+                        for _ in range(rng.randrange(3)):
+                            delay = rng.choice(delays)
+                            if rng.random() < 0.5:
+                                timeout = env.timeout(delay)
+                                timeout.callbacks.append(spawn(depth - 1))
+                            else:
+                                env.call_after(delay, spawn(depth - 1))
+
+                return fire
+
+            for _ in range(30):
+                timeout = env.timeout(rng.choice(delays))
+                timeout.callbacks.append(spawn(3))
+
+        def drive_ref(ref, rng, order):
+            delays = [0.0, 1e-9, 1e-9, 2e-4, 7.0]
+            counter = [0]
+
+            def spawn(depth):
+                label = counter[0]
+                counter[0] += 1
+
+                def fire(_event=None):
+                    order.append((label, ref.now))
+                    if depth > 0:
+                        for _ in range(rng.randrange(3)):
+                            delay = rng.choice(delays)
+                            rng.random()  # mirror the path coin-flip
+                            ref.call_after(delay, spawn(depth - 1))
+
+                return fire
+
+            for _ in range(30):
+                ref.call_after(rng.choice(delays), spawn(3))
+
+        import random as _random
+
+        ref_order, cal_order = [], []
+        ref = self._RefHeap()
+        drive_ref(ref, _random.Random(seed), ref_order)
+        ref.run()
+        env = Environment()
+        drive_env(env, _random.Random(seed), cal_order)
+        env.run()
+        assert cal_order == ref_order
+
+
+class TestTimeoutMany:
+    def test_matches_loop_of_single_timeouts(self):
+        delays = [0.0, 2.0, 1.0, 1.0, 0.0, 3e-9, 1.0, 0.5, 0.5]
+
+        def collect(schedule):
+            env = Environment()
+            order = []
+            timeouts = schedule(env)
+            for index, timeout in enumerate(timeouts):
+                timeout.callbacks.append(
+                    lambda _evt, i=index: order.append((i, env.now)))
+            env.run()
+            return order
+
+        batched = collect(lambda env: env.timeout_many(delays, value="v"))
+        looped = collect(
+            lambda env: [env.timeout(d, value="v") for d in delays])
+        assert batched == looped
+
+    def test_returns_timeouts_in_input_order_with_values(self):
+        env = Environment()
+        timeouts = env.timeout_many([3.0, 1.0, 2.0], value=9)
+        assert [t.delay for t in timeouts] == [3.0, 1.0, 2.0]
+        assert all(t.value == 9 for t in timeouts)
+
+    def test_negative_delay_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout_many([1.0, -0.5])
+
+    def test_recycles_from_pool(self):
+        env = Environment()
+
+        def driver():
+            for _ in range(5):
+                yield env.timeout_many([1e-6] * 64)[-1]
+
+        env.process(driver())
+        env.run()
+        # steady-state trains were served from recycled instances
+        assert env._pool_served == 0  # reset by the post-drain trim
+        env.timeout_many([0.0] * 8)
+        assert env._pool_served == 8
+
+
+class TestTimeoutPoolTrim:
+    def test_pool_shrinks_after_burst(self):
+        from repro.sim.engine import _TIMEOUT_POOL_KEEP
+
+        env = Environment()
+
+        def burst():
+            yield env.timeout_many([1e-6] * 2048)[-1]
+
+        env.process(burst())
+        env.run()
+        # the drain trimmed the burst-sized freelist back down
+        assert len(env._timeout_pool) <= max(_TIMEOUT_POOL_KEEP, 2048)
+        env.trim_timeout_pool()
+        env.trim_timeout_pool()
+        assert len(env._timeout_pool) <= _TIMEOUT_POOL_KEEP
+
+    def test_trim_publishes_gauge_when_session_active(self):
+        from repro.telemetry import Telemetry
+
+        env = Environment()
+
+        def burst():
+            yield env.timeout_many([1e-6] * 256)[-1]
+
+        env.process(burst())
+        with Telemetry() as session:
+            env.run()
+            size = env.trim_timeout_pool()
+            gauge = session.registry.gauge("ditto_engine_timeout_pool_size")
+            assert gauge.value() == float(size)
+
+    def test_trim_without_session_is_silent(self):
+        env = Environment()
+        env.timeout(1.0)
+        env.run()
+        assert env.trim_timeout_pool() >= 0
+
+
+class TestDispatchedEventsCounter:
+    def test_counts_plain_run(self):
+        env = Environment()
+
+        def proc():
+            for _ in range(10):
+                yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run()
+        # 1 bootstrap resume + 10 timeouts + the process completion event
+        assert env.dispatched_events == 12
+
+    def test_counts_horizon_and_guarded_runs_identically(self):
+        def build():
+            env = Environment()
+
+            def proc():
+                for _ in range(10):
+                    yield env.timeout(1.0)
+
+            env.process(proc())
+            return env
+
+        fast = build()
+        fast.run(until=5.0)
+        guarded = build()
+        guarded.run(until=5.0, max_events=10_000)
+        assert fast.dispatched_events == guarded.dispatched_events > 0
+
+    def test_counts_step_and_until_event(self):
+        env = Environment()
+        timeout = env.timeout(1.0)
+        env.step()
+        assert env.dispatched_events == 1
+        waited = env.timeout(2.0)
+        env.run(until=waited)
+        assert env.dispatched_events == 2
+        assert timeout.triggered
+
+
+class TestWheelPathRegressions:
+    """Interrupt / any_of behaviour across the near/far bucket boundary
+    (zero-delay churn in the live bucket racing far-future heap times)."""
+
+    def test_interrupt_far_sleeper_amid_same_tick_churn(self):
+        env = Environment()
+        log = []
+
+        def sleeper():
+            try:
+                yield env.timeout(1e6)
+            except Interrupt as interrupt:
+                log.append(("interrupted", env.now, interrupt.cause))
+
+        def churn_then_interrupt(target):
+            for _ in range(50):
+                yield env.timeout(0.0)
+            target.interrupt("done-churning")
+
+        target = env.process(sleeper())
+        env.process(churn_then_interrupt(target))
+        env.run()
+        assert log == [("interrupted", 0.0, "done-churning")]
+
+    def test_any_of_zero_delay_beats_far_timeout(self):
+        env = Environment()
+        result = {}
+
+        def proc():
+            near = env.timeout(0.0, value="near")
+            far = env.timeout(1e9, value="far")
+            first = yield env.any_of([near, far])
+            result["value"] = first
+            result["now"] = env.now
+
+        def pacer():
+            yield env.timeout(1.0)
+
+        env.process(proc())
+        race = env.process(pacer())
+        env.run(until=race)
+        # the far loser must not have dragged the clock to 1e9
+        assert result["value"] == "near"
+        assert result["now"] == 0.0
+        assert env.now == 1.0
