@@ -51,6 +51,13 @@ from repro.validation import integrity
 BUNDLE_FORMAT = "ditto-clone-bundle"
 BUNDLE_VERSION = 2
 
+#: migrated bundles: a superset of the clone-bundle document (same
+#: tiers/knobs/placements, loadable by everything below) plus a
+#: ``migration`` stanza holding the preflight verdicts, per-knob retune
+#: deltas and the destination fidelity report — see ``repro.migrate``
+MIGRATION_FORMAT = "ditto-migration"
+MIGRATION_VERSION = 1
+
 
 # --------------------------------------------------------------------- #
 # per-piece encoders/decoders
@@ -318,6 +325,7 @@ def save_bundle(
     entry_service: str,
     placements: Optional[Dict[str, str]] = None,
     tuned_knobs: Optional[Dict[str, TuningKnobs]] = None,
+    source_platform=None,
 ) -> Path:
     """Write a shareable clone bundle to ``path``.
 
@@ -325,7 +333,11 @@ def save_bundle(
     an ``integrity`` stanza) and written atomically — a crash mid-write
     leaves the previous bundle, never half of the new one. Pass the
     fine-tuner's per-tier knobs as ``tuned_knobs`` so consumers
-    regenerate the calibrated clone.
+    regenerate the calibrated clone, and the profiling platform as
+    ``source_platform`` so migration preflight knows what environment
+    the ``target_counters`` were tuned on. The stanza is only added
+    when a platform is given — bundles written without one keep their
+    historical bytes (and digests) exactly.
     """
     if entry_service not in features_by_service:
         raise ConfigurationError(
@@ -348,6 +360,9 @@ def save_bundle(
             for name, knobs in (tuned_knobs or {}).items()
         },
     }
+    if source_platform is not None:
+        from repro.hw.platform import platform_to_dict
+        document["source_platform"] = platform_to_dict(source_platform)
     integrity.stamp_json(document)
     path = Path(path)
     scratch = Path(f"{path}.tmp-{os.getpid()}")
@@ -376,16 +391,24 @@ def read_bundle_document(path) -> dict:
             + (f"; quarantined to {moved}" if moved else ""),
             path=str(path), reason="undecodable",
             quarantined_to=moved) from error
-    if document.get("format") != BUNDLE_FORMAT:
+    fmt = document.get("format")
+    if fmt == BUNDLE_FORMAT:
+        if document.get("version") not in range(1, BUNDLE_VERSION + 1):
+            raise ConfigurationError(
+                f"unsupported bundle version {document.get('version')}")
+    elif fmt == MIGRATION_FORMAT:
+        # A migrated bundle is a strict superset of a clone bundle, so
+        # everything downstream (load/regenerate/validate) just works.
+        if document.get("version") not in range(1, MIGRATION_VERSION + 1):
+            raise ConfigurationError(
+                f"unsupported migration version {document.get('version')}")
+    else:
         raise ConfigurationError(f"{path} is not a clone bundle")
-    if document.get("version") not in range(1, BUNDLE_VERSION + 1):
-        raise ConfigurationError(
-            f"unsupported bundle version {document.get('version')}")
     try:
         integrity.verify_json(document, path=str(path))
     except ArtifactIntegrityError as error:
         moved = integrity.quarantine_and_report(
-            str(path), schema=BUNDLE_FORMAT, reason=error.reason)
+            str(path), schema=fmt, reason=error.reason)
         raise ArtifactIntegrityError(
             f"{error}" + (f"; quarantined to {moved}" if moved else ""),
             path=str(path), reason=error.reason,
@@ -410,6 +433,20 @@ def bundle_tuned_knobs(path) -> Dict[str, TuningKnobs]:
         name: TuningKnobs(**data)
         for name, data in document.get("tuned_knobs", {}).items()
     }
+
+
+def bundle_source_platform(document: dict):
+    """The source platform embedded in a bundle *document*, or None.
+
+    Bundles written before the stanza existed (and bundles whose
+    authors chose not to disclose their platform) return None —
+    migration preflight then needs an explicit ``--source-platform``.
+    """
+    data = document.get("source_platform")
+    if not data:
+        return None
+    from repro.hw.platform import platform_from_dict
+    return platform_from_dict(data)
 
 
 def deployment_from_bundle(

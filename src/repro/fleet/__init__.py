@@ -10,6 +10,11 @@ submit, watch, list and cancel.
   :class:`~repro.fleet.job.CloneJobRecord` — the typed job surface
   (a :class:`~repro.core.request.CloneRequest` plus scheduling
   metadata, and its durable lifecycle record);
+- :class:`~repro.fleet.job.MigrationJobSpec` — the same surface for
+  cross-environment migrations (a
+  :class:`~repro.migrate.request.MigrationRequest`); migration jobs
+  travel the ``migrating_*`` lifecycle states and share the store's
+  leases, crash recovery, chaos and flight instrumentation;
 - :class:`~repro.fleet.store.JobStore` — atomic, integrity-enveloped
   persistence with leases, cancel markers, shared profiles and the
   fleet-wide experiment cache;
@@ -39,6 +44,7 @@ from repro.fleet.job import (
     CloneJobSpec,
     JobResult,
     JobState,
+    MigrationJobSpec,
     TransitionRecord,
 )
 from repro.fleet.obs import (
@@ -65,6 +71,7 @@ __all__ = [
     "JobState",
     "JobStore",
     "JobWorkerOutcome",
+    "MigrationJobSpec",
     "TransitionRecord",
     "execute_job",
     "read_flight_log",

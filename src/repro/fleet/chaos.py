@@ -91,6 +91,10 @@ CRASHPOINTS: Tuple[str, ...] = (
     "worker.publish.post_result",     # result durable, bundle pending
     "worker.publish.pre_transition",  # artifacts durable, state stale
     "worker.publish.post_transition",  # published, outcome not returned
+    # worker: migration jobs (preflight → retune → gate → publish)
+    "worker.migrate.post_preflight",   # verdicts in, no tuning spent
+    "worker.migrate.publish.pre_write",   # gate passed, bundle pending
+    "worker.migrate.publish.post_write",  # migrated bundle durable
 )
 
 #: action kinds a plan may schedule (see the module doc)

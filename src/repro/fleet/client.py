@@ -25,7 +25,9 @@ from repro.fleet.job import (
     CloneJobSpec,
     JobResult,
     JobState,
+    MigrationJobSpec,
 )
+from repro.migrate.request import MigrationRequest
 from repro.fleet.store import JobStore
 from repro.util.errors import ConfigurationError
 
@@ -38,20 +40,25 @@ class FleetClient:
     def __init__(self, store: Union[JobStore, str]) -> None:
         self.store = store if isinstance(store, JobStore) else JobStore(store)
 
-    def submit(self, request: Union[CloneRequest, CloneJobSpec], *,
+    def submit(self, request: Union[CloneRequest, CloneJobSpec,
+                                    MigrationRequest, MigrationJobSpec], *,
                name: str = "", priority: int = 0,
                max_crashes: Optional[int] = None) -> CloneJobRecord:
-        """Queue one clone job; returns its persisted record."""
+        """Queue one clone or migration job; returns its record."""
         if isinstance(request, CloneRequest):
             spec = CloneJobSpec(request=request, name=name,
                                 priority=priority,
                                 max_crashes=max_crashes)
-        elif isinstance(request, CloneJobSpec):
+        elif isinstance(request, MigrationRequest):
+            spec = MigrationJobSpec(request=request, name=name,
+                                    priority=priority,
+                                    max_crashes=max_crashes)
+        elif isinstance(request, (CloneJobSpec, MigrationJobSpec)):
             spec = request
         else:
             raise ConfigurationError(
-                f"submit takes a CloneRequest or CloneJobSpec, "
-                f"got {request!r}")
+                f"submit takes a CloneRequest, MigrationRequest, "
+                f"CloneJobSpec or MigrationJobSpec, got {request!r}")
         return self.store.submit(spec)
 
     def get(self, job_id: str) -> CloneJobRecord:

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.app.service import Deployment
 from repro.core.request import CloneRequest
+from repro.migrate.request import MigrationRequest
 from repro.runtime.expcache import CacheStats
 from repro.util.errors import ConfigurationError, JobStateError
 
@@ -40,6 +41,7 @@ __all__ = [
     "CloneJobSpec",
     "JobResult",
     "JobState",
+    "MigrationJobSpec",
     "TERMINAL_STATES",
     "TRANSITIONS",
     "TransitionRecord",
@@ -53,6 +55,13 @@ class JobState(str, Enum):
     PROFILING = "profiling"
     TUNING = "tuning"
     VALIDATING = "validating"
+    #: migration jobs (a :class:`MigrationJobSpec`) travel submitted →
+    #: migrating_preflight → migrating_retune → migrating_gate →
+    #: published through the same machine, so they inherit leases,
+    #: crash requeue, chaos coverage, flight events and the DLQ
+    MIGRATING_PREFLIGHT = "migrating_preflight"
+    MIGRATING_RETUNE = "migrating_retune"
+    MIGRATING_GATE = "migrating_gate"
     PUBLISHED = "published"
     FAILED = "failed"
     CANCELLED = "cancelled"
@@ -68,6 +77,7 @@ class JobState(str, Enum):
 #: ``running state → submitted`` the crash-recovery requeue.
 TRANSITIONS: Dict[JobState, Tuple[JobState, ...]] = {
     JobState.SUBMITTED: (JobState.PROFILING, JobState.TUNING,
+                         JobState.MIGRATING_PREFLIGHT,
                          JobState.CANCELLED, JobState.FAILED,
                          JobState.DEAD_LETTERED),
     JobState.PROFILING: (JobState.TUNING, JobState.CANCELLED,
@@ -80,6 +90,22 @@ TRANSITIONS: Dict[JobState, Tuple[JobState, ...]] = {
     JobState.VALIDATING: (JobState.PUBLISHED, JobState.TUNING,
                           JobState.CANCELLED, JobState.FAILED,
                           JobState.SUBMITTED, JobState.DEAD_LETTERED),
+    # migrating_preflight → migrating_gate is the no-retune shortcut
+    # (every knob transfers); migrating_retune → migrating_retune is a
+    # sim-budget remediation rung and migrating_gate →
+    # migrating_retune a gate-failure rung, mirroring the clone path.
+    JobState.MIGRATING_PREFLIGHT: (
+        JobState.MIGRATING_RETUNE, JobState.MIGRATING_GATE,
+        JobState.CANCELLED, JobState.FAILED, JobState.SUBMITTED,
+        JobState.DEAD_LETTERED),
+    JobState.MIGRATING_RETUNE: (
+        JobState.MIGRATING_GATE, JobState.MIGRATING_RETUNE,
+        JobState.CANCELLED, JobState.FAILED, JobState.SUBMITTED,
+        JobState.DEAD_LETTERED),
+    JobState.MIGRATING_GATE: (
+        JobState.PUBLISHED, JobState.MIGRATING_RETUNE,
+        JobState.CANCELLED, JobState.FAILED, JobState.SUBMITTED,
+        JobState.DEAD_LETTERED),
     JobState.PUBLISHED: (JobState.RETIRED,),
     JobState.FAILED: (JobState.SUBMITTED,),
     JobState.CANCELLED: (),
@@ -95,7 +121,9 @@ TERMINAL_STATES = (JobState.PUBLISHED, JobState.FAILED,
                    JobState.DEAD_LETTERED)
 
 #: states that mean "a worker owns this job right now"
-RUNNING_STATES = (JobState.PROFILING, JobState.TUNING, JobState.VALIDATING)
+RUNNING_STATES = (JobState.PROFILING, JobState.TUNING,
+                  JobState.VALIDATING, JobState.MIGRATING_PREFLIGHT,
+                  JobState.MIGRATING_RETUNE, JobState.MIGRATING_GATE)
 
 
 @dataclass(frozen=True)
@@ -155,6 +183,51 @@ class CloneJobSpec:
 
     def describe(self) -> str:
         label = self.name or self.request.deployment.entry_service
+        return f"{label}: {self.request.describe()}"
+
+
+@dataclass(frozen=True, kw_only=True)
+class MigrationJobSpec:
+    """What one fleet job should migrate (frozen, picklable).
+
+    The migration sibling of :class:`CloneJobSpec`: same scheduling
+    metadata, but the work is a
+    :class:`~repro.migrate.request.MigrationRequest` and the job
+    travels the ``MIGRATING_*`` lifecycle states instead of the
+    profiling/tuning/validating ones.
+    """
+
+    request: MigrationRequest
+    name: str = ""
+    #: higher runs first; ties break by submission order
+    priority: int = 0
+    #: per-job crash budget before dead-lettering (None = the store's
+    #: default); scheduling metadata, excluded from the spec digest
+    max_crashes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.request, MigrationRequest):
+            raise ConfigurationError(
+                f"request must be a MigrationRequest, "
+                f"got {self.request!r}")
+        if not isinstance(self.priority, int) \
+                or isinstance(self.priority, bool):
+            raise ConfigurationError(
+                f"priority must be an int, got {self.priority!r}")
+        if self.max_crashes is not None and (
+                not isinstance(self.max_crashes, int)
+                or isinstance(self.max_crashes, bool)
+                or self.max_crashes < 0):
+            raise ConfigurationError(
+                f"max_crashes must be an int >= 0 or None, "
+                f"got {self.max_crashes!r}")
+
+    def digest(self) -> str:
+        """The migration identity (= the request digest)."""
+        return self.request.digest()
+
+    def describe(self) -> str:
+        label = self.name or self.request.destination.name
         return f"{label}: {self.request.describe()}"
 
 

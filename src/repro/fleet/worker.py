@@ -44,11 +44,16 @@ from typing import Callable, Dict, Optional
 
 from repro.core.cloner import CloneObserver, DittoCloner
 from repro.fleet.chaos import ChaosPlan, crashpoint, maybe_active
-from repro.fleet.job import JobResult, JobState
+from repro.fleet.job import JobResult, JobState, MigrationJobSpec
 from repro.fleet.store import JobStore
 from repro.telemetry.context import current_session
 from repro.telemetry.session import Telemetry, WorkerTelemetry
-from repro.util.errors import JobCancelledError, LeaseFencedError
+from repro.util.errors import (
+    ArtifactIntegrityError,
+    JobCancelledError,
+    LeaseFencedError,
+    MigrationError,
+)
 from repro.util.spec_hash import stable_digest
 from repro.validation.remediate import RemediationStep
 
@@ -59,6 +64,13 @@ _PHASE_STATES = {
     "profiling": JobState.PROFILING,
     "tuning": JobState.TUNING,
     "validating": JobState.VALIDATING,
+}
+
+#: migration-engine stage → job state (see ``repro.migrate.engine``)
+_MIGRATE_PHASE_STATES = {
+    "preflight": JobState.MIGRATING_PREFLIGHT,
+    "retune": JobState.MIGRATING_RETUNE,
+    "gate": JobState.MIGRATING_GATE,
 }
 
 
@@ -217,6 +229,8 @@ def _execute(store_root: str, job_id: str,
 
 def _execute_fenced(store: JobStore, record,
                     fence: Callable[[], None]) -> JobWorkerOutcome:
+    if isinstance(record.spec, MigrationJobSpec):
+        return _execute_migration(store, record, fence)
     job_id = record.job_id
     fence()
     if store.cancel_requested(job_id):
@@ -299,7 +313,8 @@ def _execute_fenced(store: JobStore, record,
         store.save_result(job_result)
         crashpoint("worker.publish.post_result", job_id=job_id,
                    path=store.result_path(job_id))
-        _save_bundle(store, job_id, result)
+        _save_bundle(store, job_id, result,
+                     source_platform=request.config.platform)
         record.result_digest = result_digest
         record.error = ""
         crashpoint("worker.publish.pre_transition", job_id=job_id)
@@ -308,6 +323,142 @@ def _execute_fenced(store: JobStore, record,
                          reason=("gate passed"
                                  if report.fidelity is not None
                                  else "published"))
+    except LeaseFencedError:
+        raise
+    except Exception as error:  # noqa: BLE001 — e.g. ENOSPC mid-publish
+        fence()
+        record.error = f"publish failed: {type(error).__name__}: {error}"
+        store.transition(record, JobState.FAILED,
+                         reason=type(error).__name__)
+        return JobWorkerOutcome(job_id=job_id, state=JobState.FAILED,
+                                error=record.error,
+                                attempts=record.attempts - attempts_before)
+    crashpoint("worker.publish.post_transition", job_id=job_id)
+    return JobWorkerOutcome(job_id=job_id, state=JobState.PUBLISHED,
+                            result_digest=result_digest,
+                            attempts=record.attempts - attempts_before)
+
+
+def _execute_migration(store: JobStore, record,
+                       fence: Callable[[], None]) -> JobWorkerOutcome:
+    """Run one migration job through the MIGRATING lifecycle states.
+
+    Mirrors the clone path's robustness surface: fence + cancel checks
+    at every stage boundary, crash requeue via the running-state
+    rewind, refusals (preflight/retune/gate) landing in ``failed`` with
+    the refusing stage in the reason, and a crashpoint-instrumented
+    publish. Migrations are cheap enough to re-run whole, so there are
+    no checkpoints — determinism makes the re-run byte-identical.
+    """
+    from repro.core.bundle import deployment_from_bundle
+    from repro.migrate.engine import (
+        migrate_request,
+        write_migration_document,
+    )
+    job_id = record.job_id
+    fence()
+    if store.cancel_requested(job_id):
+        record.error = "cancelled before start"
+        store.transition(record, JobState.CANCELLED,
+                         reason="cancelled before start")
+        return JobWorkerOutcome(job_id=job_id, state=JobState.CANCELLED,
+                                error=record.error)
+    if record.running:
+        # Crash requeues normally rewind via recover(); this handles a
+        # re-dispatch that raced the requeue, same as the clone path.
+        store.transition(record, JobState.SUBMITTED, reason="resume")
+    attempts_before = record.attempts
+
+    def observer(phase: str, attempt: int = 0) -> None:
+        fence()
+        if store.cancel_requested(job_id):
+            raise JobCancelledError(
+                f"job {job_id} cancelled "
+                f"(marker observed entering {phase!r})", job_id=job_id)
+        target = _MIGRATE_PHASE_STATES.get(phase)
+        if target is None:
+            return
+        left_preflight = (record.state is JobState.MIGRATING_PREFLIGHT
+                          and target is not record.state)
+        if attempt > 0 and target is JobState.MIGRATING_RETUNE:
+            # A remediation rung (sim budget or gate failure).
+            record.attempts += 1
+            store.save(record)
+            store._emit("remediation", job_id=job_id,
+                        rung=record.attempts, reason=phase)
+        elif record.state is target:
+            return  # idempotent re-entry
+        store.transition(record, target, reason=phase)
+        if left_preflight:
+            crashpoint("worker.migrate.post_preflight", job_id=job_id)
+
+    try:
+        result = migrate_request(record.spec.request, None,
+                                 observer=observer)
+    except LeaseFencedError:
+        raise  # a zombie stops cold — the record is the new owner's
+    except JobCancelledError as error:
+        fence()
+        record.error = str(error)
+        store.transition(record, JobState.CANCELLED, reason="cancelled")
+        return JobWorkerOutcome(job_id=job_id, state=JobState.CANCELLED,
+                                error=record.error,
+                                attempts=record.attempts - attempts_before)
+    except MigrationError as error:
+        fence()
+        stage = error.stage or "refused"
+        record.error = (f"migration {stage}: {error}"
+                        + (f" [blocking: {', '.join(error.blocking)}]"
+                           if error.blocking else ""))
+        store.transition(record, JobState.FAILED,
+                         reason=f"migration_{stage}")
+        return JobWorkerOutcome(job_id=job_id, state=JobState.FAILED,
+                                error=record.error,
+                                attempts=record.attempts - attempts_before)
+    except ArtifactIntegrityError as error:
+        fence()
+        record.error = f"source bundle quarantined: {error}"
+        store.transition(record, JobState.FAILED,
+                         reason="source_quarantined")
+        return JobWorkerOutcome(job_id=job_id, state=JobState.FAILED,
+                                error=record.error,
+                                attempts=record.attempts - attempts_before)
+    except Exception as error:  # noqa: BLE001 — failures become job state
+        fence()
+        record.error = f"{type(error).__name__}: {error}"
+        store.transition(record, JobState.FAILED,
+                         reason=type(error).__name__)
+        return JobWorkerOutcome(job_id=job_id, state=JobState.FAILED,
+                                error=record.error,
+                                attempts=record.attempts - attempts_before)
+
+    result_digest = stable_digest(
+        {"migration_document": result.document})
+    try:
+        fence()
+        crashpoint("worker.migrate.publish.pre_write", job_id=job_id,
+                   path=store.bundle_path(job_id))
+        write_migration_document(result.document,
+                                 store.bundle_path(job_id))
+        crashpoint("worker.migrate.publish.post_write", job_id=job_id,
+                   path=store.bundle_path(job_id))
+        job_result = JobResult(
+            job_id=job_id,
+            synthetic=deployment_from_bundle(store.bundle_path(job_id)),
+            spec_digest=record.spec_digest,
+            fidelity=result.fidelity.to_dict(),
+            remediation=list(result.remediation),
+            executor="serial",
+            result_digest=result_digest,
+            tuning_iterations=dict(result.tuning_iterations),
+        )
+        store.save_result(job_result)
+        record.result_digest = result_digest
+        record.error = ""
+        crashpoint("worker.publish.pre_transition", job_id=job_id)
+        fence()
+        store.transition(record, JobState.PUBLISHED,
+                         reason="gate passed")
     except LeaseFencedError:
         raise
     except Exception as error:  # noqa: BLE001 — e.g. ENOSPC mid-publish
@@ -338,8 +489,14 @@ def _fenced_outcome(store: JobStore, record,
                             error=str(error), fenced=True)
 
 
-def _save_bundle(store: JobStore, job_id: str, result) -> None:
-    """Write the shareable clone bundle next to the result."""
+def _save_bundle(store: JobStore, job_id: str, result,
+                 source_platform=None) -> None:
+    """Write the shareable clone bundle next to the result.
+
+    The job's platform is recorded as provenance so the published
+    bundle can go straight into ``fleet migrate`` without the caller
+    restating where its ``target_counters`` came from.
+    """
     from repro.core.bundle import save_bundle
     report = result.report
     save_bundle(
@@ -350,4 +507,5 @@ def _save_bundle(store: JobStore, job_id: str, result) -> None:
                     for p in result.synthetic.placements},
         tuned_knobs={name: tuning.knobs
                      for name, tuning in report.tuning.items()},
+        source_platform=source_platform,
     )

@@ -25,7 +25,12 @@ from repro.hw.platform import (
     DiskSpec,
     NetworkSpec,
     PlatformSpec,
+    load_platform_spec,
     platform_by_name,
+    platform_from_dict,
+    platform_to_dict,
+    register_platform,
+    registered_platforms,
 )
 from repro.hw.topdown import TopDownBreakdown
 
@@ -50,5 +55,10 @@ __all__ = [
     "PlatformSpec",
     "SetAssociativeCache",
     "TopDownBreakdown",
+    "load_platform_spec",
     "platform_by_name",
+    "platform_from_dict",
+    "platform_to_dict",
+    "register_platform",
+    "registered_platforms",
 ]

@@ -21,12 +21,20 @@ Network    10 GbE        1 GbE         1 GbE
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Dict, Optional
 
 from repro.hw.cache import CacheConfig, CacheHierarchy
 from repro.hw.core import ExecutionContext
-from repro.isa.ports import HASWELL, SKYLAKE_CLIENT, SKYLAKE_SERVER, UArch
+from repro.isa.ports import (
+    ALL_UARCHES,
+    HASWELL,
+    SKYLAKE_CLIENT,
+    SKYLAKE_SERVER,
+    UArch,
+)
 from repro.util.errors import ConfigurationError
 
 KB = 1024
@@ -219,10 +227,160 @@ _PLATFORMS: Dict[str, PlatformSpec] = {
 
 
 def platform_by_name(name: str) -> PlatformSpec:
-    """Look a platform up by its Table 1 letter."""
-    try:
-        return _PLATFORMS[name.upper()]
-    except KeyError:
+    """Look a platform up by its Table 1 letter or registered name."""
+    spec = _PLATFORMS.get(name)
+    if spec is None:
+        spec = _PLATFORMS.get(name.upper())
+    if spec is None:
         raise ConfigurationError(
             f"unknown platform {name!r}; expected one of {sorted(_PLATFORMS)}"
         ) from None
+    return spec
+
+
+def registered_platforms() -> Dict[str, PlatformSpec]:
+    """A snapshot of every registered platform (built-ins included)."""
+    return dict(_PLATFORMS)
+
+
+def register_platform(name: str, spec: PlatformSpec) -> PlatformSpec:
+    """Register ``spec`` under ``name`` for :func:`platform_by_name`.
+
+    Migration destinations are not limited to the paper's built-in
+    A/B/C cluster — differently-shaped platforms (custom cache
+    hierarchies, node counts, NICs) register here and become valid
+    ``--destination`` targets everywhere a platform name is accepted.
+    Re-registering the same name with an equal spec is an idempotent
+    no-op; a *conflicting* re-registration raises, so a typo can never
+    silently redefine what an existing experiment means.
+    """
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(
+            f"platform name must be a non-empty string, got {name!r}")
+    if not isinstance(spec, PlatformSpec):
+        raise ConfigurationError(
+            f"spec must be a PlatformSpec, got {spec!r}")
+    existing = _PLATFORMS.get(name)
+    if existing is not None and existing != spec:
+        raise ConfigurationError(
+            f"platform {name!r} is already registered with a different "
+            f"spec; pick another name")
+    _PLATFORMS[name] = spec
+    return spec
+
+
+def _encode_cache(cache: CacheConfig) -> dict:
+    return {"name": cache.name, "size_bytes": cache.size_bytes,
+            "associativity": cache.associativity,
+            "latency_cycles": cache.latency_cycles}
+
+
+def _decode_cache(level: str, data: dict) -> CacheConfig:
+    return CacheConfig(name=data.get("name", level),
+                       size_bytes=data["size_bytes"],
+                       associativity=data["associativity"],
+                       latency_cycles=data["latency_cycles"])
+
+
+def platform_to_dict(spec: PlatformSpec) -> dict:
+    """JSON-safe form of a platform (inverse of
+    :func:`platform_from_dict`). The microarchitecture travels by name
+    (one of ``repro.isa.ports.ALL_UARCHES``), not by value — uarch
+    port tables are model code, not configuration."""
+    return {
+        "name": spec.name,
+        "cpu_model": spec.cpu_model,
+        "uarch": spec.uarch.name,
+        "base_frequency_ghz": spec.base_frequency_ghz,
+        "cores_per_socket": spec.cores_per_socket,
+        "sockets": spec.sockets,
+        "smt_ways": spec.smt_ways,
+        "caches": {level: _encode_cache(getattr(spec, level))
+                   for level in ("l1i", "l1d", "l2", "llc")},
+        "memory_latency_ns": spec.memory_latency_ns,
+        "ram_bytes": spec.ram_bytes,
+        "disk": {"kind": spec.disk.kind,
+                 "capacity_bytes": spec.disk.capacity_bytes,
+                 "read_latency_s": spec.disk.read_latency_s,
+                 "write_latency_s": spec.disk.write_latency_s,
+                 "bandwidth_bytes_per_s": spec.disk.bandwidth_bytes_per_s},
+        "network": {"bandwidth_bits_per_s":
+                    spec.network.bandwidth_bits_per_s,
+                    "base_latency_s": spec.network.base_latency_s},
+    }
+
+
+def platform_from_dict(data: dict) -> PlatformSpec:
+    """Build a :class:`PlatformSpec` from :func:`platform_to_dict` output."""
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"platform document must be an object, got {data!r}")
+    uarch_name = data.get("uarch", "")
+    uarch = ALL_UARCHES.get(uarch_name)
+    if uarch is None:
+        raise ConfigurationError(
+            f"unknown uarch {uarch_name!r}; expected one of "
+            f"{sorted(ALL_UARCHES)}")
+    try:
+        caches = data["caches"]
+        disk = data["disk"]
+        network = data["network"]
+        return PlatformSpec(
+            name=data["name"],
+            cpu_model=data.get("cpu_model", ""),
+            uarch=uarch,
+            base_frequency_ghz=data["base_frequency_ghz"],
+            cores_per_socket=data["cores_per_socket"],
+            sockets=data["sockets"],
+            smt_ways=data.get("smt_ways", 1),
+            l1i=_decode_cache("l1i", caches["l1i"]),
+            l1d=_decode_cache("l1d", caches["l1d"]),
+            l2=_decode_cache("l2", caches["l2"]),
+            llc=_decode_cache("llc", caches["llc"]),
+            memory_latency_ns=data["memory_latency_ns"],
+            ram_bytes=data["ram_bytes"],
+            disk=DiskSpec(kind=disk["kind"],
+                          capacity_bytes=disk["capacity_bytes"],
+                          read_latency_s=disk["read_latency_s"],
+                          write_latency_s=disk["write_latency_s"],
+                          bandwidth_bytes_per_s=disk[
+                              "bandwidth_bytes_per_s"]),
+            network=NetworkSpec(
+                bandwidth_bits_per_s=network["bandwidth_bits_per_s"],
+                base_latency_s=network.get("base_latency_s", 30e-6)),
+        )
+    except KeyError as error:
+        raise ConfigurationError(
+            f"platform document is missing field {error}") from None
+
+
+def load_platform_spec(path, *, register: bool = True) -> PlatformSpec:
+    """Load a :class:`PlatformSpec` from a JSON (or YAML) file.
+
+    JSON needs nothing beyond the standard library; ``.yaml``/``.yml``
+    files work when PyYAML happens to be importable and raise a clear
+    :class:`ConfigurationError` otherwise (this package deliberately
+    adds no hard dependency for it). By default the loaded platform is
+    also registered, so ``platform_by_name`` (and every CLI platform
+    argument) resolves it immediately.
+    """
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix.lower() in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError:
+            raise ConfigurationError(
+                f"{path}: YAML platform files need PyYAML, which is not "
+                f"installed; convert the file to JSON") from None
+        data = yaml.safe_load(text)
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"{path}: not valid JSON ({error})") from None
+    spec = platform_from_dict(data)
+    if register:
+        register_platform(spec.name, spec)
+    return spec

@@ -1,0 +1,370 @@
+"""Migration preflight: classify what transfers *before* spending work.
+
+Ditto's fig7 cross-platform study shows platform-sensitive knobs only
+hold their accuracy envelope when re-tuned per environment. Preflight
+makes that actionable Mist-style: diff the source and destination
+:class:`~repro.hw.platform.PlatformSpec`, then give every per-tier
+knob, device dependency and placement an explicit verdict —
+
+- ``TRANSFERS`` — carried as-is (workload properties, or the relevant
+  hardware is identical on the destination);
+- ``NEEDS_RETUNE`` — the paired hardware differs, so the knob must be
+  re-calibrated on the destination (warm-started from the source
+  value) before the destination gate will accept the clone;
+- ``UNSUPPORTED`` — no automatic rule can carry the object (e.g. the
+  tier DAG needs more nodes than the destination has and degradation
+  was not enabled, or a changed platform has no recorded target
+  counters to re-tune against). Any ``UNSUPPORTED`` verdict blocks the
+  migration with **zero** tuning work spent.
+
+The report is a typed, JSON-round-trippable artifact so refusals are
+auditable: every verdict carries the reason and, for degraded
+placements, the consolidation that was applied.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.core.body_gen import TuningKnobs
+from repro.hw.platform import CacheConfig, PlatformSpec
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "PREFLIGHT_FORMAT",
+    "ObjectVerdict",
+    "PreflightReport",
+    "Verdict",
+    "run_preflight",
+]
+
+PREFLIGHT_FORMAT = "ditto-preflight-report/1"
+
+#: every calibration knob gets a verdict per tier
+KNOB_NAMES = tuple(f.name for f in dataclasses.fields(TuningKnobs))
+
+
+class Verdict(str, Enum):
+    """Transferability class of one migrated object."""
+
+    TRANSFERS = "transfers"
+    NEEDS_RETUNE = "needs_retune"
+    UNSUPPORTED = "unsupported"
+
+
+@dataclass(frozen=True)
+class ObjectVerdict:
+    """One object's preflight classification, with the reason."""
+
+    #: ``<tier>/<object>`` — e.g. ``"frontend/imem_scale"``
+    obj: str
+    tier: str
+    verdict: Verdict
+    reason: str
+    #: True when a documented degradation rule was applied (the object
+    #: transfers, but not faithfully — e.g. consolidated placement)
+    degraded: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "object": self.obj, "tier": self.tier,
+            "verdict": self.verdict.value, "reason": self.reason,
+            "degraded": self.degraded,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ObjectVerdict":
+        return cls(
+            obj=doc["object"], tier=doc.get("tier", ""),
+            verdict=Verdict(doc["verdict"]), reason=doc.get("reason", ""),
+            degraded=bool(doc.get("degraded", False)),
+        )
+
+
+@dataclass
+class PreflightReport:
+    """Typed verdict sheet for one source→destination migration."""
+
+    source: str = ""
+    destination: str = ""
+    destination_nodes: Optional[int] = None
+    allow_degraded: bool = False
+    verdicts: List[ObjectVerdict] = field(default_factory=list)
+    #: tier → destination node, non-empty only when the degradation
+    #: rule consolidated the DAG onto fewer nodes
+    consolidated_placements: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        """True when nothing blocks the migration."""
+        return not self.blocking()
+
+    def blocking(self) -> List[str]:
+        """Object names that refuse the migration (``UNSUPPORTED``)."""
+        return [v.obj for v in self.verdicts
+                if v.verdict is Verdict.UNSUPPORTED]
+
+    def degraded(self) -> List[str]:
+        """Objects carried by a degradation rule rather than faithfully."""
+        return [v.obj for v in self.verdicts if v.degraded]
+
+    def retune_knobs(self) -> Dict[str, List[str]]:
+        """Per-tier knob names that must be re-calibrated."""
+        needed: Dict[str, List[str]] = {}
+        for v in self.verdicts:
+            if v.verdict is not Verdict.NEEDS_RETUNE:
+                continue
+            knob = v.obj.rpartition("/")[2]
+            if knob in KNOB_NAMES:
+                needed.setdefault(v.tier, []).append(knob)
+        return {tier: sorted(knobs) for tier, knobs in needed.items()}
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (the CI preflight artifact)."""
+        return {
+            "format": PREFLIGHT_FORMAT,
+            "source": self.source,
+            "destination": self.destination,
+            "destination_nodes": self.destination_nodes,
+            "allow_degraded": self.allow_degraded,
+            "passed": self.passed,
+            "blocking": self.blocking(),
+            "consolidated_placements": dict(self.consolidated_placements),
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "PreflightReport":
+        return cls(
+            source=doc.get("source", ""),
+            destination=doc.get("destination", ""),
+            destination_nodes=doc.get("destination_nodes"),
+            allow_degraded=bool(doc.get("allow_degraded", False)),
+            verdicts=[ObjectVerdict.from_dict(v)
+                      for v in doc.get("verdicts", [])],
+            consolidated_placements=dict(
+                doc.get("consolidated_placements", {})),
+        )
+
+    def summary(self) -> str:
+        """Human-readable verdict table."""
+        lines = [
+            f"migration preflight {self.source or '?'} → "
+            f"{self.destination or '?'} → "
+            f"{'OK' if self.passed else 'REFUSED'}",
+            f"{'object':<34} {'verdict':<14} reason",
+        ]
+        for v in self.verdicts:
+            flag = " (degraded)" if v.degraded else ""
+            lines.append(
+                f"{v.obj:<34} {v.verdict.value + flag:<14} {v.reason}")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# platform diffing
+# --------------------------------------------------------------------- #
+def _cache_delta(level: str, a: CacheConfig, b: CacheConfig) -> str:
+    """Human-readable diff of one cache level; empty when identical."""
+    diffs = []
+    if a.size_bytes != b.size_bytes:
+        diffs.append(f"size {a.size_bytes}→{b.size_bytes}B")
+    if a.associativity != b.associativity:
+        diffs.append(f"assoc {a.associativity}→{b.associativity}")
+    if a.latency_cycles != b.latency_cycles:
+        diffs.append(f"latency {a.latency_cycles}→{b.latency_cycles}cy")
+    if a.line_bytes != b.line_bytes:
+        diffs.append(f"line {a.line_bytes}→{b.line_bytes}B")
+    return f"{level} differs ({', '.join(diffs)})" if diffs else ""
+
+
+def _core_delta(source: PlatformSpec, dest: PlatformSpec) -> str:
+    """Diff of the core-side properties the ILP/branch knobs depend on."""
+    diffs = []
+    if source.uarch.name != dest.uarch.name:
+        diffs.append(f"uarch {source.uarch.name}→{dest.uarch.name}")
+    if source.base_frequency_ghz != dest.base_frequency_ghz:
+        diffs.append(f"frequency {source.base_frequency_ghz}→"
+                     f"{dest.base_frequency_ghz}GHz")
+    if source.memory_latency_ns != dest.memory_latency_ns:
+        diffs.append(f"memory latency {source.memory_latency_ns}→"
+                     f"{dest.memory_latency_ns}ns")
+    return ", ".join(diffs)
+
+
+def _knob_rules(source: PlatformSpec,
+                dest: PlatformSpec) -> Dict[str, ObjectVerdict]:
+    """Platform-level verdict template for each knob (tier filled later)."""
+    l1i = _cache_delta("l1i", source.l1i, dest.l1i)
+    l1d = _cache_delta("l1d", source.l1d, dest.l1d)
+    llc = (_cache_delta("l2", source.l2, dest.l2)
+           or _cache_delta("llc", source.llc, dest.llc))
+    core = _core_delta(source, dest)
+    uarch_differs = source.uarch.name != dest.uarch.name
+
+    def rule(knob: str, verdict: Verdict, reason: str) -> ObjectVerdict:
+        return ObjectVerdict(obj=knob, tier="", verdict=verdict,
+                             reason=reason)
+
+    rules = {
+        "instr_scale": rule(
+            "instr_scale", Verdict.TRANSFERS,
+            "instruction count per request is a workload property"),
+        "chase_scale": rule(
+            "chase_scale", Verdict.TRANSFERS,
+            "pointer-chase fraction is a workload property"),
+        "imem_scale": rule(
+            "imem_scale",
+            Verdict.NEEDS_RETUNE if l1i else Verdict.TRANSFERS,
+            l1i or "l1i geometry identical on destination"),
+        "dmem_scale": rule(
+            "dmem_scale",
+            Verdict.NEEDS_RETUNE if l1d else Verdict.TRANSFERS,
+            l1d or "l1d geometry identical on destination"),
+        "big_wset_scale": rule(
+            "big_wset_scale",
+            Verdict.NEEDS_RETUNE if llc else Verdict.TRANSFERS,
+            llc or "l2/llc geometry identical on destination"),
+        "transition_scale": rule(
+            "transition_scale",
+            Verdict.NEEDS_RETUNE if uarch_differs else Verdict.TRANSFERS,
+            (f"branch predictor belongs to the destination uarch "
+             f"({source.uarch.name}→{dest.uarch.name})"
+             if uarch_differs else "same branch predictor uarch")),
+        "ilp_scale": rule(
+            "ilp_scale",
+            Verdict.NEEDS_RETUNE if core else Verdict.TRANSFERS,
+            core or "core model identical on destination"),
+    }
+    missing = set(KNOB_NAMES) - set(rules)
+    if missing:  # a new TuningKnobs field must get an explicit rule
+        raise ConfigurationError(
+            f"no preflight rule for knob(s) {sorted(missing)}")
+    return rules
+
+
+def _device_verdicts(tier: str, source: PlatformSpec,
+                     dest: PlatformSpec) -> List[ObjectVerdict]:
+    """Disk/NIC verdicts: always transfer, but say why it is safe."""
+    verdicts = []
+    if source.disk != dest.disk:
+        disk_reason = (
+            f"disk {source.disk.kind}→{dest.disk.kind}; device latency "
+            "shapes end-to-end latency only — the counters-mode "
+            "destination gate is unaffected")
+    else:
+        disk_reason = "identical disk on destination"
+    if source.network != dest.network:
+        nic_reason = (
+            f"NIC {source.network.bandwidth_bits_per_s / 1e9:g}→"
+            f"{dest.network.bandwidth_bits_per_s / 1e9:g}Gb/s; network "
+            "latency shapes end-to-end latency only — the counters-mode "
+            "destination gate is unaffected")
+    else:
+        nic_reason = "identical NIC on destination"
+    verdicts.append(ObjectVerdict(
+        obj=f"{tier}/disk", tier=tier, verdict=Verdict.TRANSFERS,
+        reason=disk_reason))
+    verdicts.append(ObjectVerdict(
+        obj=f"{tier}/network", tier=tier, verdict=Verdict.TRANSFERS,
+        reason=nic_reason))
+    return verdicts
+
+
+# --------------------------------------------------------------------- #
+# entry point
+# --------------------------------------------------------------------- #
+def run_preflight(
+    document: dict,
+    *,
+    source: PlatformSpec,
+    destination: PlatformSpec,
+    destination_nodes: Optional[int] = None,
+    allow_degraded: bool = False,
+) -> PreflightReport:
+    """Classify every per-tier object of a bundle *document* for migration.
+
+    ``document`` is the parsed (and integrity-verified) bundle — pass
+    the output of :func:`repro.core.bundle.read_bundle_document`, never
+    hand-built JSON. ``destination_nodes`` bounds the destination
+    cluster size (None = unconstrained); when the tier DAG needs more
+    nodes, ``allow_degraded`` selects the documented degradation rule
+    (deterministic round-robin consolidation onto the destination's
+    nodes) instead of an ``UNSUPPORTED`` refusal.
+
+    Pure classification: no simulation, no tuning, no file writes.
+    """
+    tiers = sorted(document.get("tiers", {}))
+    if not tiers:
+        raise ConfigurationError("bundle document has no tiers")
+    if destination_nodes is not None and destination_nodes < 1:
+        raise ConfigurationError("destination_nodes must be >= 1")
+    report = PreflightReport(
+        source=source.name, destination=destination.name,
+        destination_nodes=destination_nodes,
+        allow_degraded=allow_degraded)
+    rules = _knob_rules(source, destination)
+
+    placements = dict(document.get("placements", {}))
+    nodes = sorted({placements.get(tier, "node0") for tier in tiers})
+    overflow = (destination_nodes is not None
+                and len(nodes) > destination_nodes)
+    node_map: Dict[str, str] = {}
+    if overflow and allow_degraded:
+        # Documented degradation rule: deterministic round-robin
+        # consolidation of the source's node set (sorted) onto the
+        # destination's node0..node{n-1}.
+        node_map = {node: f"node{i % destination_nodes}"
+                    for i, node in enumerate(nodes)}
+        report.consolidated_placements = {
+            tier: node_map[placements.get(tier, "node0")]
+            for tier in tiers}
+
+    for tier in tiers:
+        tier_verdicts = [
+            dataclasses.replace(rules[knob], obj=f"{tier}/{knob}",
+                                tier=tier)
+            for knob in KNOB_NAMES
+        ]
+        needs_retune = any(v.verdict is Verdict.NEEDS_RETUNE
+                           for v in tier_verdicts)
+        if needs_retune \
+                and document["tiers"][tier].get("target_counters") is None:
+            tier_verdicts.append(ObjectVerdict(
+                obj=f"{tier}/target_counters", tier=tier,
+                verdict=Verdict.UNSUPPORTED,
+                reason=("platform-sensitive knobs need re-tuning but the "
+                        "bundle records no target counters to tune or "
+                        "gate against")))
+        tier_verdicts.extend(_device_verdicts(tier, source, destination))
+
+        node = placements.get(tier, "node0")
+        if not overflow or (not allow_degraded
+                            and nodes.index(node) < destination_nodes):
+            tier_verdicts.append(ObjectVerdict(
+                obj=f"{tier}/placement", tier=tier,
+                verdict=Verdict.TRANSFERS,
+                reason=(f"placement {node} fits the destination"
+                        + (f" ({destination_nodes} node(s))"
+                           if destination_nodes is not None else ""))))
+        elif allow_degraded:
+            tier_verdicts.append(ObjectVerdict(
+                obj=f"{tier}/placement", tier=tier,
+                verdict=Verdict.TRANSFERS, degraded=True,
+                reason=(f"consolidated {node}→{node_map[node]}: "
+                        f"destination has {destination_nodes} node(s) "
+                        f"for a {len(nodes)}-node tier DAG")))
+        else:
+            tier_verdicts.append(ObjectVerdict(
+                obj=f"{tier}/placement", tier=tier,
+                verdict=Verdict.UNSUPPORTED,
+                reason=(f"tier DAG spans {len(nodes)} nodes but the "
+                        f"destination has {destination_nodes}; enable "
+                        "degraded migration (allow_degraded) to "
+                        "consolidate tiers onto the destination's "
+                        "nodes")))
+        report.verdicts.extend(tier_verdicts)
+    return report

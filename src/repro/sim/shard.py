@@ -55,7 +55,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.engine import Environment, Event
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, SimBudgetExceededError
 
 __all__ = [
     "ShardMessage",
@@ -262,8 +262,13 @@ class _Partition:
                 response.fail(message.error)
         return deliver
 
-    def run_until(self, horizon: float) -> None:
-        self.build.env.run(until=horizon)
+    def run_until(self, horizon: float, *,
+                  max_events: Optional[int] = None,
+                  deadline: Optional[float] = None) -> None:
+        # With both budgets None, run() takes the historical
+        # allocation-free fast paths (bit-identical results).
+        self.build.env.run(until=horizon, max_events=max_events,
+                           deadline=deadline)
 
     def drain_outbound(self) -> List[ShardMessage]:
         out, self.port.outbound = self.port.outbound, []
@@ -321,6 +326,21 @@ class _LocalHost:
             for key in self._node_keys
         }
         self._duration_s = config.duration_s
+        # Engine watchdogs (shards=1 only — _validate rejects them for
+        # forked hosts). The event budget is global: each window call
+        # gets the *remaining* allowance, so the total dispatched
+        # across all partitions and windows matches the classic
+        # runner's single-environment budget. The sim-time deadline is
+        # absolute and passes through unchanged.
+        self._max_events = config.max_sim_events
+        self._deadline = config.sim_deadline_s
+
+    def _remaining_events(self) -> Optional[int]:
+        if self._max_events is None:
+            return None
+        spent = sum(p.build.env.dispatched_events
+                    for p in self._partitions.values())
+        return max(0, self._max_events - spent)
 
     def run_window(
         self, horizon: float,
@@ -331,7 +351,23 @@ class _LocalHost:
         for key in self._node_keys:
             partition = self._partitions[key]
             partition.inject(inbound.get(key, ()))
-            partition.run_until(horizon)
+            try:
+                partition.run_until(horizon,
+                                    max_events=self._remaining_events(),
+                                    deadline=self._deadline)
+            except SimBudgetExceededError as trip:
+                if trip.budget == "max_events" \
+                        and self._max_events is not None:
+                    # The engine saw only this window's remaining
+                    # allowance — report the global budget instead.
+                    raise SimBudgetExceededError(
+                        f"event budget of {self._max_events} dispatches "
+                        f"exhausted across all partitions (node "
+                        f"{key!r} at t={trip.sim_time:g}); next entry "
+                        f"is {trip.process}", budget="max_events",
+                        events=self._max_events, sim_time=trip.sim_time,
+                        process=trip.process) from trip
+                raise
             outbound.extend(partition.drain_outbound())
             next_times[key] = partition.next_time()
         return outbound, next_times
@@ -421,7 +457,7 @@ class _ForkHost:
 # --------------------------------------------------------------------- #
 # coordinator
 # --------------------------------------------------------------------- #
-def _validate(deployment, config) -> float:
+def _validate(deployment, config, shard_count: int) -> float:
     """Check shard-mode restrictions; returns the lookahead latency."""
     if config.fault_plan is not None and not config.fault_plan.is_empty:
         raise ConfigurationError(
@@ -431,12 +467,27 @@ def _validate(deployment, config) -> float:
         raise ConfigurationError(
             "sharded simulation does not support an explicit tracer "
             "(spans would scatter across processes); run with shards=None")
-    if (config.max_sim_events is not None
-            or config.sim_deadline_s is not None
-            or config.max_stalled_events is not None):
+    if config.max_stalled_events is not None:
         raise ConfigurationError(
-            "sharded simulation does not support engine watchdogs; "
+            "sharded simulation does not support max_stalled_events: "
+            "stall counts reset at every conservative window barrier, "
+            "so livelocks spanning a barrier would go undetected; "
             "run with shards=None")
+    if shard_count > 1:
+        if config.max_sim_events is not None:
+            raise ConfigurationError(
+                "max_sim_events is not supported across "
+                f"{shard_count} shard processes: the event budget is "
+                "global but each process counts dispatches "
+                "independently; run with shards=1 (same result "
+                "digest, watchdogs supported) or shards=None")
+        if config.sim_deadline_s is not None:
+            raise ConfigurationError(
+                "sim_deadline_s is not supported across "
+                f"{shard_count} shard processes: a deadline trip in "
+                "one process cannot stop its peers at a consistent "
+                "point; run with shards=1 (same result digest, "
+                "watchdogs supported) or shards=None")
     latency = config.platform.network.base_latency_s
     if latency <= 0:
         raise ConfigurationError(
@@ -465,7 +516,6 @@ def run_sharded_experiment(deployment, load, config):
     """
     from repro.runtime.metrics import RunResult
 
-    latency = _validate(deployment, config)
     node_keys = sorted(deployment.node_names())
     shard_count = max(1, min(config.shards or 1, len(node_keys)))
     try:
@@ -474,6 +524,9 @@ def run_sharded_experiment(deployment, load, config):
         ctx = None
     if ctx is None:
         shard_count = 1
+    # Validated against the *effective* shard count: watchdogs are
+    # fine when every partition is hosted in this process (shards=1).
+    latency = _validate(deployment, config, shard_count)
 
     groups: List[List[str]] = [[] for _ in range(shard_count)]
     for index, key in enumerate(node_keys):

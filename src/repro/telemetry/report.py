@@ -12,6 +12,9 @@ Inputs are detected per path:
   classic run summary;
 - a fleet fidelity artifact (``ditto-fleet-fidelity/1``, written next
   to every gated published job) → the per-metric fidelity table;
+- a migrated clone bundle (``ditto-migration/1``, published by
+  ``python -m repro.migrate``) → the preflight verdict sheet, re-tuned
+  knob deltas and destination-gate table;
 - a fleet store *directory* → one section per job (state history,
   remediation ladder, fidelity verdict) plus the flight-log summary.
 """
@@ -31,6 +34,7 @@ __all__ = [
     "main",
     "render_fidelity_artifact",
     "render_fleet_report",
+    "render_migration_document",
     "render_report",
 ]
 
@@ -185,6 +189,45 @@ def render_fidelity_artifact(doc: dict) -> str:
     return header + "\n" + report.summary()
 
 
+def render_migration_document(doc: dict) -> str:
+    """Summarize one ``ditto-migration/1`` artifact.
+
+    Three sections mirror the pipeline's three stages: the preflight
+    verdict sheet, the warm-start re-tune (knob deltas + iterations per
+    tier), and the destination fidelity gate's per-metric table.
+    """
+    from repro.migrate.preflight import PreflightReport
+    from repro.validation.gate import FidelityReport
+
+    migration = doc.get("migration", {})
+    sections = [f"migration artifact — {migration.get('source', '?')} -> "
+                f"{migration.get('destination', '?')} "
+                f"(entry {doc.get('entry_service', '?')}, "
+                f"seed {migration.get('seed', '?')})"]
+    sections.append("\n== preflight ==")
+    sections.append(PreflightReport.from_dict(
+        migration.get("preflight", {})).summary())
+    sections.append("\n== re-tune ==")
+    deltas = migration.get("retune", {})
+    iterations = migration.get("tuning_iterations", {})
+    if deltas:
+        for tier in sorted(deltas):
+            spent = iterations.get(tier, 0)
+            sections.append(f"{tier} ({spent} iteration"
+                            f"{'s' if spent != 1 else ''}):")
+            for knob, move in sorted(deltas[tier].items()):
+                sections.append(f"  {knob:<20} {move['from']:.4g} -> "
+                                f"{move['to']:.4g}")
+    else:
+        sections.append("(every knob transferred unchanged)")
+    for step in migration.get("remediation", []):
+        sections.append(f"remediation: {step}")
+    sections.append("\n== destination gate ==")
+    sections.append(FidelityReport.from_dict(
+        migration.get("fidelity", {})).summary())
+    return "\n".join(sections)
+
+
 def render_fleet_report(store_root: str) -> str:
     """One section per fleet job, plus the flight-log summary.
 
@@ -243,6 +286,9 @@ def _render_any(path: str, prometheus: bool) -> None:
     doc = load_run(path)
     if doc.get("format") == "ditto-fleet-fidelity/1":
         print(render_fidelity_artifact(doc))
+        return
+    if doc.get("format") == "ditto-migration":
+        print(render_migration_document(doc))
         return
     print(render_report(doc))
     if prometheus:

@@ -40,6 +40,11 @@ simulation failures.  The full tree (documented in DESIGN.md):
       superseded (the job was requeued and re-claimed while this
       worker looked dead); raised before any terminal transition or
       artifact publish so a zombie can never double-publish
+    - ``MigrationError`` — a clone-bundle migration was refused;
+      ``stage`` names where (``"preflight"``, ``"retune"``,
+      ``"gate"``), ``blocking`` the objects that could not be carried
+      to the destination, and ``report`` the preflight/fidelity report
+      that justified the refusal
 """
 
 from typing import Any, Dict, Optional
@@ -206,6 +211,27 @@ class LeaseFencedError(ReproError):
         self.job_id = job_id
         self.epoch = epoch
         self.current = current
+
+
+class MigrationError(ReproError):
+    """A clone-bundle migration was refused.
+
+    ``stage`` names the migration stage that refused (``"preflight"``,
+    ``"retune"`` or ``"gate"``), ``blocking`` lists the per-tier
+    objects (``"tier/knob"`` style names) that could not be carried to
+    the destination, and ``report`` carries the typed report that
+    justified the refusal — a ``PreflightReport`` for preflight
+    refusals, a ``FidelityReport`` for destination-gate failures
+    (typed ``Any`` to keep this module dependency-free).
+    """
+
+    def __init__(self, message: str, *, stage: str = "",
+                 blocking: Optional[list] = None,
+                 report: Any = None) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.blocking = list(blocking) if blocking else []
+        self.report = report
 
 
 class TierExecutionError(ReproError):

@@ -351,6 +351,37 @@ class TestFleetCLI:
         assert "submitted -> profiling" in shown
         assert "result digest" in shown
 
+    def test_migrate_submit_run_show(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert fleet_main(["submit", "--store", store,
+                           "--workload", "memcached", "--fast",
+                           "--tune-iterations", "1"]) == 0
+        clone_id = capsys.readouterr().out.strip()
+        assert fleet_main(["run", "--store", store,
+                           "--executor", "serial"]) == 0
+        capsys.readouterr()
+        # the published bundle records its platform, so migrate needs
+        # no --source-platform; A→A keeps the run cheap
+        from repro.fleet.store import JobStore
+        bundle = JobStore(store).bundle_path(clone_id)
+        assert fleet_main(["migrate", "--store", store,
+                           "--bundle", bundle, "--destination", "A",
+                           "--duration", "0.05",
+                           "--max-tune-iterations", "1"]) == 0
+        migrate_id = capsys.readouterr().out.strip()
+        assert migrate_id and migrate_id != clone_id
+        assert fleet_main(["run", "--store", store,
+                           "--executor", "serial"]) == 0
+        capsys.readouterr()
+        assert fleet_main(["watch", "--store", store, migrate_id,
+                           "--timeout", "5"]) == 0
+        capsys.readouterr()
+        assert fleet_main(["show", "--store", store, migrate_id]) == 0
+        shown = capsys.readouterr().out
+        assert "submitted -> migrating_preflight" in shown
+        assert "migrating_gate -> published" in shown
+        assert "fidelity: PASS" in shown
+
     def test_cancel_exit_codes(self, tmp_path, capsys):
         store = str(tmp_path)
         fleet_main(["submit", "--store", store, "--workload", "memcached",

@@ -38,6 +38,8 @@ from repro.fleet import (
 )
 from repro.fleet import chaos as chaos_mod
 from repro.fleet.__main__ import main as fleet_main
+from repro.hw.platform import PLATFORM_B
+from repro.migrate import MigrationRequest
 from repro.fleet.store import DEFAULT_STORE_CONFIG
 from repro.profiling import ProfilingBudget
 from repro.util.errors import (
@@ -211,12 +213,18 @@ class TestInjector:
 # the chaos matrix: kill everywhere, recover, publish identically
 # ---------------------------------------------------------------------- #
 #: crashpoints a single scheduler run visits. ``store.submit.post_claim``
-#: fires at submit time (own test below) and
+#: fires at submit time (own test below),
 #: ``lease.heartbeat.pre_replace`` on the worker's daemon beat thread,
-#: where a kill dies silently (covered by the direct-call test).
+#: where a kill dies silently (covered by the direct-call test), and
+#: the ``worker.migrate.*`` points only on migration jobs (own kill
+#: matrix in :class:`TestMigrationChaos`).
 KILL_MATRIX = tuple(point for point in CRASHPOINTS
                     if point not in ("store.submit.post_claim",
-                                     "lease.heartbeat.pre_replace"))
+                                     "lease.heartbeat.pre_replace")
+                    and not point.startswith("worker.migrate."))
+
+MIGRATE_KILL_MATRIX = tuple(point for point in CRASHPOINTS
+                            if point.startswith("worker.migrate."))
 
 
 class TestKillMatrix:
@@ -275,15 +283,117 @@ class TestCrashpointCoverage:
             record = FleetClient(store).submit(_request())
             outcomes = FleetScheduler(
                 store, executor="serial").run_until_idle()
+            # the worker.migrate.* points only fire on migration jobs:
+            # migrate the freshly published bundle back onto its own
+            # platform (all-TRANSFERS preflight, no tuning — cheap)
+            migration = FleetClient(store).submit(MigrationRequest(
+                bundle_path=store.bundle_path(record.job_id),
+                destination=PLATFORM_A, duration_s=0.05,
+                max_tune_iterations=1))
+            migrated = FleetScheduler(
+                store, executor="serial").run_until_idle()
             # a clean run never beats deterministically nor releases a
             # fenced lease by hand — drive those two points directly
             epoch = store.claim_lease(record.job_id)
             assert store.heartbeat(record.job_id, epoch)
             store.release_lease(record.job_id, epoch=epoch)
         assert [o.state for o in outcomes] == [JobState.PUBLISHED]
+        assert [o.state for o in migrated] == [JobState.PUBLISHED]
+        assert store.get(migration.job_id).state is JobState.PUBLISHED
         _assert_identical(store, record.job_id, control)
         missing = set(CRASHPOINTS) - injector.visited
         assert not missing, f"crashpoints never visited: {sorted(missing)}"
+
+
+# ---------------------------------------------------------------------- #
+# migration jobs under chaos: same proof obligation as clone jobs
+# ---------------------------------------------------------------------- #
+def _migration_request(source_bundle) -> MigrationRequest:
+    return MigrationRequest(bundle_path=str(source_bundle),
+                            destination=PLATFORM_B,
+                            duration_s=0.05, max_tune_iterations=3)
+
+
+@pytest.fixture(scope="module")
+def migration_source(tmp_path_factory, control):
+    """The control run's published clone bundle, as a migration source
+    (fleet bundles record their platform, so no override needed)."""
+    path = tmp_path_factory.mktemp("chaos-migrate") / "source.bundle.json"
+    path.write_text(json.dumps(control[1]))
+    return path
+
+
+@pytest.fixture(scope="module")
+def migration_control(tmp_path_factory, migration_source):
+    """A never-crashed A→B migration: the reference output."""
+    store = JobStore(str(tmp_path_factory.mktemp("migrate-control")))
+    record = FleetClient(store).submit(
+        _migration_request(migration_source))
+    outcomes = FleetScheduler(store, executor="serial").run_until_idle()
+    assert [o.state for o in outcomes] == [JobState.PUBLISHED]
+    final = store.get(record.job_id)
+    with open(store.bundle_path(record.job_id), encoding="utf-8") as f:
+        bundle = json.load(f)
+    return final.result_digest, bundle
+
+
+class TestMigrationChaos:
+    @pytest.mark.parametrize("point", MIGRATE_KILL_MATRIX)
+    def test_kill_recover_rerun_is_bit_identical(
+            self, tmp_path, migration_source, migration_control, point):
+        """Killing a migration at any of its crashpoints, recovering and
+        re-running publishes a migrated bundle byte-identical to the
+        never-crashed control — determinism makes whole-job re-runs the
+        checkpoint strategy."""
+        store = _chaos_store(tmp_path)
+        record = FleetClient(store).submit(
+            _migration_request(migration_source))
+        plan = ChaosPlan(actions=(ChaosAction(point=point),))
+        with pytest.raises(ChaosKill):
+            FleetScheduler(store, executor="serial",
+                           chaos=plan).run_until_idle()
+        FleetScheduler(store, executor="serial").run_until_idle()
+        final = store.get(record.job_id)
+        assert final.state is JobState.PUBLISHED
+        assert final.result_digest == migration_control[0]
+        with open(store.bundle_path(record.job_id),
+                  encoding="utf-8") as f:
+            assert json.load(f) == migration_control[1]
+
+    def test_crash_mid_retune_requeues_through_recovery(
+            self, tmp_path, migration_source):
+        """A kill right after preflight leaves the record mid-retune
+        with an orphaned lease; recover() requeues it with reason
+        ``recovered`` rather than losing or dead-lettering it."""
+        store = _chaos_store(tmp_path)
+        record = FleetClient(store).submit(
+            _migration_request(migration_source))
+        plan = ChaosPlan(actions=(
+            ChaosAction(point="worker.migrate.post_preflight"),))
+        with pytest.raises(ChaosKill):
+            FleetScheduler(store, executor="serial",
+                           chaos=plan).run_until_idle()
+        crashed = store.get(record.job_id)
+        assert crashed.state is JobState.MIGRATING_RETUNE
+        requeued = store.recover()
+        assert requeued == [record.job_id]
+        assert store.get(record.job_id).state is JobState.SUBMITTED
+
+
+class TestMigrationFlightLog:
+    def test_migrating_edges_reconstruct_from_flight_log(
+            self, tmp_path, migration_source):
+        store = JobStore(str(tmp_path), flight=True,
+                         lease_timeout_s=0.0, heartbeat_interval_s=0.0,
+                         crash_backoff_s=0.0)
+        record = FleetClient(store).submit(
+            _migration_request(migration_source))
+        FleetScheduler(store, executor="serial").run_until_idle()
+        from repro.fleet import read_flight_log
+        flight = read_flight_log(store.flight_path)
+        assert flight.lifecycle(record.job_id) == [
+            "submitted", "migrating_preflight", "migrating_retune",
+            "migrating_gate", "published"]
 
 
 # ---------------------------------------------------------------------- #

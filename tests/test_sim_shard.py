@@ -17,7 +17,7 @@ from repro import (
     social_network_deployment,
 )
 from repro.runtime.experiment import run_experiment
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, SimBudgetExceededError
 
 from tests.test_perf_equivalence import _result_digest
 
@@ -94,11 +94,55 @@ class TestShardModeRestrictions:
                            LoadSpec.open_loop(1_000),
                            _config(shards=2, tracer=Tracer(sample_rate=1.0)))
 
-    def test_watchdogs_rejected(self):
-        with pytest.raises(ConfigurationError, match="watchdogs"):
+    def test_event_budget_rejected_across_processes(self):
+        # The refusal names the exact feature and the supported
+        # alternative (shards=1 hosts every partition in-process).
+        with pytest.raises(ConfigurationError,
+                           match=r"max_sim_events.*shards=1"):
             run_experiment(_socialnet_three_nodes(),
                            LoadSpec.open_loop(1_000),
                            _config(shards=2, max_sim_events=10_000))
+
+    def test_deadline_rejected_across_processes(self):
+        with pytest.raises(ConfigurationError,
+                           match=r"sim_deadline_s.*shards=1"):
+            run_experiment(_socialnet_three_nodes(),
+                           LoadSpec.open_loop(1_000),
+                           _config(shards=2, sim_deadline_s=1.0))
+
+    def test_stall_watchdog_rejected_in_every_shard_mode(self):
+        # Stall counts reset at each conservative window barrier, so
+        # the livelock guard is refused even for in-process hosting.
+        for shards in (1, 2):
+            with pytest.raises(ConfigurationError,
+                               match=r"max_stalled_events.*shards=None"):
+                run_experiment(_socialnet_three_nodes(),
+                               LoadSpec.open_loop(1_000),
+                               _config(shards=shards,
+                                       max_stalled_events=64))
+
+
+class TestSingleShardWatchdogs:
+    """``shards=1`` hosts all partitions in-process, so the engine
+    watchdogs work — with a *global* event budget across partitions."""
+
+    def test_generous_watchdogs_keep_the_pinned_digest(self):
+        digest, _ = _digest(1, max_sim_events=50_000_000,
+                            sim_deadline_s=10.0)
+        assert digest == PINNED_SOCIALNET_DIGEST
+
+    def test_event_budget_trips_across_partitions(self):
+        with pytest.raises(SimBudgetExceededError) as info:
+            _digest(1, max_sim_events=500)
+        assert info.value.budget == "max_events"
+        # the trip reports the configured global budget, not the
+        # window-local remainder the engine saw
+        assert "500" in str(info.value)
+
+    def test_deadline_trips(self):
+        with pytest.raises(SimBudgetExceededError) as info:
+            _digest(1, sim_deadline_s=0.02)
+        assert info.value.budget == "deadline"
 
 
 class TestShardedResultShape:
